@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race bench fuzz clean tools report
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Regenerates every table and figure of the paper's evaluation.
+bench:
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/subgraph/
+	$(GO) test -fuzz=FuzzStreamingEqualsOneShot -fuzztime=30s ./internal/keccak/
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+# Full report over a freshly generated 20k-domain world.
+report: tools
+	./bin/ensanalyze -domains 20000
+
+clean:
+	rm -rf bin data

@@ -1,0 +1,65 @@
+// Command enspremium prints the ENS temporary-premium schedule (the
+// 21-day Dutch auction of §2.1) for a name whose registration expired at a
+// given date, plus the grace-period boundaries — the calculator a
+// dropcatcher (or a defender estimating exposure) would use.
+//
+// Example:
+//
+//	enspremium -expiry 2023-01-15 -label gold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/pricing"
+	"ensdropcatch/internal/report"
+)
+
+func main() {
+	var (
+		expiryStr = flag.String("expiry", "", "expiry date (YYYY-MM-DD, required)")
+		label     = flag.String("label", "example", "label, for the base-rent tier")
+		stepHours = flag.Int("step", 24, "schedule step in hours")
+	)
+	flag.Parse()
+	if *expiryStr == "" {
+		fmt.Fprintln(os.Stderr, "enspremium: -expiry is required (YYYY-MM-DD)")
+		os.Exit(2)
+	}
+	expiryTime, err := time.Parse("2006-01-02", *expiryStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enspremium: bad -expiry: %v\n", err)
+		os.Exit(2)
+	}
+	if *stepHours <= 0 {
+		fmt.Fprintln(os.Stderr, "enspremium: -step must be positive")
+		os.Exit(2)
+	}
+	expiry := expiryTime.Unix()
+	release := ens.ReleaseTime(expiry)
+	end := ens.PremiumEndTime(expiry)
+	oracle := pricing.NewOracle()
+
+	fmt.Printf("name:            %s.eth (base rent %s/year)\n", *label, report.USD(ens.BaseRentUSDPerYear(*label)))
+	fmt.Printf("expired:         %s\n", expiryTime.Format("2006-01-02"))
+	fmt.Printf("grace ends:      %s (owner-only renewal until then)\n", time.Unix(release, 0).UTC().Format("2006-01-02"))
+	fmt.Printf("premium reaches zero: %s\n\n", time.Unix(end, 0).UTC().Format("2006-01-02"))
+
+	var rows [][]string
+	for ts := release; ts <= end; ts += int64(*stepHours) * 3600 {
+		premium := ens.PremiumUSDAt(expiry, ts)
+		total := premium + ens.BaseRentUSDPerYear(*label)
+		rows = append(rows, []string{
+			time.Unix(ts, 0).UTC().Format("2006-01-02 15:04"),
+			fmt.Sprintf("%.1f", float64(ts-release)/86400),
+			report.USD(premium),
+			report.USD(total),
+			fmt.Sprintf("%.4f ETH", oracle.ETH(total, ts)),
+		})
+	}
+	fmt.Print(report.Table([]string{"time (UTC)", "auction day", "premium", "total (1yr)", "total in ETH"}, rows))
+}

@@ -1,0 +1,86 @@
+// Command ensworld generates a synthetic ENS ecosystem and serves it
+// through the three data-source APIs the paper crawls: the ENS subgraph
+// (GraphQL), an Etherscan-style transaction API, and an OpenSea-style
+// marketplace events API — all on one listener:
+//
+//	POST /subgraph           GraphQL queries
+//	GET  /etherscan/api      module=account&action=txlist|balance
+//	GET  /etherscan/labels   custodial address lists
+//	GET  /opensea/events     marketplace events
+//	POST /rpc                JSON-RPC (eth_getLogs etc., raw chain access)
+//
+// Example:
+//
+//	ensworld -domains 30000 -seed 7 -listen :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/etherscan"
+	"ensdropcatch/internal/ethrpc"
+	"ensdropcatch/internal/opensea"
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/world"
+)
+
+func main() {
+	var (
+		domains = flag.Int("domains", 10000, "number of domains to simulate")
+		seed    = flag.Int64("seed", 1, "deterministic generation seed")
+		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
+		rate    = flag.Int("etherscan-rate", etherscan.DefaultRatePerSecond, "etherscan requests/second/key (0 = default)")
+	)
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	cfg := world.DefaultConfig(*domains)
+	cfg.Seed = *seed
+	logger.Info("generating world", "domains", *domains, "seed", *seed)
+	start := time.Now()
+	res, err := world.Generate(cfg)
+	if err != nil {
+		logger.Error("generate", "err", err)
+		os.Exit(1)
+	}
+	summary := res.Summarize()
+	logger.Info("world ready",
+		"txs", summary.Transactions,
+		"expired", summary.Expired,
+		"dropcaught", summary.Dropcaught,
+		"subdomains", summary.Subdomains,
+		"opensea_events", len(res.OpenSea),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+
+	store := subgraph.BuildIndex(res.Chain)
+	logger.Info("subgraph indexed",
+		"registrations", store.Len(subgraph.ColRegistrations),
+		"events", store.Len(subgraph.ColEvents))
+
+	mux := http.NewServeMux()
+	mux.Handle("/subgraph", subgraph.NewServer(store, logger))
+	mux.Handle("/etherscan/", http.StripPrefix("/etherscan",
+		etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger)))
+	mux.Handle("/opensea/", http.StripPrefix("/opensea", opensea.NewServer(res.OpenSea)))
+	mux.Handle("/rpc", ethrpc.NewServer(res.Chain))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	logger.Info("serving", "addr", *listen)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

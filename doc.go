@@ -1,0 +1,21 @@
+// Package ensdropcatch is a from-scratch Go reproduction of "Panning for
+// gold.eth: Understanding and Analyzing ENS Domain Dropcatching"
+// (IMC 2024): a measurement pipeline that detects expired-and-re-registered
+// ENS names, characterizes what makes a name worth dropcatching, and
+// quantifies the funds misdirected to new owners through stale ENS
+// resolution.
+//
+// The repository contains both the paper's analysis (internal/core) and
+// every substrate it ran against, rebuilt from scratch on the standard
+// library: a simulated Ethereum chain with the ENS contract suite
+// (internal/chain, internal/ens), the ENS subgraph with a GraphQL-subset
+// engine (internal/subgraph), Etherscan- and OpenSea-style APIs
+// (internal/etherscan, internal/opensea), an ETH-USD price oracle
+// (internal/pricing), a crawl toolkit (internal/crawler), and an
+// agent-based ecosystem generator (internal/world) that produces the
+// population the analysis studies.
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+package ensdropcatch

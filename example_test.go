@@ -1,0 +1,93 @@
+package ensdropcatch_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/core"
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+	"ensdropcatch/internal/world"
+)
+
+// Example_dropcatch walks the core mechanics end to end on a two-party
+// chain: registration, expiry, the stale resolution that makes
+// dropcatching profitable, and the re-registration that hijacks it.
+func Example_dropcatch() {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	c := chain.New(start)
+	svc := ens.Deploy(c, pricing.NewOracleNoise(0))
+
+	alice := ethtypes.DeriveAddress("example-alice")
+	mallory := ethtypes.DeriveAddress("example-mallory")
+	c.Mint(alice, ethtypes.Ether(100))
+	c.Mint(mallory, ethtypes.Ether(100))
+
+	// Alice registers gold.eth for a year and points it at her wallet.
+	svc.Register(start, alice, alice, "gold", ens.Year, svc.PriceWei("gold", ens.Year, start))
+	svc.SetAddr(start+60, alice, "gold", alice)
+
+	reg, _ := svc.Registration("gold")
+	fmt.Println("available during grace period:", svc.Available("gold", reg.Expiry+86400))
+
+	// Long after expiry the name STILL resolves to alice.
+	addr, _ := svc.Resolve("gold")
+	fmt.Println("stale resolution still alice:", addr == alice)
+
+	// Mallory catches it the moment the premium hits zero.
+	at := ens.PremiumEndTime(reg.Expiry) + 1
+	svc.Register(at, mallory, mallory, "gold", ens.Year, svc.PriceWei("gold", ens.Year, at))
+	svc.SetAddr(at+60, mallory, "gold", mallory)
+
+	addr, _ = svc.Resolve("gold")
+	fmt.Println("now resolves to mallory:", addr == mallory)
+	// Output:
+	// available during grace period: false
+	// stale resolution still alice: true
+	// now resolves to mallory: true
+}
+
+// Example_pipeline runs the full measurement pipeline in miniature:
+// generate a world, assemble the dataset the way §3 does, and classify
+// the population the way §4 does.
+func Example_pipeline() {
+	cfg := world.DefaultConfig(400)
+	cfg.Seed = 17
+	res, err := world.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.FromWorld(context.Background(), res, dataset.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := core.NewAnalyzer(ds, res.Oracle)
+
+	total := len(an.Pop.Reregistered) + len(an.Pop.ExpiredNotRereg) +
+		len(an.Pop.ActiveAtEnd) + len(an.Pop.SameOwnerRereg)
+	fmt.Println("domains classified:", total == 400)
+	fmt.Println("found re-registrations:", len(an.Pop.Reregistered) > 0)
+	// Output:
+	// domains classified: true
+	// found re-registrations: true
+}
+
+// Example_premium prints the Dutch-auction decay for an expired name.
+func Example_premium() {
+	expiry := time.Date(2023, 1, 15, 0, 0, 0, 0, time.UTC).Unix()
+	release := ens.ReleaseTime(expiry)
+	for _, day := range []int64{0, 7, 14, 21} {
+		at := release + day*86400
+		fmt.Printf("day %2d: %.0f USD\n", day, ens.PremiumUSDAt(expiry, at))
+	}
+	// Output:
+	// day  0: 99999952 USD
+	// day  7: 781202 USD
+	// day 14: 6056 USD
+	// day 21: 0 USD
+}

@@ -1,0 +1,100 @@
+// Walletguard: a self-contained dropcatch attack walkthrough that shows
+// why the paper's countermeasure matters. Alice registers treasury.eth,
+// points it at her wallet, and her business partners pay her through the
+// name. She forgets to renew; Mallory re-registers it and overwrites the
+// resolver. Every surveyed wallet (Table 2) keeps resolving the name with
+// no warning — the partner's next payment lands in Mallory's wallet. The
+// guarded wallet from §6 warns at each dangerous step.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+	"ensdropcatch/internal/walletsim"
+)
+
+func main() {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	c := chain.New(start)
+	oracle := pricing.NewOracle()
+	svc := ens.Deploy(c, oracle)
+
+	alice := ethtypes.DeriveAddress("alice")
+	mallory := ethtypes.DeriveAddress("mallory")
+	partner := ethtypes.DeriveAddress("business-partner")
+	for _, a := range []ethtypes.Address{alice, mallory, partner} {
+		c.Mint(a, ethtypes.Ether(1000))
+	}
+
+	// Alice registers treasury.eth for one year and points it home.
+	must(svc.Register(start, alice, alice, "treasury", ens.Year, svc.PriceWei("treasury", ens.Year, start)))
+	must(svc.SetAddr(start+3600, alice, "treasury", alice))
+	reg, _ := svc.Registration("treasury")
+	fmt.Printf("2022-01-01  alice registers treasury.eth (expires %s)\n", day(reg.Expiry))
+
+	// The partner pays through the name.
+	pay := func(ts int64, note string) {
+		to, _ := svc.Resolve("treasury")
+		amt := ethtypes.EtherFloat(oracle.ETH(2500, ts))
+		if _, err := c.Transfer(ts, partner, to, amt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  partner sends 2,500 USD via treasury.eth -> %s  %s\n", day(ts), short(to), note)
+	}
+	pay(start+30*86400, "(alice's wallet)")
+	pay(start+200*86400, "(alice's wallet)")
+
+	// Alice forgets to renew. The name expires, then leaves grace, then
+	// the premium decays; Mallory catches it the day the premium hits 0.
+	catchAt := ens.PremiumEndTime(reg.Expiry) + 3600
+	fmt.Printf("\n%s  treasury.eth EXPIRES (grace until %s, premium zero %s)\n",
+		day(reg.Expiry), day(ens.ReleaseTime(reg.Expiry)), day(ens.PremiumEndTime(reg.Expiry)))
+
+	// Before the catch the name still resolves to alice — §4.4's core
+	// observation: expiry is invisible.
+	pay(reg.Expiry+30*86400, "(STILL alice's wallet — name expired, nobody can tell)")
+
+	must(svc.Register(catchAt, mallory, mallory, "treasury", ens.Year, svc.PriceWei("treasury", ens.Year, catchAt)))
+	must(svc.SetAddr(catchAt+600, mallory, "treasury", mallory))
+	fmt.Printf("%s  mallory re-registers treasury.eth for %s and repoints it\n",
+		day(catchAt), fmt.Sprintf("%.0f USD", svc.PriceUSD("treasury", ens.Year, catchAt)))
+
+	// The partner's next payment is silently misdirected.
+	pay(catchAt+20*86400, "(MALLORY'S wallet — funds lost)")
+
+	// What the wallets say at that moment.
+	now := catchAt + 20*86400
+	fmt.Println("\nwallet behaviour at payment time (Appendix B reproduction):")
+	for _, w := range walletsim.StockWallets(svc) {
+		res := w.Resolve("treasury", now)
+		fmt.Printf("  %-16s %-8s resolves to %s, warning: none\n", w.Name(), w.Version(), short(res.Address))
+	}
+	g := walletsim.NewGuarded(svc)
+	res := g.Resolve("treasury", now)
+	fmt.Printf("  %-16s %-8s resolves to %s\n", "Guarded", g.Version(), short(res.Address))
+	fmt.Printf("      WARNING: %s\n", res.Warning)
+
+	fmt.Printf("\nmallory's balance gain: %.4f ETH\n", c.BalanceOf(mallory).Ether()-1000+svc.PriceWei("treasury", ens.Year, catchAt).Ether())
+}
+
+func must(rcpt *chain.Receipt, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rcpt.Err != nil {
+		log.Fatal(rcpt.Err)
+	}
+}
+
+func day(ts int64) string { return time.Unix(ts, 0).UTC().Format("2006-01-02") }
+
+func short(a ethtypes.Address) string {
+	h := a.Hex()
+	return h[:8] + "…" + h[len(h)-4:]
+}

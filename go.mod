@@ -1,0 +1,3 @@
+module ensdropcatch
+
+go 1.23

@@ -1,0 +1,184 @@
+// Package auction models competition for an expiring name under the two
+// allocation mechanisms §2.1 contrasts: ENS's 21-day Dutch-auction premium
+// ("temporarily favoring the users who are willing to invest the most
+// resources") and DNS-style drop-catching ("the users who are the fastest
+// to act upon a domain's expiration"). Given competing catchers with
+// private valuations and reaction speeds, it determines who wins each
+// name, when, and at what price — the machinery behind the premium
+// ablation experiments.
+package auction
+
+import (
+	"sort"
+	"time"
+
+	"ensdropcatch/internal/ens"
+)
+
+// Bidder is one party competing for an expiring name.
+type Bidder struct {
+	// ID identifies the bidder in outcomes.
+	ID string
+	// ValuationUSD is the most the bidder would ever pay (premium
+	// included) to own the name.
+	ValuationUSD float64
+	// ReactionDelay is how long after a name becomes purchasable the
+	// bidder's infrastructure needs to land a registration — the only
+	// thing that matters in a DNS-style drop race.
+	ReactionDelay time.Duration
+}
+
+// Outcome describes who won a name and on what terms.
+type Outcome struct {
+	Winner *Bidder
+	// At is the unix time of the winning registration.
+	At int64
+	// PriceUSD is the premium paid (base rent excluded).
+	PriceUSD float64
+}
+
+// DutchAuction resolves competition under the ENS mechanism for a name
+// whose previous registration ended at expiry. Each bidder registers the
+// moment the decaying premium first drops to their valuation; the winner
+// is whoever that happens for first — i.e. the highest valuation, not the
+// fastest infrastructure. Bidders whose valuation never meets the curve
+// before it hits zero contest the zero-premium instant with a drop race.
+func DutchAuction(expiry int64, bidders []Bidder) Outcome {
+	if len(bidders) == 0 {
+		return Outcome{}
+	}
+	release := ens.ReleaseTime(expiry)
+	end := ens.PremiumEndTime(expiry)
+
+	var best Outcome
+	for i := range bidders {
+		b := &bidders[i]
+		if b.ValuationUSD <= 0 {
+			continue
+		}
+		at := timePremiumReaches(expiry, b.ValuationUSD)
+		if at < release {
+			at = release
+		}
+		// Even a premium bidder cannot act faster than their reaction.
+		if earliest := release + int64(b.ReactionDelay/time.Second); at < earliest {
+			at = earliest
+		}
+		if at > end {
+			at = end // wait for zero premium
+		}
+		price := ens.PremiumUSDAt(expiry, at)
+		if price > b.ValuationUSD {
+			continue // reaction floor put them above their budget
+		}
+		if best.Winner == nil || at < best.At ||
+			(at == best.At && b.ValuationUSD > best.Winner.ValuationUSD) {
+			best = Outcome{Winner: b, At: at, PriceUSD: price}
+		}
+	}
+	if best.Winner == nil {
+		return Outcome{}
+	}
+	// Zero-premium ties fall back to the drop race.
+	if best.PriceUSD == 0 {
+		return dropRaceAt(end, bidders)
+	}
+	return best
+}
+
+// DropRace resolves competition DNS-style: the grace period ends and the
+// fastest reaction wins at zero price, regardless of valuations.
+func DropRace(expiry int64, bidders []Bidder) Outcome {
+	return dropRaceAt(ens.ReleaseTime(expiry), bidders)
+}
+
+func dropRaceAt(start int64, bidders []Bidder) Outcome {
+	var winner *Bidder
+	for i := range bidders {
+		b := &bidders[i]
+		if b.ValuationUSD <= 0 {
+			continue
+		}
+		switch {
+		case winner == nil,
+			b.ReactionDelay < winner.ReactionDelay,
+			b.ReactionDelay == winner.ReactionDelay && b.ValuationUSD > winner.ValuationUSD:
+			winner = b
+		}
+	}
+	if winner == nil {
+		return Outcome{}
+	}
+	return Outcome{
+		Winner: winner,
+		At:     start + int64(winner.ReactionDelay/time.Second),
+	}
+}
+
+// timePremiumReaches inverts the halving curve: the earliest unix time at
+// which the premium for a name expired at expiry is <= target USD.
+func timePremiumReaches(expiry int64, target float64) int64 {
+	release := ens.ReleaseTime(expiry)
+	end := ens.PremiumEndTime(expiry)
+	if target <= 0 {
+		return end
+	}
+	if ens.PremiumUSDAt(expiry, release) <= target {
+		return release
+	}
+	// Binary search over the monotone decay.
+	lo, hi := release, end
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ens.PremiumUSDAt(expiry, mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Efficiency compares the two mechanisms across a population of contested
+// names: the fraction each mechanism allocates to the highest-valuation
+// bidder, and the revenue the auction raises.
+type Efficiency struct {
+	Names                 int
+	AuctionToHighestValue int
+	RaceToHighestValue    int
+	AuctionRevenueUSD     float64
+}
+
+// CompareMechanisms runs both mechanisms over names (expiry per name, a
+// bidder set per name).
+func CompareMechanisms(expiries []int64, fields [][]Bidder) Efficiency {
+	eff := Efficiency{}
+	for i, expiry := range expiries {
+		if i >= len(fields) || len(fields[i]) == 0 {
+			continue
+		}
+		bidders := fields[i]
+		top := topValuation(bidders)
+		eff.Names++
+
+		if out := DutchAuction(expiry, bidders); out.Winner != nil {
+			eff.AuctionRevenueUSD += out.PriceUSD
+			if out.Winner.ValuationUSD == top {
+				eff.AuctionToHighestValue++
+			}
+		}
+		if out := DropRace(expiry, bidders); out.Winner != nil && out.Winner.ValuationUSD == top {
+			eff.RaceToHighestValue++
+		}
+	}
+	return eff
+}
+
+func topValuation(bidders []Bidder) float64 {
+	vals := make([]float64, 0, len(bidders))
+	for _, b := range bidders {
+		vals = append(vals, b.ValuationUSD)
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)-1]
+}

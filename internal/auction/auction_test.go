@@ -1,0 +1,146 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ensdropcatch/internal/ens"
+)
+
+const expiry = int64(1650000000)
+
+func TestDutchAuctionHighestValuationWins(t *testing.T) {
+	bidders := []Bidder{
+		{ID: "sniper", ValuationUSD: 50, ReactionDelay: time.Millisecond}, // fastest, cheap
+		{ID: "whale", ValuationUSD: 20000, ReactionDelay: time.Hour},      // richest, slow
+		{ID: "mid", ValuationUSD: 500, ReactionDelay: time.Minute},
+	}
+	out := DutchAuction(expiry, bidders)
+	if out.Winner == nil || out.Winner.ID != "whale" {
+		t.Fatalf("winner = %+v, want whale", out.Winner)
+	}
+	if out.PriceUSD <= 0 || out.PriceUSD > 20000 {
+		t.Errorf("price = %v", out.PriceUSD)
+	}
+	// The whale registers when the premium decays to their valuation.
+	if got := ens.PremiumUSDAt(expiry, out.At); got > 20000 {
+		t.Errorf("premium at win time = %v, above valuation", got)
+	}
+	// The mechanism really did override speed.
+	race := DropRace(expiry, bidders)
+	if race.Winner == nil || race.Winner.ID != "sniper" {
+		t.Fatalf("drop race winner = %+v, want sniper", race.Winner)
+	}
+	if race.PriceUSD != 0 {
+		t.Error("drop race should be free")
+	}
+}
+
+func TestDutchAuctionLowValuationsFallBackToRace(t *testing.T) {
+	// Everyone values the name below what the curve can express at
+	// 1-second granularity (premium at end-1s is ~0.0004 USD): nobody
+	// pays a premium, so the zero-premium instant is a pure drop race.
+	bidders := []Bidder{
+		{ID: "slow", ValuationUSD: 0.0002, ReactionDelay: time.Hour},
+		{ID: "fast", ValuationUSD: 0.0001, ReactionDelay: time.Second},
+	}
+	out := DutchAuction(expiry, bidders)
+	if out.Winner == nil || out.Winner.ID != "fast" {
+		t.Fatalf("winner = %+v, want fast (race fallback)", out.Winner)
+	}
+	if out.PriceUSD != 0 {
+		t.Errorf("price = %v, want 0", out.PriceUSD)
+	}
+	if out.At < ens.PremiumEndTime(expiry) {
+		t.Error("race fallback happened before the premium ended")
+	}
+}
+
+func TestAuctionEmptyAndZeroValuations(t *testing.T) {
+	if out := DutchAuction(expiry, nil); out.Winner != nil {
+		t.Error("no bidders produced a winner")
+	}
+	if out := DutchAuction(expiry, []Bidder{{ID: "x", ValuationUSD: 0}}); out.Winner != nil {
+		t.Error("zero valuation won")
+	}
+	if out := DropRace(expiry, nil); out.Winner != nil {
+		t.Error("empty race produced a winner")
+	}
+}
+
+func TestTimePremiumReachesMonotone(t *testing.T) {
+	release := ens.ReleaseTime(expiry)
+	end := ens.PremiumEndTime(expiry)
+	prev := release - 1
+	for _, target := range []float64{1e8, 1e6, 1e4, 100, 1} {
+		at := timePremiumReaches(expiry, target)
+		if at < release || at > end {
+			t.Fatalf("target %v: time %d outside auction window", target, at)
+		}
+		// Lower targets are reached later (the curve decays).
+		if at < prev {
+			t.Fatalf("lower target reached earlier: %v at %d before %d", target, at, prev)
+		}
+		if p := ens.PremiumUSDAt(expiry, at); p > target {
+			t.Errorf("premium %v at returned time exceeds target %v", p, target)
+		}
+		prev = at
+	}
+}
+
+func TestCompareMechanisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	expiries := make([]int64, n)
+	fields := make([][]Bidder, n)
+	for i := 0; i < n; i++ {
+		expiries[i] = expiry + int64(i)*86400
+		k := 2 + rng.Intn(4)
+		bidders := make([]Bidder, k)
+		for j := 0; j < k; j++ {
+			bidders[j] = Bidder{
+				ID:            "b",
+				ValuationUSD:  100 * rng.Float64() * float64(1+rng.Intn(100)),
+				ReactionDelay: time.Duration(rng.Intn(3600)) * time.Second,
+			}
+		}
+		fields[i] = bidders
+	}
+	eff := CompareMechanisms(expiries, fields)
+	if eff.Names != n {
+		t.Fatalf("names = %d", eff.Names)
+	}
+	// The auction must allocate to the highest valuation at least as often
+	// as the race (and, with independent speeds, strictly more).
+	if eff.AuctionToHighestValue <= eff.RaceToHighestValue {
+		t.Errorf("auction efficiency %d not above race efficiency %d",
+			eff.AuctionToHighestValue, eff.RaceToHighestValue)
+	}
+	if eff.AuctionRevenueUSD <= 0 {
+		t.Error("auction raised no revenue")
+	}
+}
+
+func TestQuickAuctionWinnerAffordsPrice(t *testing.T) {
+	f := func(vals [4]uint16, delays [4]uint8) bool {
+		bidders := make([]Bidder, 4)
+		for i := range bidders {
+			bidders[i] = Bidder{
+				ID:            string(rune('a' + i)),
+				ValuationUSD:  float64(vals[i]),
+				ReactionDelay: time.Duration(delays[i]) * time.Minute,
+			}
+		}
+		out := DutchAuction(expiry, bidders)
+		if out.Winner == nil {
+			return true
+		}
+		return out.PriceUSD <= out.Winner.ValuationUSD &&
+			out.At >= ens.ReleaseTime(expiry) && out.At <= ens.PremiumEndTime(expiry)+int64(255*time.Minute/time.Second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// Analyzer runs the paper's analyses over an assembled dataset. Construct
+// with NewAnalyzer; the population is classified once and shared.
+type Analyzer struct {
+	DS     *dataset.Dataset
+	Oracle *pricing.Oracle
+	Pop    *Population
+	// Seed drives control-group sampling (the paper samples 241,283
+	// control domains uniformly).
+	Seed int64
+
+	txIndexOnce sync.Once
+	txIndex     map[ethtypes.Hash]*dataset.Tx
+}
+
+// txByHash looks a crawled transaction up by hash (index built lazily).
+func (a *Analyzer) txByHash(h ethtypes.Hash) *dataset.Tx {
+	a.txIndexOnce.Do(func() {
+		a.txIndex = make(map[ethtypes.Hash]*dataset.Tx, len(a.DS.Txs))
+		for _, tx := range a.DS.Txs {
+			a.txIndex[tx.Hash] = tx
+		}
+	})
+	return a.txIndex[h]
+}
+
+// NewAnalyzer classifies the dataset's domain population.
+func NewAnalyzer(ds *dataset.Dataset, oracle *pricing.Oracle) *Analyzer {
+	return &Analyzer{DS: ds, Oracle: oracle, Pop: Classify(ds), Seed: 1}
+}
+
+// usdOf converts a transaction's value to USD at its day-of-transaction
+// close, the paper's conversion rule.
+func (a *Analyzer) usdOf(tx *dataset.Tx) float64 {
+	return a.Oracle.USD(tx.ValueEth(), tx.Timestamp)
+}
+
+// incomeOf computes the income profile of a tenure's owner: total USD,
+// unique senders, and transaction count within [registration, min(expiry,
+// window end)). Registration/renewal self-payments never appear because
+// they are outgoing.
+func (a *Analyzer) incomeOf(h *History, tenure int) (usd float64, senders int, txs int) {
+	t := h.Tenures[tenure]
+	end := t.Expiry
+	if end > a.DS.End {
+		end = a.DS.End
+	}
+	uniq := map[ethtypes.Address]bool{}
+	for _, tx := range a.DS.IncomingOf(t.LastOwner, t.RegisteredAt, end+1) {
+		usd += a.usdOf(tx)
+		uniq[tx.From] = true
+		txs++
+	}
+	return usd, len(uniq), txs
+}
+
+// DataCollectionStats summarizes §3's collection results.
+type DataCollectionStats struct {
+	Domains      int
+	Subdomains   int
+	Unrecovered  int     // names the subgraph cannot map back to plaintext
+	RecoveryRate float64 // fraction of names with recovered labels
+	Transactions int
+	Events       int
+}
+
+// CollectionStats reports the dataset assembly statistics.
+func (a *Analyzer) CollectionStats() DataCollectionStats {
+	events := 0
+	for _, d := range a.DS.Domains {
+		events += len(d.Events)
+	}
+	n := len(a.DS.Domains)
+	st := DataCollectionStats{
+		Domains:      n,
+		Subdomains:   len(a.DS.Subdomains),
+		Unrecovered:  a.Pop.Unrecovered,
+		Transactions: len(a.DS.Txs),
+		Events:       events,
+	}
+	if n > 0 {
+		st.RecoveryRate = 1 - float64(st.Unrecovered)/float64(n)
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// §4.4 closes with case studies (profittrailer.eth, spambot.eth,
+// cryptobuilders.eth): named domains whose transaction patterns make the
+// misdirection concrete. CaseStudies extracts the same kind of narrative
+// from a loss report.
+
+// CaseStudy is one narrated finding.
+type CaseStudy struct {
+	Finding *DomainFinding
+	// Narrative is a short paper-style description of what happened.
+	Narrative string
+}
+
+// CaseStudies returns up to n findings, largest suspected loss first,
+// each with a generated narrative.
+func (r *LossReport) CaseStudies(n int) []CaseStudy {
+	findings := append([]*DomainFinding(nil), r.Findings...)
+	sort.SliceStable(findings, func(i, j int) bool {
+		return findings[i].MisdirectedUSD() > findings[j].MisdirectedUSD()
+	})
+	if n > len(findings) {
+		n = len(findings)
+	}
+	out := make([]CaseStudy, 0, n)
+	for _, f := range findings[:n] {
+		out = append(out, CaseStudy{Finding: f, Narrative: narrate(f)})
+	}
+	return out
+}
+
+func narrate(f *DomainFinding) string {
+	name := f.Label + ".eth"
+	if f.Label == "" {
+		name = "a name known only by hash " + short(f.LabelHash.Hex())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "The domain %s underwent registration by two different owners. ", name)
+	fmt.Fprintf(&b, "After the first owner (%s) let it expire, %s re-registered it on %s for %.0f USD. ",
+		short(f.A1.Hex()), short(f.A2.Hex()), day(f.CatchAt), f.CostUSD)
+	for _, s := range f.Senders {
+		kind := "a non-custodial address"
+		if s.Kind == SenderCoinbase {
+			kind = "a Coinbase address"
+		}
+		fmt.Fprintf(&b, "Sender %s (%s) had initiated %d transaction(s) to the previous owner while they held the domain, then sent %d transaction(s) totalling %.0f USD to the new owner — and never again to the previous one. ",
+			short(s.Sender.Hex()), kind, s.TxsToA1, s.TxsToA2, s.USDToA2)
+	}
+	fmt.Fprintf(&b, "Suspected loss: %.0f USD.", f.MisdirectedUSD())
+	return b.String()
+}
+
+func short(hex string) string {
+	if len(hex) <= 12 {
+		return hex
+	}
+	return hex[:8] + "…" + hex[len(hex)-4:]
+}
+
+func day(ts int64) string { return time.Unix(ts, 0).UTC().Format("2006-01-02") }

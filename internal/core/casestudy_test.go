@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCaseStudiesFromUnitFixture(t *testing.T) {
+	f := newLossFixture()
+	c := sender("case-c1")
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a1, 3000, 2)
+	f.tx(c, f.a2, 10000, 3)
+	rep := f.analyze()
+
+	studies := rep.CaseStudies(5)
+	if len(studies) != 1 {
+		t.Fatalf("studies = %d", len(studies))
+	}
+	s := studies[0]
+	for _, want := range []string{"victim.eth", "two different owners", "non-custodial", "never again", "Suspected loss"} {
+		if !strings.Contains(s.Narrative, want) {
+			t.Errorf("narrative missing %q:\n%s", want, s.Narrative)
+		}
+	}
+}
+
+func TestCaseStudiesOrderedAndBounded(t *testing.T) {
+	_, an := setup(t)
+	rep := an.FinancialLosses()
+	studies := rep.CaseStudies(3)
+	if len(studies) == 0 {
+		t.Fatal("no case studies")
+	}
+	if len(studies) > 3 {
+		t.Fatalf("bound ignored: %d", len(studies))
+	}
+	for i := 1; i < len(studies); i++ {
+		if studies[i].Finding.MisdirectedUSD() > studies[i-1].Finding.MisdirectedUSD() {
+			t.Fatal("not ordered by loss")
+		}
+	}
+	// Asking for more than exists returns everything without panicking.
+	all := rep.CaseStudies(1 << 20)
+	if len(all) != len(rep.Findings) {
+		t.Errorf("all studies = %d, findings = %d", len(all), len(rep.Findings))
+	}
+}

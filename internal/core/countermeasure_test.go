@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountermeasureCoverage(t *testing.T) {
+	res, an := setup(t)
+	rep := an.EvaluateCountermeasure(res.ResolutionLog, 90*24*time.Hour)
+	if rep.Misdirected == 0 {
+		t.Fatal("no misdirections to evaluate")
+	}
+	t.Logf("countermeasure @90d: %d/%d misdirected warned (%.0f%% of %.0f USD); %d stale warned",
+		rep.Warned, rep.Misdirected, 100*rep.Coverage(), rep.MisdirectedUSD, rep.StaleWarned)
+
+	if rep.Warned > rep.Misdirected {
+		t.Error("warned exceeds misdirected")
+	}
+	if rep.Coverage() < 0 || rep.Coverage() > 1 {
+		t.Errorf("coverage %.2f out of range", rep.Coverage())
+	}
+	// A 90-day window should intercept a substantial share: misdirected
+	// payments cluster early in the new owner's tenure (senders pay on
+	// their usual cadence).
+	if rep.Coverage() < 0.15 {
+		t.Errorf("coverage %.2f implausibly low for a 90-day window", rep.Coverage())
+	}
+	// All stale resolutions warn (expired-name warning).
+	if rep.StaleWarned != rep.StaleResolutions {
+		t.Errorf("stale warned %d != stale %d", rep.StaleWarned, rep.StaleResolutions)
+	}
+}
+
+func TestCountermeasureMonotoneInWindow(t *testing.T) {
+	res, an := setup(t)
+	prev := -1.0
+	for _, days := range []int{7, 30, 90, 180, 365} {
+		rep := an.EvaluateCountermeasure(res.ResolutionLog, time.Duration(days)*24*time.Hour)
+		cov := rep.Coverage()
+		if cov < prev {
+			t.Errorf("coverage decreased at %dd window: %.3f < %.3f", days, cov, prev)
+		}
+		prev = cov
+	}
+	// An enormous window warns on every misdirection inside a tenure.
+	rep := an.EvaluateCountermeasure(res.ResolutionLog, 10*365*24*time.Hour)
+	if rep.Warned != rep.Misdirected {
+		t.Errorf("10y window warned %d of %d", rep.Warned, rep.Misdirected)
+	}
+}

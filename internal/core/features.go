@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ensdropcatch/internal/lexical"
+	"ensdropcatch/internal/stats"
+)
+
+// FeatureRow is one line of Table 1.
+type FeatureRow struct {
+	Feature string
+	// Numeric features report group means; categorical features report
+	// counts (with fractions in ReregFrac/ControlFrac).
+	Numeric      bool
+	ReregMean    float64
+	ControlMean  float64
+	ReregCount   int
+	ControlCount int
+	ReregFrac    float64
+	ControlFrac  float64
+	P            float64
+	Significant  bool
+	// PRank is the Mann-Whitney rank-test p-value for numeric features —
+	// a robustness companion to the t-test, since income is heavy-tailed
+	// and group means can be carried by a few whale wallets.
+	PRank float64
+}
+
+// Table1 is the paper's feature comparison plus the group income samples
+// (Figure 6 is the CDF of the two income columns).
+type Table1 struct {
+	Rows []FeatureRow
+	// ReregIncome / ControlIncome are the per-domain income samples.
+	ReregIncome   []float64
+	ControlIncome []float64
+	// GroupSize is the (equal) size of the two groups.
+	GroupSize int
+}
+
+// domainProfile carries the extracted per-domain features.
+type domainProfile struct {
+	income  float64
+	senders float64
+	txs     float64
+	feats   lexical.Features
+	labeled bool
+}
+
+func (a *Analyzer) profile(h *History, ana *lexical.Analyzer) domainProfile {
+	usd, senders, txs := a.incomeOf(h, 0)
+	p := domainProfile{income: usd, senders: float64(senders), txs: float64(txs)}
+	if h.Domain.Label != "" {
+		p.feats = ana.Analyze(h.Domain.Label)
+		p.labeled = true
+	}
+	return p
+}
+
+// SampleControl draws an equal-sized uniform control sample from the
+// expired-never-re-registered pool, as §4.3 does. It returns all of the
+// pool when it is smaller than the re-registered set.
+func (a *Analyzer) SampleControl() []*History {
+	pool := a.Pop.ExpiredNotRereg
+	want := len(a.Pop.Reregistered)
+	if want >= len(pool) {
+		return pool
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	perm := rng.Perm(len(pool))
+	out := make([]*History, want)
+	for i := 0; i < want; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+// FeatureComparison computes Table 1 over the re-registered group and a
+// control sample, running Welch t-tests on numerical features and
+// two-proportion z-tests on categorical ones (alpha = 0.05).
+func (a *Analyzer) FeatureComparison() (*Table1, error) {
+	ana := lexical.NewAnalyzer()
+	rereg := a.Pop.Reregistered
+	control := a.SampleControl()
+
+	rp := make([]domainProfile, len(rereg))
+	cp := make([]domainProfile, len(control))
+	for i, h := range rereg {
+		rp[i] = a.profile(h, ana)
+	}
+	for i, h := range control {
+		cp[i] = a.profile(h, ana)
+	}
+
+	t := &Table1{GroupSize: len(rereg)}
+	for _, p := range rp {
+		t.ReregIncome = append(t.ReregIncome, p.income)
+	}
+	for _, p := range cp {
+		t.ControlIncome = append(t.ControlIncome, p.income)
+	}
+
+	numeric := []struct {
+		name string
+		get  func(*domainProfile) float64
+	}{
+		{"average_income_USD", func(p *domainProfile) float64 { return p.income }},
+		{"average_num_unique_senders", func(p *domainProfile) float64 { return p.senders }},
+		{"average_num_transactions", func(p *domainProfile) float64 { return p.txs }},
+		{"average_length", func(p *domainProfile) float64 { return float64(p.feats.Length) }},
+	}
+	for _, nf := range numeric {
+		rvals := collect(rp, nf.get, nf.name == "average_length")
+		cvals := collect(cp, nf.get, nf.name == "average_length")
+		res, err := stats.WelchT(rvals, cvals)
+		if err != nil {
+			return nil, fmt.Errorf("core: t-test %s: %w", nf.name, err)
+		}
+		rank, err := stats.MannWhitneyU(rvals, cvals)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank test %s: %w", nf.name, err)
+		}
+		t.Rows = append(t.Rows, FeatureRow{
+			Feature: nf.name, Numeric: true,
+			ReregMean: stats.Mean(rvals), ControlMean: stats.Mean(cvals),
+			P: res.P, Significant: res.Significant(0.05),
+			PRank: rank.P,
+		})
+	}
+
+	categorical := []struct {
+		name string
+		get  func(lexical.Features) bool
+	}{
+		// Mixed alphanumeric only: Table 1 reports contains_digit (2.3%)
+		// below is_numeric (13.9%), so pure numerics are excluded.
+		{"contains_digit", func(f lexical.Features) bool { return f.ContainsDigit && !f.IsNumeric }},
+		{"is_numeric", func(f lexical.Features) bool { return f.IsNumeric }},
+		{"contains_dictionary_word", func(f lexical.Features) bool { return f.ContainsDictionaryWord }},
+		{"is_dictionary_word", func(f lexical.Features) bool { return f.IsDictionaryWord }},
+		{"contains_brand_name", func(f lexical.Features) bool { return f.ContainsBrandName }},
+		{"contains_adult_word", func(f lexical.Features) bool { return f.ContainsAdultWord }},
+		{"contains_hyphen", func(f lexical.Features) bool { return f.ContainsHyphen }},
+		{"contains_underscore", func(f lexical.Features) bool { return f.ContainsUnderscore }},
+	}
+	rLabeled, cLabeled := countLabeled(rp), countLabeled(cp)
+	for _, cf := range categorical {
+		rCount, cCount := 0, 0
+		for i := range rp {
+			if rp[i].labeled && cf.get(rp[i].feats) {
+				rCount++
+			}
+		}
+		for i := range cp {
+			if cp[i].labeled && cf.get(cp[i].feats) {
+				cCount++
+			}
+		}
+		res, err := stats.TwoProportionZ(rCount, rLabeled, cCount, cLabeled)
+		if err != nil {
+			return nil, fmt.Errorf("core: z-test %s: %w", cf.name, err)
+		}
+		t.Rows = append(t.Rows, FeatureRow{
+			Feature:    cf.name,
+			ReregCount: rCount, ControlCount: cCount,
+			ReregFrac:   frac(rCount, rLabeled),
+			ControlFrac: frac(cCount, cLabeled),
+			P:           res.P, Significant: res.Significant(0.05),
+		})
+	}
+	return t, nil
+}
+
+// collect extracts a numeric feature; lexical features only exist for
+// domains with recovered labels.
+func collect(ps []domainProfile, get func(*domainProfile) float64, needsLabel bool) []float64 {
+	out := make([]float64, 0, len(ps))
+	for i := range ps {
+		if needsLabel && !ps[i].labeled {
+			continue
+		}
+		out = append(out, get(&ps[i]))
+	}
+	return out
+}
+
+func countLabeled(ps []domainProfile) int {
+	n := 0
+	for i := range ps {
+		if ps[i].labeled {
+			n++
+		}
+	}
+	return n
+}
+
+func frac(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}
+
+// IncomeCDFs returns Figure 6's two curves.
+func (t *Table1) IncomeCDFs() (rereg, control []stats.CDFPoint) {
+	return stats.ECDF(t.ReregIncome), stats.ECDF(t.ControlIncome)
+}

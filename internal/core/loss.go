@@ -1,0 +1,404 @@
+package core
+
+import (
+	"sort"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ethtypes"
+)
+
+// SenderKind classifies a common sender c in the loss scenario.
+type SenderKind int
+
+// Sender classes (non-Coinbase custodial senders are filtered out before
+// classification).
+const (
+	SenderNonCustodial SenderKind = iota
+	SenderCoinbase
+)
+
+// SenderFinding is one (domain, sender) instance of the paper's scenario:
+// c paid a1 only while a1 held d, then paid a2 — and never a1 again —
+// once a2 held d.
+type SenderFinding struct {
+	Sender   ethtypes.Address
+	Kind     SenderKind
+	TxsToA1  int
+	TxsToA2  int
+	USDToA2  float64
+	TxHashes []ethtypes.Hash // the suspected misdirected transactions
+}
+
+// DomainFinding aggregates the scenario instances of one re-registration.
+type DomainFinding struct {
+	Label     string
+	LabelHash ethtypes.Hash
+	A1        ethtypes.Address
+	A2        ethtypes.Address
+	// CatchAt is a2's registration time; CostUSD what a2 paid (base +
+	// premium) converted at that day's close.
+	CatchAt int64
+	CostUSD float64
+	Senders []SenderFinding
+}
+
+// MisdirectedUSD totals the suspected losses on this domain.
+func (f *DomainFinding) MisdirectedUSD() float64 {
+	var usd float64
+	for _, s := range f.Senders {
+		usd += s.USDToA2
+	}
+	return usd
+}
+
+// MisdirectedTxs counts the suspected transactions.
+func (f *DomainFinding) MisdirectedTxs() int {
+	n := 0
+	for _, s := range f.Senders {
+		n += s.TxsToA2
+	}
+	return n
+}
+
+// LossReport is the output of the §4.4 analysis.
+type LossReport struct {
+	// Findings holds every domain with at least one scenario sender
+	// (Coinbase or non-custodial).
+	Findings []*DomainFinding
+	// DomainsNonCustodial / DomainsWithCoinbase are the paper's 484 /
+	// 940 headline counts.
+	DomainsNonCustodial int
+	DomainsWithCoinbase int
+	// Transactions / USD totals, split like §4.4.
+	TxsNonCustodial   int
+	USDNonCustodial   float64
+	TxsAll            int
+	USDAll            float64
+	UniqueSendersAll  int
+	UniqueSendersNonC int
+}
+
+// AvgUSDPerDomainAll returns the average misdirected USD per affected
+// domain over both sender classes.
+func (r *LossReport) AvgUSDPerDomainAll() float64 {
+	if r.DomainsWithCoinbase == 0 {
+		return 0
+	}
+	return r.USDAll / float64(r.DomainsWithCoinbase)
+}
+
+// AvgUSDPerDomainNonCustodial restricts the average to non-custodial
+// senders.
+func (r *LossReport) AvgUSDPerDomainNonCustodial() float64 {
+	if r.DomainsNonCustodial == 0 {
+		return 0
+	}
+	return r.USDNonCustodial / float64(r.DomainsNonCustodial)
+}
+
+// LossOptions selects which clauses of the conservative heuristic apply.
+// DefaultLossOptions is the paper's configuration; the ablation benchmarks
+// relax one clause at a time to measure how much each contributes to
+// precision.
+type LossOptions struct {
+	// RequireNoA1After drops senders who paid a1 again after the
+	// re-registration ("never again to a1").
+	RequireNoA1After bool
+	// RequireAllToA2InTenure drops senders with any payment to a2
+	// outside a2's tenure of the domain.
+	RequireAllToA2InTenure bool
+	// RequireNoPreTenure drops senders whose relationship with a1
+	// predates a1's registration of the domain.
+	RequireNoPreTenure bool
+	// FilterCustodial removes non-Coinbase custodial senders.
+	FilterCustodial bool
+}
+
+// DefaultLossOptions is the paper's conservative configuration.
+func DefaultLossOptions() LossOptions {
+	return LossOptions{
+		RequireNoA1After:       true,
+		RequireAllToA2InTenure: true,
+		RequireNoPreTenure:     true,
+		FilterCustodial:        true,
+	}
+}
+
+// FinancialLosses runs the conservative common-sender heuristic over every
+// owner-changing re-registration. Non-Coinbase custodial senders are
+// excluded up front (their address is shared by unrelated users); findings
+// are reported separately for non-custodial-only senders and for the
+// non-custodial + Coinbase union, exactly like the paper.
+func (a *Analyzer) FinancialLosses() *LossReport {
+	return a.FinancialLossesOpts(DefaultLossOptions())
+}
+
+// FinancialLossesOpts runs the heuristic with explicit clause selection.
+func (a *Analyzer) FinancialLossesOpts(opts LossOptions) *LossReport {
+	report := &LossReport{}
+	uniqAll := map[ethtypes.Address]bool{}
+	uniqNonC := map[ethtypes.Address]bool{}
+
+	for _, h := range a.Pop.Reregistered {
+		for _, j := range h.Reregistrations() {
+			f := a.analyzePair(h, j, opts)
+			if f == nil || len(f.Senders) == 0 {
+				continue
+			}
+			report.Findings = append(report.Findings, f)
+			hasNonC := false
+			for _, s := range f.Senders {
+				uniqAll[s.Sender] = true
+				report.TxsAll += s.TxsToA2
+				report.USDAll += s.USDToA2
+				if s.Kind == SenderNonCustodial {
+					hasNonC = true
+					uniqNonC[s.Sender] = true
+					report.TxsNonCustodial += s.TxsToA2
+					report.USDNonCustodial += s.USDToA2
+				}
+			}
+			report.DomainsWithCoinbase++
+			if hasNonC {
+				report.DomainsNonCustodial++
+			}
+		}
+	}
+	report.UniqueSendersAll = len(uniqAll)
+	report.UniqueSendersNonC = len(uniqNonC)
+	sort.Slice(report.Findings, func(i, j int) bool {
+		return report.Findings[i].LabelHash.Hex() < report.Findings[j].LabelHash.Hex()
+	})
+	return report
+}
+
+// analyzePair applies the scenario to the re-registration at tenure j.
+func (a *Analyzer) analyzePair(h *History, j int, opts LossOptions) *DomainFinding {
+	prev := &h.Tenures[j-1]
+	cur := &h.Tenures[j]
+	a1 := prev.LastOwner
+	a2 := cur.FirstOwner
+	if a1 == a2 || a1.IsZero() || a2.IsZero() {
+		return nil
+	}
+	catchAt := cur.RegisteredAt
+	a2End := h.TenureEnd(j, a.DS.End)
+
+	f := &DomainFinding{
+		Label:     h.Domain.Label,
+		LabelHash: h.Domain.LabelHash,
+		A1:        a1,
+		A2:        a2,
+		CatchAt:   catchAt,
+		CostUSD:   a.Oracle.USD(weiStringToEth(cur.CostWei), catchAt),
+	}
+
+	// Candidate senders: everyone who ever paid a1.
+	type senderStats struct {
+		toA1Before, toA1After int
+		toA1PreTenure         bool
+	}
+	cands := map[ethtypes.Address]*senderStats{}
+	for _, tx := range a.DS.TxsOf(a1) {
+		if tx.To != a1 || tx.Failed {
+			continue
+		}
+		c := tx.From
+		if c == a1 || c == a2 {
+			continue
+		}
+		st := cands[c]
+		if st == nil {
+			st = &senderStats{}
+			cands[c] = st
+		}
+		switch {
+		case tx.Timestamp < prev.RegisteredAt:
+			// c already paid a1 before a1 even held d: the relationship
+			// predates the domain, so payments are not attributable to it.
+			st.toA1PreTenure = true
+		case tx.Timestamp < catchAt:
+			st.toA1Before++
+		default:
+			st.toA1After++
+		}
+	}
+
+	senders := make([]ethtypes.Address, 0, len(cands))
+	for c := range cands {
+		senders = append(senders, c)
+	}
+	sort.Slice(senders, func(x, y int) bool { return lessAddr(senders[x], senders[y]) })
+
+	for _, c := range senders {
+		st := cands[c]
+		if st.toA1Before == 0 {
+			continue // c never paid a1 during the tenure
+		}
+		if opts.RequireNoPreTenure && st.toA1PreTenure {
+			continue // relationship predates the domain
+		}
+		if opts.RequireNoA1After && st.toA1After > 0 {
+			continue // violates "never again to a1"
+		}
+		if opts.FilterCustodial && a.DS.IsCustodial(c) {
+			continue // non-Coinbase custodial: unattributable senders
+		}
+		// c's payments to a2: all must fall inside a2's tenure of d.
+		var toA2 []*dataset.Tx
+		valid := true
+		for _, tx := range a.DS.TxsOf(c) {
+			if tx.To != a2 || tx.Failed {
+				continue
+			}
+			if tx.Timestamp < catchAt || tx.Timestamp >= a2End {
+				if opts.RequireAllToA2InTenure {
+					valid = false // c knows a2 outside the domain
+					break
+				}
+				continue
+			}
+			toA2 = append(toA2, tx)
+		}
+		if !valid || len(toA2) == 0 {
+			continue
+		}
+		finding := SenderFinding{
+			Sender:  c,
+			Kind:    SenderNonCustodial,
+			TxsToA1: st.toA1Before,
+			TxsToA2: len(toA2),
+		}
+		if a.DS.IsCoinbase(c) {
+			finding.Kind = SenderCoinbase
+		}
+		for _, tx := range toA2 {
+			finding.USDToA2 += a.usdOf(tx)
+			finding.TxHashes = append(finding.TxHashes, tx.Hash)
+		}
+		f.Senders = append(f.Senders, finding)
+	}
+	return f
+}
+
+func lessAddr(a, b ethtypes.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// HijackableFunds computes Figure 7: for every domain whose original
+// registration expired, the USD its previous owner's wallet kept receiving
+// between expiry and the re-registration (or the window end when never
+// re-registered) — money an attacker could have captured by registering
+// the name earlier. Only first tenures are considered: later tenures
+// belong to catcher wallets that pool income across many names, which
+// would conflate per-domain attribution.
+func (a *Analyzer) HijackableFunds() []float64 {
+	var out []float64
+	for _, h := range a.Pop.Histories {
+		if len(h.Tenures) == 0 {
+			continue
+		}
+		t := &h.Tenures[0]
+		if t.Expiry >= a.DS.End {
+			continue
+		}
+		var usd float64
+		for _, tx := range a.DS.IncomingOf(t.LastOwner, t.Expiry+1, h.TenureEnd(0, a.DS.End)) {
+			usd += a.usdOf(tx)
+		}
+		if usd > 0 {
+			out = append(out, usd)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// ScatterPoint is one (c, domain) pair of Figure 9/11: transactions from
+// the common sender to the previous vs the new owner.
+type ScatterPoint struct {
+	ToA1 int
+	ToA2 int
+	Kind SenderKind
+}
+
+// TxScatter returns Figure 9's points (both sender classes); filter on
+// Kind for Figure 11.
+func (r *LossReport) TxScatter() []ScatterPoint {
+	var out []ScatterPoint
+	for _, f := range r.Findings {
+		for _, s := range f.Senders {
+			out = append(out, ScatterPoint{ToA1: s.TxsToA1, ToA2: s.TxsToA2, Kind: s.Kind})
+		}
+	}
+	return out
+}
+
+// MisdirectedAmounts returns Figure 8's per-domain misdirected USD values.
+func (r *LossReport) MisdirectedAmounts() []float64 {
+	var out []float64
+	for _, f := range r.Findings {
+		out = append(out, f.MisdirectedUSD())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CatcherProfit aggregates Figure 10 per re-registering address: what the
+// address spent registering the affected names vs the income it attracted
+// from common senders.
+type CatcherProfit struct {
+	Address   ethtypes.Address
+	CostUSD   float64
+	IncomeUSD float64
+}
+
+// Profit returns income minus cost.
+func (p *CatcherProfit) Profit() float64 { return p.IncomeUSD - p.CostUSD }
+
+// ProfitReport is §4.4's profitability summary.
+type ProfitReport struct {
+	Catchers []CatcherProfit
+	// ProfitableFraction of catchers with positive profit (paper: 91%).
+	ProfitableFraction float64
+	// AvgProfitUSD across catchers (paper: ~4,700 USD).
+	AvgProfitUSD float64
+}
+
+// CatcherProfits computes Figure 10 over the addresses appearing as a2 in
+// the loss findings.
+func (r *LossReport) CatcherProfits() *ProfitReport {
+	byAddr := map[ethtypes.Address]*CatcherProfit{}
+	for _, f := range r.Findings {
+		p := byAddr[f.A2]
+		if p == nil {
+			p = &CatcherProfit{Address: f.A2}
+			byAddr[f.A2] = p
+		}
+		p.CostUSD += f.CostUSD
+		p.IncomeUSD += f.MisdirectedUSD()
+	}
+	rep := &ProfitReport{}
+	profitable := 0
+	var totalProfit float64
+	for _, p := range byAddr {
+		rep.Catchers = append(rep.Catchers, *p)
+		if p.Profit() > 0 {
+			profitable++
+		}
+		totalProfit += p.Profit()
+	}
+	sort.Slice(rep.Catchers, func(i, j int) bool {
+		return lessAddr(rep.Catchers[i].Address, rep.Catchers[j].Address)
+	})
+	if n := len(rep.Catchers); n > 0 {
+		rep.ProfitableFraction = float64(profitable) / float64(n)
+		rep.AvgProfitUSD = totalProfit / float64(n)
+	}
+	return rep
+}

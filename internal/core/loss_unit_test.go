@@ -1,0 +1,278 @@
+package core
+
+// Clause-by-clause unit tests for the conservative common-sender heuristic,
+// on a hand-built dataset where every transaction is placed deliberately —
+// no generator, no randomness.
+
+import (
+	"fmt"
+	"testing"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// lossFixture builds a dataset with one domain "victim" whose history is:
+//
+//	t=1000       a1 registers (expiry 5000)
+//	t=9000       a2 re-registers (expiry 20000), tenure end = window end
+//
+// Transactions are added per test.
+type lossFixture struct {
+	ds     *dataset.Dataset
+	a1, a2 ethtypes.Address
+	nextTx int
+}
+
+const (
+	fixtureStart = int64(0)
+	fixtureEnd   = int64(30000)
+	regA1        = int64(1000)
+	expiryA1     = int64(5000)
+	catchAt      = int64(9000)
+	expiryA2     = int64(20000)
+)
+
+func newLossFixture() *lossFixture {
+	f := &lossFixture{
+		ds: dataset.New(fixtureStart, fixtureEnd),
+		a1: ethtypes.DeriveAddress("unit-a1"),
+		a2: ethtypes.DeriveAddress("unit-a2"),
+	}
+	d := &dataset.Domain{LabelHash: ens.LabelHash("victim"), Label: "victim"}
+	d.Events = []dataset.Event{
+		{Type: dataset.EvRegistered, Registrant: f.a1, Timestamp: regA1, Expiry: expiryA1, CostWei: "5000000000000000000"},
+		{Type: dataset.EvRegistered, Registrant: f.a2, Timestamp: catchAt, Expiry: expiryA2, CostWei: "5000000000000000000"},
+	}
+	f.ds.Domains[d.LabelHash] = d
+	return f
+}
+
+// tx appends a transfer and returns its hash.
+func (f *lossFixture) tx(from, to ethtypes.Address, ts int64, eth float64) ethtypes.Hash {
+	f.nextTx++
+	h := ethtypes.HashData([]byte(fmt.Sprintf("unit-tx-%d", f.nextTx)))
+	f.ds.Txs = append(f.ds.Txs, &dataset.Tx{
+		Hash: h, Timestamp: ts, From: from, To: to,
+		ValueWei: fmt.Sprintf("%.0f", eth*1e18),
+	})
+	return h
+}
+
+func (f *lossFixture) analyze() *LossReport {
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	return an.FinancialLosses()
+}
+
+func sender(label string) ethtypes.Address { return ethtypes.DeriveAddress(label) }
+
+func TestLossUnitTextbookCase(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c1")
+	f.tx(c, f.a1, 2000, 1) // during a1's tenure
+	f.tx(c, f.a1, 3000, 1)
+	misdirected := f.tx(c, f.a2, 10000, 1) // during a2's tenure, never a1 again
+
+	rep := f.analyze()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d", len(rep.Findings))
+	}
+	fd := rep.Findings[0]
+	if fd.A1 != f.a1 || fd.A2 != f.a2 || len(fd.Senders) != 1 {
+		t.Fatalf("finding = %+v", fd)
+	}
+	s := fd.Senders[0]
+	if s.TxsToA1 != 2 || s.TxsToA2 != 1 || s.TxHashes[0] != misdirected {
+		t.Errorf("sender finding = %+v", s)
+	}
+	if s.Kind != SenderNonCustodial {
+		t.Error("kind should be non-custodial")
+	}
+}
+
+func TestLossUnitSenderPaysA1Again(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c2")
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a2, 10000, 1)
+	f.tx(c, f.a1, 11000, 1) // pays a1 AFTER the catch: disqualified
+
+	rep := f.analyze()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("split sender flagged: %+v", rep.Findings[0])
+	}
+	// Relaxing the clause readmits them.
+	opts := DefaultLossOptions()
+	opts.RequireNoA1After = false
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	if rep := an.FinancialLossesOpts(opts); len(rep.Findings) != 1 {
+		t.Errorf("relaxed clause found %d findings", len(rep.Findings))
+	}
+}
+
+func TestLossUnitPreTenureRelationship(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c3")
+	f.tx(c, f.a1, 500, 1) // BEFORE a1 registered the name
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a2, 10000, 1)
+
+	if rep := f.analyze(); len(rep.Findings) != 0 {
+		t.Fatal("pre-tenure sender flagged")
+	}
+	opts := DefaultLossOptions()
+	opts.RequireNoPreTenure = false
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	if rep := an.FinancialLossesOpts(opts); len(rep.Findings) != 1 {
+		t.Error("relaxed pre-tenure clause did not readmit the sender")
+	}
+}
+
+func TestLossUnitSenderKnowsA2Directly(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c4")
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a2, 7000, 1)  // pays a2 BEFORE a2 holds the name
+	f.tx(c, f.a2, 10000, 1) // and again during the tenure
+
+	if rep := f.analyze(); len(rep.Findings) != 0 {
+		t.Fatal("sender with prior a2 relationship flagged")
+	}
+	opts := DefaultLossOptions()
+	opts.RequireAllToA2InTenure = false
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	rep := an.FinancialLossesOpts(opts)
+	if len(rep.Findings) != 1 {
+		t.Fatal("relaxed tenure clause did not readmit")
+	}
+	// Only the in-tenure payment counts even when relaxed.
+	if rep.Findings[0].Senders[0].TxsToA2 != 1 {
+		t.Errorf("TxsToA2 = %d, want 1", rep.Findings[0].Senders[0].TxsToA2)
+	}
+}
+
+func TestLossUnitCustodialFilter(t *testing.T) {
+	f := newLossFixture()
+	exchange := sender("unit-exchange")
+	f.ds.OtherCustodial[exchange] = true
+	f.tx(exchange, f.a1, 2000, 1)
+	f.tx(exchange, f.a2, 10000, 1)
+
+	if rep := f.analyze(); len(rep.Findings) != 0 {
+		t.Fatal("custodial sender flagged")
+	}
+	opts := DefaultLossOptions()
+	opts.FilterCustodial = false
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	if rep := an.FinancialLossesOpts(opts); len(rep.Findings) != 1 {
+		t.Error("unfiltered custodial sender not found")
+	}
+}
+
+func TestLossUnitCoinbaseClassified(t *testing.T) {
+	f := newLossFixture()
+	cb := sender("unit-coinbase")
+	f.ds.Coinbase[cb] = true
+	f.tx(cb, f.a1, 2000, 1)
+	f.tx(cb, f.a2, 10000, 2)
+
+	rep := f.analyze()
+	if len(rep.Findings) != 1 || rep.Findings[0].Senders[0].Kind != SenderCoinbase {
+		t.Fatalf("coinbase classification: %+v", rep.Findings)
+	}
+	if rep.DomainsNonCustodial != 0 || rep.DomainsWithCoinbase != 1 {
+		t.Errorf("domain counts: nonC=%d all=%d", rep.DomainsNonCustodial, rep.DomainsWithCoinbase)
+	}
+	if rep.TxsNonCustodial != 0 || rep.TxsAll != 1 {
+		t.Errorf("tx counts: nonC=%d all=%d", rep.TxsNonCustodial, rep.TxsAll)
+	}
+}
+
+func TestLossUnitSenderNeverPaidA1(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c5")
+	f.tx(c, f.a2, 10000, 5) // a2's unrelated income
+
+	if rep := f.analyze(); len(rep.Findings) != 0 {
+		t.Fatal("unrelated a2 income flagged")
+	}
+}
+
+func TestLossUnitStaleWindowPaymentsCount(t *testing.T) {
+	// Payments to a1 between expiry and the catch are still "while a1
+	// held d" (the name kept resolving to a1) — the profittrailer.eth
+	// pattern from §4.4.
+	f := newLossFixture()
+	c := sender("unit-c6")
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a1, 6000, 1) // expired, pre-catch: still a1's window
+	f.tx(c, f.a2, 10000, 1)
+
+	rep := f.analyze()
+	if len(rep.Findings) != 1 {
+		t.Fatal("stale-window payments disqualified a textbook case")
+	}
+	if got := rep.Findings[0].Senders[0].TxsToA1; got != 2 {
+		t.Errorf("TxsToA1 = %d, want 2 (stale payment included)", got)
+	}
+}
+
+func TestLossUnitFailedTxIgnored(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c7")
+	f.tx(c, f.a1, 2000, 1)
+	h := f.tx(c, f.a2, 10000, 1)
+	for _, tx := range f.ds.Txs {
+		if tx.Hash == h {
+			tx.Failed = true
+		}
+	}
+	if rep := f.analyze(); len(rep.Findings) != 0 {
+		t.Fatal("failed transaction produced a finding")
+	}
+}
+
+func TestLossUnitHijackableWindow(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c8")
+	f.tx(c, f.a1, 2000, 1)  // tenure income: NOT hijackable
+	f.tx(c, f.a1, 6000, 2)  // expired, pre-catch: hijackable
+	f.tx(c, f.a1, 8000, 3)  // still pre-catch: hijackable
+	f.tx(c, f.a2, 25000, 9) // post-catch to a2: not a1's wallet
+
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+	funds := an.HijackableFunds()
+	if len(funds) != 1 {
+		t.Fatalf("hijackable domains = %d", len(funds))
+	}
+	oracle := pricing.NewOracleNoise(0)
+	want := oracle.USD(2, 6000) + oracle.USD(3, 8000)
+	if diff := funds[0] - want; diff > 1 || diff < -1 {
+		t.Errorf("hijackable = %.2f, want %.2f", funds[0], want)
+	}
+}
+
+func TestLossUnitCostFromEvent(t *testing.T) {
+	f := newLossFixture()
+	c := sender("unit-c9")
+	f.tx(c, f.a1, 2000, 1)
+	f.tx(c, f.a2, 10000, 1)
+	rep := f.analyze()
+	if len(rep.Findings) != 1 {
+		t.Fatal("no finding")
+	}
+	// Cost = 5 ETH at the catch-day close.
+	oracle := pricing.NewOracleNoise(0)
+	want := oracle.USD(5, catchAt)
+	if got := rep.Findings[0].CostUSD; got < want*0.9 || got > want*1.1 {
+		t.Errorf("cost = %.2f, want ~%.2f", got, want)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/stats"
+)
+
+// Survival analysis deepens Figure 3: instead of a histogram over caught
+// names only, estimate the probability an expired name remains unclaimed
+// t days after becoming available — correctly treating names whose
+// availability window ran into the end of the study as right-censored
+// rather than ignoring them. Splitting by prior-owner income shows the
+// §4.3 income effect as a time-to-catch gradient.
+
+// SurvivalReport holds time-to-catch survival curves.
+type SurvivalReport struct {
+	// All is the curve over every released name.
+	All []stats.SurvivalPoint
+	// ByIncomeTercile splits by the previous owner's income: [low, mid,
+	// high].
+	ByIncomeTercile [3][]stats.SurvivalPoint
+	// Released is the number of names that became publicly available in
+	// the window.
+	Released int
+	// Caught is the number of catch events among them.
+	Caught int
+}
+
+// CatchSurvival estimates the time-to-catch survival curves. Time zero is
+// the end of the grace period (when the name becomes purchasable); names
+// never caught are censored at the window end.
+func (a *Analyzer) CatchSurvival() *SurvivalReport {
+	type subject struct {
+		obs    stats.Observation
+		income float64
+	}
+	var subjects []subject
+	cutoff := a.DS.End
+
+	consider := func(h *History) {
+		// First tenure only: the original-owner expiry population.
+		if len(h.Tenures) == 0 {
+			return
+		}
+		t0 := &h.Tenures[0]
+		release := ens.ReleaseTime(t0.Expiry)
+		if t0.Expiry >= cutoff || release >= cutoff {
+			return // never became available inside the window
+		}
+		income, _, _ := a.incomeOf(h, 0)
+		s := subject{income: income}
+		if len(h.Tenures) > 1 {
+			catch := h.Tenures[1].RegisteredAt
+			s.obs = stats.Observation{Time: float64(catch-release) / 86400, Event: true}
+			if s.obs.Time < 0 {
+				return // same-owner renewal edge; not a release
+			}
+		} else {
+			s.obs = stats.Observation{Time: float64(cutoff-release) / 86400, Event: false}
+		}
+		subjects = append(subjects, s)
+	}
+	for _, h := range a.Pop.Reregistered {
+		consider(h)
+	}
+	for _, h := range a.Pop.ExpiredNotRereg {
+		consider(h)
+	}
+	for _, h := range a.Pop.SameOwnerRereg {
+		consider(h)
+	}
+
+	rep := &SurvivalReport{Released: len(subjects)}
+	all := make([]stats.Observation, 0, len(subjects))
+	for _, s := range subjects {
+		all = append(all, s.obs)
+		if s.obs.Event {
+			rep.Caught++
+		}
+	}
+	rep.All = stats.KaplanMeier(all)
+
+	// Income terciles.
+	incomes := make([]float64, 0, len(subjects))
+	for _, s := range subjects {
+		incomes = append(incomes, s.income)
+	}
+	sort.Float64s(incomes)
+	if len(incomes) >= 3 {
+		lo := incomes[len(incomes)/3]
+		hi := incomes[2*len(incomes)/3]
+		var groups [3][]stats.Observation
+		for _, s := range subjects {
+			switch {
+			case s.income <= lo:
+				groups[0] = append(groups[0], s.obs)
+			case s.income <= hi:
+				groups[1] = append(groups[1], s.obs)
+			default:
+				groups[2] = append(groups[2], s.obs)
+			}
+		}
+		for i, g := range groups {
+			rep.ByIncomeTercile[i] = stats.KaplanMeier(g)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/stats"
+)
+
+func TestCatchSurvivalBasics(t *testing.T) {
+	_, an := setup(t)
+	rep := an.CatchSurvival()
+	if rep.Released == 0 || rep.Caught == 0 {
+		t.Fatalf("degenerate: %+v", rep)
+	}
+	if rep.Caught > rep.Released {
+		t.Fatal("more catches than releases")
+	}
+	if len(rep.All) == 0 {
+		t.Fatal("empty curve")
+	}
+	// Survival at the window horizon must equal 1 - (eventual catch
+	// fraction among released) up to censoring effects: it must at least
+	// be below 1 and above 0.
+	tail := rep.All[len(rep.All)-1].Survival
+	if tail <= 0 || tail >= 1 {
+		t.Errorf("tail survival %v implausible", tail)
+	}
+	// The premium window (21 days) should show a visible early drop:
+	// survival at 40 days below survival at 5 days.
+	s5 := stats.SurvivalAt(rep.All, 5)
+	s40 := stats.SurvivalAt(rep.All, 40)
+	if s40 >= s5 {
+		t.Errorf("no early catch cluster: S(5)=%v S(40)=%v", s5, s40)
+	}
+}
+
+func TestCatchSurvivalIncomeGradient(t *testing.T) {
+	_, an := setup(t)
+	rep := an.CatchSurvival()
+	for i, g := range rep.ByIncomeTercile {
+		if len(g) == 0 {
+			t.Fatalf("tercile %d empty", i)
+		}
+	}
+	// High-income names are caught faster: at 90 days post-release their
+	// survival must be lowest, and the gradient monotone across terciles.
+	at := 90.0
+	low := stats.SurvivalAt(rep.ByIncomeTercile[0], at)
+	mid := stats.SurvivalAt(rep.ByIncomeTercile[1], at)
+	high := stats.SurvivalAt(rep.ByIncomeTercile[2], at)
+	t.Logf("S(90d): low=%.3f mid=%.3f high=%.3f", low, mid, high)
+	if !(high < mid && mid < low) {
+		t.Errorf("income gradient not monotone: %.3f / %.3f / %.3f", low, mid, high)
+	}
+}

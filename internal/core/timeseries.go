@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/stats"
+)
+
+// MonthlyPoint is one month of Figure 2's series.
+type MonthlyPoint struct {
+	Month           string // "2020-02"
+	Registrations   int
+	Expirations     int
+	Reregistrations int
+}
+
+// MonthlyEvents computes Figure 2: registrations, expirations, and
+// re-registrations per calendar month across the window.
+func (a *Analyzer) MonthlyEvents() []MonthlyPoint {
+	type counts struct{ reg, exp, rereg int }
+	byMonth := map[string]*counts{}
+	get := func(ts int64) *counts {
+		m := time.Unix(ts, 0).UTC().Format("2006-01")
+		c := byMonth[m]
+		if c == nil {
+			c = &counts{}
+			byMonth[m] = c
+		}
+		return c
+	}
+	cutoff := a.DS.End
+	for _, h := range a.Pop.Histories {
+		reregs := map[int]bool{}
+		for _, j := range h.Reregistrations() {
+			reregs[j] = true
+		}
+		for i, t := range h.Tenures {
+			if t.RegisteredAt < cutoff {
+				c := get(t.RegisteredAt)
+				c.reg++
+				if reregs[i] {
+					c.rereg++
+				}
+			}
+			if t.Expiry < cutoff {
+				get(t.Expiry).exp++
+			}
+		}
+	}
+	months := make([]string, 0, len(byMonth))
+	for m := range byMonth {
+		months = append(months, m)
+	}
+	sort.Strings(months)
+	out := make([]MonthlyPoint, 0, len(months))
+	for _, m := range months {
+		c := byMonth[m]
+		out = append(out, MonthlyPoint{Month: m, Registrations: c.reg, Expirations: c.exp, Reregistrations: c.rereg})
+	}
+	return out
+}
+
+// PeakMonthlyReregistrations returns the highest monthly re-registration
+// count (the paper reports 25,193 at full scale).
+func (a *Analyzer) PeakMonthlyReregistrations() (string, int) {
+	var bestMonth string
+	best := 0
+	for _, p := range a.MonthlyEvents() {
+		if p.Reregistrations > best {
+			best = p.Reregistrations
+			bestMonth = p.Month
+		}
+	}
+	return bestMonth, best
+}
+
+// ReregDelayStats is Figure 3 plus the premium-timing observations of
+// §4.1: how long after expiry names are re-registered and how the catches
+// cluster around the end of the premium auction.
+type ReregDelayStats struct {
+	// DelaysDays holds expiry -> re-registration delays in days, one per
+	// owner-changing re-registration.
+	DelaysDays []float64
+	// AtPremium counts catches during the auction at a positive premium.
+	AtPremium int
+	// SameDayAsPremiumEnd counts catches within 24h of the premium
+	// reaching zero.
+	SameDayAsPremiumEnd int
+	// ShortlyAfterPremiumEnd counts catches within 14 days of premium
+	// end (inclusive of the same-day spike).
+	ShortlyAfterPremiumEnd int
+	// Total is the number of re-registration events considered.
+	Total int
+}
+
+// ReregistrationDelays computes Figure 3.
+func (a *Analyzer) ReregistrationDelays() ReregDelayStats {
+	var st ReregDelayStats
+	for _, h := range a.Pop.Reregistered {
+		for _, j := range h.Reregistrations() {
+			prev := h.Tenures[j-1]
+			cur := h.Tenures[j]
+			st.Total++
+			st.DelaysDays = append(st.DelaysDays, float64(cur.RegisteredAt-prev.Expiry)/86400)
+			pe := h.PremiumEndOf(j - 1)
+			switch delta := cur.RegisteredAt - pe; {
+			case delta < 0:
+				st.AtPremium++
+			case delta < 86400:
+				st.SameDayAsPremiumEnd++
+				st.ShortlyAfterPremiumEnd++
+			case delta < 14*86400:
+				st.ShortlyAfterPremiumEnd++
+			}
+		}
+	}
+	sort.Float64s(st.DelaysDays)
+	return st
+}
+
+// PremiumPaidCount counts re-registrations that paid a positive premium
+// (the paper's 16,092), cross-checked against the registration event's
+// premium field rather than timing.
+func (a *Analyzer) PremiumPaidCount() int {
+	n := 0
+	for _, h := range a.Pop.Reregistered {
+		for _, j := range h.Reregistrations() {
+			if h.Tenures[j].PremiumPositive() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ReregFrequency computes Figure 4: how many domains were re-registered
+// exactly k times, for each k >= 1.
+func (a *Analyzer) ReregFrequency() map[int]int {
+	out := map[int]int{}
+	for _, h := range a.Pop.Reregistered {
+		out[len(h.Reregistrations())]++
+	}
+	return out
+}
+
+// ReregistrantActivity is Figure 5's data: how many expired names each
+// unique address re-registered.
+type ReregistrantActivity struct {
+	// PerAddress maps catcher address to its re-registration count.
+	PerAddress map[ethtypes.Address]int
+	// CDF is the empirical distribution of counts.
+	CDF []stats.CDFPoint
+	// MultipleCatchers counts addresses with more than one catch.
+	MultipleCatchers int
+	// Top lists the highest counts in descending order (up to 10).
+	Top []int
+}
+
+// ReregistrantCDF computes Figure 5.
+func (a *Analyzer) ReregistrantCDF() ReregistrantActivity {
+	act := ReregistrantActivity{PerAddress: map[ethtypes.Address]int{}}
+	for _, h := range a.Pop.Reregistered {
+		for _, j := range h.Reregistrations() {
+			act.PerAddress[h.Tenures[j].FirstOwner]++
+		}
+	}
+	counts := make([]float64, 0, len(act.PerAddress))
+	var all []int
+	for _, n := range act.PerAddress {
+		counts = append(counts, float64(n))
+		all = append(all, n)
+		if n > 1 {
+			act.MultipleCatchers++
+		}
+	}
+	act.CDF = stats.ECDF(counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	if len(all) > 10 {
+		all = all[:10]
+	}
+	act.Top = all
+	return act
+}

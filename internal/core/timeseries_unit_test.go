@@ -1,0 +1,143 @@
+package core
+
+// Hand-built unit tests for the time-series analyses, complementing the
+// generator-driven integration tests with exact expectations.
+
+import (
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+func ts(s string) int64 {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(err)
+	}
+	return t.Unix()
+}
+
+// tinyDataset: two domains.
+//
+//	"alpha": registered 2021-01-15 (expiry 2022-01-15), dropcaught
+//	         2022-06-01 by a2 (expiry 2023-06-01).
+//	"beta":  registered 2021-03-10, renewed once, expiry 2023-03-10,
+//	         never re-registered.
+func tinyDataset() (*dataset.Dataset, ethtypes.Address, ethtypes.Address) {
+	ds := dataset.New(ts("2020-01-01"), ts("2023-10-01"))
+	a1 := ethtypes.DeriveAddress("ts-a1")
+	a2 := ethtypes.DeriveAddress("ts-a2")
+	b1 := ethtypes.DeriveAddress("ts-b1")
+
+	alpha := &dataset.Domain{LabelHash: ens.LabelHash("alpha"), Label: "alpha"}
+	alpha.Events = []dataset.Event{
+		{Type: dataset.EvRegistered, Registrant: a1, Timestamp: ts("2021-01-15"), Expiry: ts("2022-01-15")},
+		{Type: dataset.EvRegistered, Registrant: a2, Timestamp: ts("2022-06-01"), Expiry: ts("2023-06-01"), PremiumWei: "1000"},
+	}
+	beta := &dataset.Domain{LabelHash: ens.LabelHash("beta"), Label: "beta"}
+	beta.Events = []dataset.Event{
+		{Type: dataset.EvRegistered, Registrant: b1, Timestamp: ts("2021-03-10"), Expiry: ts("2022-03-10")},
+		{Type: dataset.EvRenewed, Timestamp: ts("2022-03-01"), Expiry: ts("2023-03-10")},
+	}
+	ds.Domains[alpha.LabelHash] = alpha
+	ds.Domains[beta.LabelHash] = beta
+	ds.Reindex()
+	return ds, a1, a2
+}
+
+func tinyAnalyzer() *Analyzer {
+	ds, _, _ := tinyDataset()
+	return NewAnalyzer(ds, pricing.NewOracleNoise(0))
+}
+
+func TestMonthlyEventsExact(t *testing.T) {
+	an := tinyAnalyzer()
+	points := an.MonthlyEvents()
+	byMonth := map[string]MonthlyPoint{}
+	for _, p := range points {
+		byMonth[p.Month] = p
+	}
+	if p := byMonth["2021-01"]; p.Registrations != 1 || p.Reregistrations != 0 {
+		t.Errorf("2021-01 = %+v", p)
+	}
+	if p := byMonth["2021-03"]; p.Registrations != 1 {
+		t.Errorf("2021-03 = %+v", p)
+	}
+	// alpha's first expiry counts as an expiration in 2022-01.
+	if p := byMonth["2022-01"]; p.Expirations != 1 {
+		t.Errorf("2022-01 = %+v", p)
+	}
+	// alpha's catch is both a registration and a re-registration.
+	if p := byMonth["2022-06"]; p.Registrations != 1 || p.Reregistrations != 1 {
+		t.Errorf("2022-06 = %+v", p)
+	}
+	// beta's renewal pushed its expiry to 2023-03: one expiration there,
+	// none in 2022-03.
+	if p := byMonth["2022-03"]; p.Expirations != 0 {
+		t.Errorf("2022-03 = %+v", p)
+	}
+	if p := byMonth["2023-03"]; p.Expirations != 1 {
+		t.Errorf("2023-03 = %+v", p)
+	}
+	// alpha's second expiry (2023-06) also lands inside the window.
+	if p := byMonth["2023-06"]; p.Expirations != 1 {
+		t.Errorf("2023-06 = %+v", p)
+	}
+}
+
+func TestReregDelayExact(t *testing.T) {
+	an := tinyAnalyzer()
+	st := an.ReregistrationDelays()
+	if st.Total != 1 || len(st.DelaysDays) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantDays := float64(ts("2022-06-01")-ts("2022-01-15")) / 86400
+	if diff := st.DelaysDays[0] - wantDays; diff > 0.01 || diff < -0.01 {
+		t.Errorf("delay = %v, want %v", st.DelaysDays[0], wantDays)
+	}
+	// 2022-06-01 is 137 days after expiry: grace (90) + auction (21) end
+	// on day 111, so this catch is 26 days past premium end — not at
+	// premium by timing, but the event says a premium was paid; the
+	// PremiumPaidCount goes by the event.
+	if st.AtPremium != 0 {
+		t.Errorf("timing-based at-premium = %d, want 0", st.AtPremium)
+	}
+	if got := an.PremiumPaidCount(); got != 1 {
+		t.Errorf("event-based premium count = %d, want 1", got)
+	}
+}
+
+func TestReregistrantCDFExact(t *testing.T) {
+	an := tinyAnalyzer()
+	act := an.ReregistrantCDF()
+	if len(act.PerAddress) != 1 || act.MultipleCatchers != 0 {
+		t.Fatalf("activity = %+v", act)
+	}
+	if len(act.Top) != 1 || act.Top[0] != 1 {
+		t.Errorf("top = %v", act.Top)
+	}
+}
+
+func TestClassifyExact(t *testing.T) {
+	an := tinyAnalyzer()
+	if len(an.Pop.Reregistered) != 1 || an.Pop.Reregistered[0].Domain.Label != "alpha" {
+		t.Errorf("re-registered = %v", names(an.Pop.Reregistered))
+	}
+	// beta's last expiry (2023-03-10) precedes the window end: expired,
+	// never re-registered.
+	if len(an.Pop.ExpiredNotRereg) != 1 || an.Pop.ExpiredNotRereg[0].Domain.Label != "beta" {
+		t.Errorf("control pool = %v", names(an.Pop.ExpiredNotRereg))
+	}
+}
+
+func names(hs []*History) []string {
+	out := make([]string, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.Domain.Label)
+	}
+	return out
+}

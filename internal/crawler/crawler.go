@@ -1,0 +1,286 @@
+// Package crawler provides the generic machinery behind the paper's data
+// collection (Figure 1): token-bucket rate limiting, retry with exponential
+// backoff and jitter, bounded worker pools, and append-only checkpoints so
+// multi-hour crawls resume where they stopped. It is transport-agnostic:
+// the subgraph, Etherscan, and OpenSea clients plug into it.
+package crawler
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter. The zero value is invalid; use
+// NewLimiter. It is safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+	sleep  func(context.Context, time.Duration) error
+}
+
+// NewLimiter returns a limiter admitting rate events/second with the given
+// burst capacity.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		panic("crawler: non-positive rate")
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l := &Limiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}
+	l.last = l.now()
+	l.sleep = defaultSleep
+	return l
+}
+
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Wait blocks until a token is available or the context is cancelled.
+func (l *Limiter) Wait(ctx context.Context) error {
+	for {
+		l.mu.Lock()
+		now := l.now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		l.last = now
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+		if err := l.sleep(ctx, time.Duration(need*float64(time.Second))); err != nil {
+			return err
+		}
+	}
+}
+
+// RetryConfig controls Retry.
+type RetryConfig struct {
+	// Attempts is the maximum number of tries (>= 1).
+	Attempts int
+	// BaseDelay is the first backoff; each retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// Jitter in [0, 1] randomizes each delay by ±Jitter fraction.
+	Jitter float64
+	// RetryIf decides whether an error is transient; nil retries all.
+	RetryIf func(error) bool
+	// Sleep is injectable for tests.
+	Sleep func(context.Context, time.Duration) error
+	// Rand is the jitter source; nil uses a shared seeded source.
+	Rand *rand.Rand
+}
+
+// DefaultRetry is a sensible config for HTTP crawling.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{Attempts: 5, BaseDelay: 200 * time.Millisecond, MaxDelay: 10 * time.Second, Jitter: 0.2}
+}
+
+// ErrPermanent wraps errors that Retry must not retry.
+var ErrPermanent = errors.New("crawler: permanent error")
+
+// Permanent marks err as non-retryable.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrPermanent, err)
+}
+
+// Retry runs fn until it succeeds, exhausts cfg.Attempts, hits a permanent
+// error, or the context is cancelled.
+func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	delay := cfg.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrPermanent) {
+			return err
+		}
+		if cfg.RetryIf != nil && !cfg.RetryIf(err) {
+			return err
+		}
+		if attempt >= cfg.Attempts {
+			return fmt.Errorf("crawler: %d attempts exhausted: %w", attempt, err)
+		}
+		d := delay
+		if cfg.Jitter > 0 {
+			f := 1 + cfg.Jitter*(2*rng.Float64()-1)
+			d = time.Duration(float64(d) * f)
+		}
+		if err := sleep(ctx, d); err != nil {
+			return err
+		}
+		delay *= 2
+		if cfg.MaxDelay > 0 && delay > cfg.MaxDelay {
+			delay = cfg.MaxDelay
+		}
+	}
+}
+
+// ForEach processes items with the given concurrency. The first error
+// cancels outstanding work and is returned (joined with any other errors
+// observed before cancellation took effect).
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(context.Context, T) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan T)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, item); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, item := range items {
+		select {
+		case jobs <- item:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Checkpoint is an append-only set of completed item ids persisted to
+// disk, one id per line. Reopening a checkpoint resumes the crawl.
+type Checkpoint struct {
+	mu   sync.Mutex
+	done map[string]bool
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenCheckpoint loads (or creates) the checkpoint at path.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: open checkpoint: %w", err)
+	}
+	cp := &Checkpoint{done: make(map[string]bool), f: f}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			cp.done[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("crawler: read checkpoint: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("crawler: seek checkpoint: %w", err)
+	}
+	cp.w = bufio.NewWriter(f)
+	return cp, nil
+}
+
+// Done reports whether id was already processed.
+func (c *Checkpoint) Done(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done[id]
+}
+
+// Count returns the number of completed ids.
+func (c *Checkpoint) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Mark records id as processed and flushes it to disk.
+func (c *Checkpoint) Mark(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done[id] {
+		return nil
+	}
+	c.done[id] = true
+	if _, err := c.w.WriteString(id + "\n"); err != nil {
+		return fmt.Errorf("crawler: write checkpoint: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Close flushes and closes the underlying file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,364 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ensdropcatch/internal/crawler"
+	"ensdropcatch/internal/etherscan"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/opensea"
+	"ensdropcatch/internal/subgraph"
+)
+
+// RegistrationSource pages registration entities (the subgraph client, or
+// an in-process store adapter).
+type RegistrationSource interface {
+	PageAll(ctx context.Context, collection string, fields []string) ([]subgraph.Entity, error)
+}
+
+// TxSource lists transactions per address and serves the custodial labels
+// (the Etherscan client, or an in-process chain adapter).
+type TxSource interface {
+	TxList(ctx context.Context, addr ethtypes.Address) ([]etherscan.TxRecord, error)
+	FetchLabels(ctx context.Context) (etherscan.Labels, error)
+}
+
+// MarketSource serves marketplace events per token.
+type MarketSource interface {
+	EventsForToken(ctx context.Context, tokenID ethtypes.Hash) ([]opensea.Event, error)
+}
+
+// BuildOptions tunes the assembly.
+type BuildOptions struct {
+	// Start/End clamp the observation window; zero values keep the
+	// events' natural extent.
+	Start, End int64
+	// TxWorkers is the concurrency of the per-address transaction crawl.
+	TxWorkers int
+	// MarketWorkers is the concurrency of the marketplace crawl.
+	MarketWorkers int
+	// ResumeDir, when set, makes the transaction crawl resumable: results
+	// spool to this directory and completed addresses are checkpointed,
+	// so an interrupted crawl restarts where it stopped.
+	ResumeDir string
+	// Logger receives progress; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (o *BuildOptions) defaults() {
+	if o.TxWorkers <= 0 {
+		o.TxWorkers = 4
+	}
+	if o.MarketWorkers <= 0 {
+		o.MarketWorkers = 4
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// eventFields are the subgraph fields the assembly needs.
+var eventFields = []string{"type", "label", "labelName", "registrant", "newOwner", "expiryDate", "costWei", "premiumWei", "timestamp", "blockNumber", "txHash"}
+
+// Build assembles a Dataset from the three sources, reproducing the
+// paper's collection pipeline: registration history first, then the
+// transaction lists of every address that ever held a name, the custodial
+// labels, and marketplace events for names registered more than once.
+func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market MarketSource, opts BuildOptions) (*Dataset, error) {
+	opts.defaults()
+	ds := New(opts.Start, opts.End)
+
+	// 1. Registration event history.
+	rows, err := regs.PageAll(ctx, subgraph.ColEvents, eventFields)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: crawl registration events: %w", err)
+	}
+	opts.Logger.Info("dataset: registration events crawled", "events", len(rows))
+	for _, row := range rows {
+		if err := ds.addEventRow(row); err != nil {
+			return nil, fmt.Errorf("dataset: event row %q: %w", row.ID(), err)
+		}
+	}
+
+	// 1b. Subdomain records.
+	subRows, err := regs.PageAll(ctx, subgraph.ColSubdomains, []string{"parent", "name", "owner", "createdAt"})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: crawl subdomains: %w", err)
+	}
+	for _, row := range subRows {
+		node, err := ethtypes.ParseHash(row.ID())
+		if err != nil {
+			return nil, fmt.Errorf("dataset: subdomain id %q: %w", row.ID(), err)
+		}
+		parent, err := ethtypes.ParseHash(str(row, "parent"))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: subdomain parent: %w", err)
+		}
+		ds.Subdomains = append(ds.Subdomains, Subdomain{
+			Node:    node,
+			Parent:  parent,
+			Name:    str(row, "name"),
+			Owner:   str(row, "owner"),
+			Created: integer(row, "createdAt"),
+		})
+	}
+
+	// 2. Custodial labels.
+	labels, err := txs.FetchLabels(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: fetch labels: %w", err)
+	}
+	for _, s := range labels.Coinbase {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: coinbase label %q: %w", s, err)
+		}
+		ds.Coinbase[a] = true
+	}
+	for _, s := range labels.OtherCustodial {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: custodial label %q: %w", s, err)
+		}
+		ds.OtherCustodial[a] = true
+	}
+
+	// 3. Transaction lists for every registrant address.
+	addrSet := map[ethtypes.Address]bool{}
+	for _, d := range ds.Domains {
+		for _, e := range d.Events {
+			if !e.Registrant.IsZero() {
+				addrSet[e.Registrant] = true
+			}
+		}
+	}
+	addrs := make([]ethtypes.Address, 0, len(addrSet))
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
+
+	var mu sync.Mutex
+	if opts.ResumeDir != "" {
+		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds)
+	} else {
+		seen := map[ethtypes.Hash]bool{}
+		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {
+			records, err := txs.TxList(ctx, addr)
+			if err != nil {
+				return fmt.Errorf("txlist %s: %w", addr, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i := range records {
+				tx, err := fromRecord(&records[i])
+				if err != nil {
+					return err
+				}
+				if seen[tx.Hash] {
+					continue
+				}
+				seen[tx.Hash] = true
+				ds.Txs = append(ds.Txs, tx)
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: crawl transactions: %w", err)
+	}
+	opts.Logger.Info("dataset: transactions crawled", "addresses", len(addrs), "txs", len(ds.Txs))
+
+	// 4. Marketplace events for names with more than one registration.
+	var tokens []ethtypes.Hash
+	for lh, d := range ds.Domains {
+		if len(d.Registrations()) >= 2 {
+			tokens = append(tokens, lh)
+		}
+	}
+	sort.Slice(tokens, func(i, j int) bool { return lessHash(tokens[i], tokens[j]) })
+	err = crawler.ForEach(ctx, opts.MarketWorkers, tokens, func(ctx context.Context, token ethtypes.Hash) error {
+		events, err := market.EventsForToken(ctx, token)
+		if err != nil {
+			return fmt.Errorf("market %s: %w", token, err)
+		}
+		if len(events) == 0 {
+			return nil
+		}
+		converted := make([]MarketEvent, 0, len(events))
+		for _, e := range events {
+			converted = append(converted, MarketEvent{
+				Kind:      MarketEventKind(e.EventType),
+				TokenID:   token,
+				Seller:    e.Seller,
+				Buyer:     e.Buyer,
+				PriceUSD:  e.PriceUSD,
+				Timestamp: e.Timestamp,
+			})
+		}
+		mu.Lock()
+		ds.Market[token] = converted
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: crawl marketplace: %w", err)
+	}
+
+	ds.Reindex()
+	ds.inferWindow()
+	return ds, nil
+}
+
+// inferWindow fills an unspecified observation window from the data: the
+// earliest event/transaction timestamp and one past the latest.
+func (ds *Dataset) inferWindow() {
+	if ds.Start != 0 && ds.End != 0 {
+		return
+	}
+	var lo, hi int64
+	observe := func(ts int64) {
+		if ts == 0 {
+			return
+		}
+		if lo == 0 || ts < lo {
+			lo = ts
+		}
+		if ts > hi {
+			hi = ts
+		}
+	}
+	for _, d := range ds.Domains {
+		for _, e := range d.Events {
+			observe(e.Timestamp)
+		}
+	}
+	for _, tx := range ds.Txs {
+		observe(tx.Timestamp)
+	}
+	if ds.Start == 0 {
+		ds.Start = lo
+	}
+	if ds.End == 0 {
+		ds.End = hi + 1
+	}
+}
+
+func (ds *Dataset) addEventRow(row subgraph.Entity) error {
+	labelHex, _ := row["label"].(string)
+	lh, err := ethtypes.ParseHash(labelHex)
+	if err != nil {
+		return fmt.Errorf("bad label hash: %w", err)
+	}
+	d := ds.Domains[lh]
+	if d == nil {
+		d = &Domain{LabelHash: lh}
+		ds.Domains[lh] = d
+	}
+	if name, ok := row["labelName"].(string); ok && name != "" {
+		d.Label = name
+	}
+	ev := Event{Type: EventType(str(row, "type"))}
+	switch ev.Type {
+	case EvRegistered, EvRenewed, EvTransferred:
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	if s := str(row, "registrant"); s != "" {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return fmt.Errorf("bad registrant: %w", err)
+		}
+		ev.Registrant = a
+	}
+	if s := str(row, "newOwner"); s != "" {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return fmt.Errorf("bad newOwner: %w", err)
+		}
+		ev.Registrant = a
+	}
+	ev.Expiry = integer(row, "expiryDate")
+	ev.CostWei = str(row, "costWei")
+	ev.PremiumWei = str(row, "premiumWei")
+	ev.Timestamp = integer(row, "timestamp")
+	ev.Block = uint64(integer(row, "blockNumber"))
+	if s := str(row, "txHash"); s != "" {
+		h, err := ethtypes.ParseHash(s)
+		if err != nil {
+			return fmt.Errorf("bad txHash: %w", err)
+		}
+		ev.TxHash = h
+	}
+	d.Events = append(d.Events, ev)
+	return nil
+}
+
+func str(row subgraph.Entity, key string) string {
+	s, _ := row[key].(string)
+	return s
+}
+
+func integer(row subgraph.Entity, key string) int64 {
+	switch v := row[key].(type) {
+	case int64:
+		return v
+	case float64: // JSON round trip turns numbers into float64
+		return int64(v)
+	case string:
+		n, _ := strconv.ParseInt(v, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+func fromRecord(r *etherscan.TxRecord) (*Tx, error) {
+	h, err := ethtypes.ParseHash(r.Hash)
+	if err != nil {
+		return nil, fmt.Errorf("bad tx hash %q: %w", r.Hash, err)
+	}
+	from, err := ethtypes.ParseAddress(r.From)
+	if err != nil {
+		return nil, fmt.Errorf("bad from: %w", err)
+	}
+	to, err := ethtypes.ParseAddress(r.To)
+	if err != nil {
+		return nil, fmt.Errorf("bad to: %w", err)
+	}
+	block, _ := strconv.ParseUint(r.BlockNumber, 10, 64)
+	ts, _ := strconv.ParseInt(r.TimeStamp, 10, 64)
+	return &Tx{
+		Hash:      h,
+		Block:     block,
+		Timestamp: ts,
+		From:      from,
+		To:        to,
+		ValueWei:  r.Value,
+		Failed:    r.IsError == "1",
+		Method:    r.Method,
+	}, nil
+}
+
+func lessAddr(a, b ethtypes.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func lessHash(a, b ethtypes.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

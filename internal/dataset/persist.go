@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+// On-disk layout: a directory with meta.json, domains.jsonl,
+// transactions.jsonl, and market.jsonl. JSONL keeps multi-hundred-MB
+// datasets streamable and diff-friendly.
+const (
+	metaFile      = "meta.json"
+	domainsFile   = "domains.jsonl"
+	subdomainFile = "subdomains.jsonl"
+	txsFile       = "transactions.jsonl"
+	marketFile    = "market.jsonl"
+)
+
+type meta struct {
+	Start          int64    `json:"start"`
+	End            int64    `json:"end"`
+	Coinbase       []string `json:"coinbase"`
+	OtherCustodial []string `json:"otherCustodial"`
+	DomainCount    int      `json:"domainCount"`
+	TxCount        int      `json:"txCount"`
+}
+
+// Save writes the dataset to dir, creating it if needed.
+func (ds *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: mkdir: %w", err)
+	}
+	m := meta{Start: ds.Start, End: ds.End, DomainCount: len(ds.Domains), TxCount: len(ds.Txs)}
+	for a := range ds.Coinbase {
+		m.Coinbase = append(m.Coinbase, a.Hex())
+	}
+	for a := range ds.OtherCustodial {
+		m.OtherCustodial = append(m.OtherCustodial, a.Hex())
+	}
+	sort.Strings(m.Coinbase)
+	sort.Strings(m.OtherCustodial)
+	if err := writeJSON(filepath.Join(dir, metaFile), m); err != nil {
+		return err
+	}
+
+	domains := make([]*Domain, 0, len(ds.Domains))
+	for _, d := range ds.Domains {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i].LabelHash.Hex() < domains[j].LabelHash.Hex() })
+	if err := writeJSONL(filepath.Join(dir, domainsFile), domains); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, txsFile), ds.Txs); err != nil {
+		return err
+	}
+	subs := append([]Subdomain(nil), ds.Subdomains...)
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Node.Hex() < subs[j].Node.Hex() })
+	if err := writeJSONL(filepath.Join(dir, subdomainFile), subs); err != nil {
+		return err
+	}
+	var market []MarketEvent
+	for _, evs := range ds.Market {
+		market = append(market, evs...)
+	}
+	sort.Slice(market, func(i, j int) bool {
+		if market[i].Timestamp != market[j].Timestamp {
+			return market[i].Timestamp < market[j].Timestamp
+		}
+		return market[i].TokenID.Hex() < market[j].TokenID.Hex()
+	})
+	return writeJSONL(filepath.Join(dir, marketFile), market)
+}
+
+// Load reads a dataset previously written by Save and reindexes it.
+func Load(dir string) (*Dataset, error) {
+	var m meta
+	if err := readJSON(filepath.Join(dir, metaFile), &m); err != nil {
+		return nil, err
+	}
+	ds := New(m.Start, m.End)
+	for _, s := range m.Coinbase {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: meta coinbase %q: %w", s, err)
+		}
+		ds.Coinbase[a] = true
+	}
+	for _, s := range m.OtherCustodial {
+		a, err := ethtypes.ParseAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: meta custodial %q: %w", s, err)
+		}
+		ds.OtherCustodial[a] = true
+	}
+
+	if err := readJSONL(filepath.Join(dir, domainsFile), func(line []byte) error {
+		var d Domain
+		if err := json.Unmarshal(line, &d); err != nil {
+			return err
+		}
+		ds.Domains[d.LabelHash] = &d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readJSONL(filepath.Join(dir, txsFile), func(line []byte) error {
+		var tx Tx
+		if err := json.Unmarshal(line, &tx); err != nil {
+			return err
+		}
+		ds.Txs = append(ds.Txs, &tx)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readJSONL(filepath.Join(dir, subdomainFile), func(line []byte) error {
+		var sub Subdomain
+		if err := json.Unmarshal(line, &sub); err != nil {
+			return err
+		}
+		ds.Subdomains = append(ds.Subdomains, sub)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readJSONL(filepath.Join(dir, marketFile), func(line []byte) error {
+		var ev MarketEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		ds.Market[ev.TokenID] = append(ds.Market[ev.TokenID], ev)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ds.Reindex()
+	return ds, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("dataset: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSONL[T any](path string, items []T) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	for i := range items {
+		if err := enc.Encode(items[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("dataset: encode %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readJSONL(path string, fn func(line []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if err := fn(sc.Bytes()); err != nil {
+			return fmt.Errorf("dataset: %s line %d: %w", path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,226 @@
+// Package dataset assembles and stores the study dataset the paper builds
+// in §3: for every ENS name, its full registration event history from the
+// subgraph; for every relevant address, its transaction list from the
+// Etherscan API; the custodial address labels; and marketplace events for
+// re-registered names. The same assembly code runs against in-process
+// sources (fast, for benchmarks) or the HTTP substrates (exercising the
+// crawl pipeline end to end).
+package dataset
+
+import (
+	"sort"
+	"strings"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+// EventType enumerates registration event kinds.
+type EventType string
+
+// Registration event kinds (the subgraph's vocabulary).
+const (
+	EvRegistered  EventType = "NameRegistered"
+	EvRenewed     EventType = "NameRenewed"
+	EvTransferred EventType = "NameTransferred"
+)
+
+// Event is one registration event of a domain.
+type Event struct {
+	Type       EventType        `json:"type"`
+	Registrant ethtypes.Address `json:"registrant,omitempty"` // registered-by / transferred-to
+	Expiry     int64            `json:"expiry,omitempty"`
+	CostWei    string           `json:"costWei,omitempty"`
+	PremiumWei string           `json:"premiumWei,omitempty"`
+	Timestamp  int64            `json:"timestamp"`
+	Block      uint64           `json:"block"`
+	TxHash     ethtypes.Hash    `json:"txHash"`
+}
+
+// Domain is the assembled per-name record.
+type Domain struct {
+	LabelHash ethtypes.Hash `json:"labelHash"`
+	// Label is the plaintext label, or "" when the subgraph could not
+	// recover it (the paper's ~34K unrecoverable names).
+	Label  string  `json:"label,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Name returns "<label>.eth", or the label hash when unrecoverable.
+func (d *Domain) Name() string {
+	if d.Label == "" {
+		return d.LabelHash.Hex()
+	}
+	return d.Label + ".eth"
+}
+
+// Registrations returns only the NameRegistered events, in time order.
+func (d *Domain) Registrations() []Event {
+	var out []Event
+	for _, e := range d.Events {
+		if e.Type == EvRegistered {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FinalExpiry returns the expiry in force after the last event before
+// cutoff (renewals extend it), or 0 if the domain has no events by then.
+func (d *Domain) FinalExpiry(cutoff int64) int64 {
+	var expiry int64
+	for _, e := range d.Events {
+		if e.Timestamp >= cutoff {
+			break
+		}
+		if e.Expiry != 0 {
+			expiry = e.Expiry
+		}
+	}
+	return expiry
+}
+
+// Tx is one crawled blockchain transaction.
+type Tx struct {
+	Hash      ethtypes.Hash    `json:"hash"`
+	Block     uint64           `json:"block"`
+	Timestamp int64            `json:"timestamp"`
+	From      ethtypes.Address `json:"from"`
+	To        ethtypes.Address `json:"to"`
+	ValueWei  string           `json:"valueWei"`
+	Failed    bool             `json:"failed,omitempty"`
+	Method    string           `json:"method,omitempty"`
+}
+
+// ValueEth converts the wei string to a float64 amount of ether.
+func (t *Tx) ValueEth() float64 {
+	// Parse the decimal wei string without big.Int for speed; values fit
+	// comfortably in float64 precision needs of the analysis.
+	var v float64
+	for _, c := range t.ValueWei {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		v = v*10 + float64(c-'0')
+	}
+	return v / 1e18
+}
+
+// MarketEventKind enumerates marketplace event kinds.
+type MarketEventKind string
+
+// Marketplace event kinds.
+const (
+	MarketListing MarketEventKind = "listing"
+	MarketSale    MarketEventKind = "sale"
+)
+
+// MarketEvent is one OpenSea event for an ENS token.
+type MarketEvent struct {
+	Kind      MarketEventKind `json:"kind"`
+	TokenID   ethtypes.Hash   `json:"tokenId"`
+	Seller    string          `json:"seller"`
+	Buyer     string          `json:"buyer,omitempty"`
+	PriceUSD  float64         `json:"priceUsd"`
+	Timestamp int64           `json:"timestamp"`
+}
+
+// Subdomain is one registry subnode record (pay.gold.eth).
+type Subdomain struct {
+	Node    ethtypes.Hash `json:"node"`
+	Parent  ethtypes.Hash `json:"parent"`
+	Name    string        `json:"name,omitempty"` // "" when unrecoverable
+	Owner   string        `json:"owner"`
+	Created int64         `json:"created"`
+}
+
+// Dataset is the fully assembled study dataset.
+type Dataset struct {
+	// Window is the observation window [Start, End).
+	Start, End int64
+
+	// Domains by label hash.
+	Domains map[ethtypes.Hash]*Domain
+	// Subdomains collected alongside (the paper gathered 846,752).
+	Subdomains []Subdomain
+	// Txs is every crawled transaction, deduplicated, in chain order.
+	Txs []*Tx
+
+	// Coinbase and OtherCustodial are the labeled custodial senders.
+	Coinbase       map[ethtypes.Address]bool
+	OtherCustodial map[ethtypes.Address]bool
+
+	// Market holds marketplace events per token.
+	Market map[ethtypes.Hash][]MarketEvent
+
+	// Derived indexes (built by Reindex).
+	byLabel  map[string]ethtypes.Hash
+	txByAddr map[ethtypes.Address][]*Tx
+}
+
+// New returns an empty dataset for the given window.
+func New(start, end int64) *Dataset {
+	return &Dataset{
+		Start:          start,
+		End:            end,
+		Domains:        make(map[ethtypes.Hash]*Domain),
+		Coinbase:       make(map[ethtypes.Address]bool),
+		OtherCustodial: make(map[ethtypes.Address]bool),
+		Market:         make(map[ethtypes.Hash][]MarketEvent),
+	}
+}
+
+// Reindex rebuilds derived indexes after Domains/Txs mutate. It sorts each
+// domain's events and the global transaction list by timestamp.
+func (ds *Dataset) Reindex() {
+	ds.byLabel = make(map[string]ethtypes.Hash, len(ds.Domains))
+	for lh, d := range ds.Domains {
+		sort.SliceStable(d.Events, func(i, j int) bool { return d.Events[i].Timestamp < d.Events[j].Timestamp })
+		if d.Label != "" {
+			ds.byLabel[strings.ToLower(d.Label)] = lh
+		}
+	}
+	sort.SliceStable(ds.Txs, func(i, j int) bool { return ds.Txs[i].Timestamp < ds.Txs[j].Timestamp })
+	ds.txByAddr = make(map[ethtypes.Address][]*Tx)
+	for _, tx := range ds.Txs {
+		ds.txByAddr[tx.From] = append(ds.txByAddr[tx.From], tx)
+		if tx.To != tx.From {
+			ds.txByAddr[tx.To] = append(ds.txByAddr[tx.To], tx)
+		}
+	}
+}
+
+// ByLabel looks a domain up by its plaintext label.
+func (ds *Dataset) ByLabel(label string) (*Domain, bool) {
+	lh, ok := ds.byLabel[strings.ToLower(strings.TrimSuffix(label, ".eth"))]
+	if !ok {
+		return nil, false
+	}
+	return ds.Domains[lh], true
+}
+
+// TxsOf returns the transactions involving addr, in time order.
+func (ds *Dataset) TxsOf(addr ethtypes.Address) []*Tx {
+	return ds.txByAddr[addr]
+}
+
+// IncomingOf returns the transactions received by addr in [from, to).
+func (ds *Dataset) IncomingOf(addr ethtypes.Address, from, to int64) []*Tx {
+	var out []*Tx
+	for _, tx := range ds.txByAddr[addr] {
+		if tx.To == addr && tx.Timestamp >= from && tx.Timestamp < to && !tx.Failed {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// IsCustodial reports whether addr belongs to a non-Coinbase custodial
+// service (the class the loss analysis filters out).
+func (ds *Dataset) IsCustodial(addr ethtypes.Address) bool {
+	return ds.OtherCustodial[addr]
+}
+
+// IsCoinbase reports whether addr is a Coinbase hot wallet.
+func (ds *Dataset) IsCoinbase(addr ethtypes.Address) bool {
+	return ds.Coinbase[addr]
+}

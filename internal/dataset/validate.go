@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrNoDomains     = errors.New("dataset: no domains")
+	ErrBadEventOrder = errors.New("dataset: events out of order")
+	ErrOrphanEvent   = errors.New("dataset: event without registration")
+	ErrBadWindow     = errors.New("dataset: invalid observation window")
+	ErrBadTx         = errors.New("dataset: malformed transaction")
+)
+
+// Validate checks structural invariants the analysis pipeline relies on.
+// Load calls it implicitly is NOT done (crawled datasets may legitimately
+// contain oddities worth inspecting); tools call it explicitly and decide
+// how to handle violations. It returns all violations joined, or nil.
+func (ds *Dataset) Validate() error {
+	var errs []error
+	if len(ds.Domains) == 0 {
+		errs = append(errs, ErrNoDomains)
+	}
+	if ds.End <= ds.Start {
+		errs = append(errs, fmt.Errorf("%w: [%d, %d)", ErrBadWindow, ds.Start, ds.End))
+	}
+
+	for lh, d := range ds.Domains {
+		if d.LabelHash != lh {
+			errs = append(errs, fmt.Errorf("dataset: domain %s keyed under %s", d.LabelHash, lh))
+		}
+		var prevTS int64
+		registered := false
+		for i, e := range d.Events {
+			if e.Timestamp < prevTS {
+				errs = append(errs, fmt.Errorf("%w: %s event %d", ErrBadEventOrder, d.Name(), i))
+				break
+			}
+			prevTS = e.Timestamp
+			switch e.Type {
+			case EvRegistered:
+				registered = true
+				if e.Registrant.IsZero() {
+					errs = append(errs, fmt.Errorf("dataset: %s registration %d has no registrant", d.Name(), i))
+				}
+				if e.Expiry <= e.Timestamp {
+					errs = append(errs, fmt.Errorf("dataset: %s registration %d expiry %d before registration %d",
+						d.Name(), i, e.Expiry, e.Timestamp))
+				}
+			case EvRenewed, EvTransferred:
+				if !registered {
+					errs = append(errs, fmt.Errorf("%w: %s %s before any registration", ErrOrphanEvent, d.Name(), e.Type))
+				}
+			default:
+				errs = append(errs, fmt.Errorf("dataset: %s unknown event type %q", d.Name(), e.Type))
+			}
+		}
+		if !registered && len(d.Events) > 0 {
+			errs = append(errs, fmt.Errorf("%w: %s has events but no registration", ErrOrphanEvent, d.Name()))
+		}
+		if len(errs) > 50 {
+			errs = append(errs, errors.New("dataset: too many violations, truncated"))
+			break
+		}
+	}
+
+	for i, tx := range ds.Txs {
+		if tx.Hash.IsZero() || tx.Timestamp == 0 {
+			errs = append(errs, fmt.Errorf("%w: index %d", ErrBadTx, i))
+			break // one representative is enough; Txs can be huge
+		}
+	}
+	return errors.Join(errs...)
+}

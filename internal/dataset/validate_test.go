@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+)
+
+func TestValidateCleanDataset(t *testing.T) {
+	ds := sharedDataset(t)
+	if err := ds.Validate(); err != nil {
+		t.Errorf("generated dataset invalid: %v", err)
+	}
+}
+
+func TestValidateAfterReload(t *testing.T) {
+	ds := sharedDataset(t)
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("reloaded dataset invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	a1 := ethtypes.DeriveAddress("val-a1")
+
+	build := func(mutate func(*Dataset)) error {
+		ds := New(0, 1000)
+		lh := ens.LabelHash("valid")
+		ds.Domains[lh] = &Domain{
+			LabelHash: lh,
+			Label:     "valid",
+			Events: []Event{
+				{Type: EvRegistered, Registrant: a1, Timestamp: 10, Expiry: 500},
+			},
+		}
+		mutate(ds)
+		ds.Reindex()
+		return ds.Validate()
+	}
+
+	if err := build(func(*Dataset) {}); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+		want   error
+	}{
+		{"empty", func(ds *Dataset) { ds.Domains = map[ethtypes.Hash]*Domain{} }, ErrNoDomains},
+		{"window", func(ds *Dataset) { ds.End = ds.Start }, ErrBadWindow},
+		{"orphan renewal", func(ds *Dataset) {
+			lh := ens.LabelHash("orphan")
+			ds.Domains[lh] = &Domain{LabelHash: lh, Label: "orphan",
+				Events: []Event{{Type: EvRenewed, Timestamp: 20, Expiry: 600}}}
+		}, ErrOrphanEvent},
+		{"bad tx", func(ds *Dataset) {
+			ds.Txs = append(ds.Txs, &Tx{})
+		}, ErrBadTx},
+	}
+	for _, c := range cases {
+		err := build(c.mutate)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	// Events out of order survive Reindex only if equal timestamps hide
+	// regression; construct directly without Reindex-sorting by using
+	// Validate on a hand-ordered copy.
+	ds := New(0, 1000)
+	lh := ens.LabelHash("unordered")
+	ds.Domains[lh] = &Domain{LabelHash: lh, Label: "unordered",
+		Events: []Event{
+			{Type: EvRegistered, Registrant: a1, Timestamp: 100, Expiry: 900},
+			{Type: EvRenewed, Timestamp: 50, Expiry: 950},
+		}}
+	if err := ds.Validate(); !errors.Is(err, ErrBadEventOrder) {
+		t.Errorf("unordered events: %v", err)
+	}
+
+	// Registration with expiry before its own timestamp.
+	ds2 := New(0, 1000)
+	lh2 := ens.LabelHash("backwards")
+	ds2.Domains[lh2] = &Domain{LabelHash: lh2, Label: "backwards",
+		Events: []Event{{Type: EvRegistered, Registrant: a1, Timestamp: 500, Expiry: 100}}}
+	if err := ds2.Validate(); err == nil {
+		t.Error("backwards expiry accepted")
+	}
+}
+
+func TestValidateHTTPCrawledDataset(t *testing.T) {
+	// The remote-assembled dataset must satisfy the same invariants.
+	res := sharedWorld(t)
+	ds, err := FromWorld(context.Background(), res, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("FromWorld dataset invalid: %v", err)
+	}
+}

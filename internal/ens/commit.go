@@ -1,0 +1,86 @@
+package ens
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/keccak"
+)
+
+// The mainnet controller's commit-reveal scheme prevents front-running:
+// a registrant first publishes keccak256(label, owner, secret), waits at
+// least MinCommitmentAge, then registers within MaxCommitmentAge revealing
+// the preimage. Dropcatchers racing for a name at premium-end rely on this
+// to keep their target secret until the registration lands.
+const (
+	// MinCommitmentAge is the shortest time between commit and reveal.
+	MinCommitmentAge = 60 * time.Second
+	// MaxCommitmentAge is how long a commitment stays valid.
+	MaxCommitmentAge = 24 * time.Hour
+)
+
+// Commit-reveal errors.
+var (
+	ErrNoCommitment      = errors.New("ens: commitment not found")
+	ErrCommitmentTooNew  = errors.New("ens: commitment too new")
+	ErrCommitmentExpired = errors.New("ens: commitment expired")
+	ErrDuplicateCommit   = errors.New("ens: unexpired commitment exists")
+)
+
+// MakeCommitment computes the commitment hash for label/owner/secret.
+func MakeCommitment(label string, owner ethtypes.Address, secret ethtypes.Hash) ethtypes.Hash {
+	buf := make([]byte, 0, len(label)+ethtypes.AddressLength+ethtypes.HashLength)
+	buf = append(buf, label...)
+	buf = append(buf, owner[:]...)
+	buf = append(buf, secret[:]...)
+	return ethtypes.Hash(keccak.Sum256(buf))
+}
+
+// Commit records a registration commitment on-chain.
+func (s *Service) Commit(now int64, from ethtypes.Address, commitment ethtypes.Hash) (*chain.Receipt, error) {
+	return s.chain.Apply(now, from, s.ControllerAddr, ethtypes.Wei{}, commitment[:], "commit", func(ctx *chain.TxContext) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if at, ok := s.commitments[commitment]; ok {
+			if now-at < int64(MaxCommitmentAge/time.Second) {
+				return fmt.Errorf("%w: committed at %d", ErrDuplicateCommit, at)
+			}
+		}
+		s.commitments[commitment] = now
+		ctx.Emit("CommitmentMade", []ethtypes.Hash{commitment}, map[string]string{
+			"commitment": commitment.Hex(),
+		})
+		return nil
+	})
+}
+
+// RegisterWithCommitment registers label for owner, revealing the secret
+// committed earlier. The commitment must be older than MinCommitmentAge
+// and younger than MaxCommitmentAge. Pricing and availability semantics
+// are identical to Register.
+func (s *Service) RegisterWithCommitment(now int64, from, owner ethtypes.Address, label string, duration time.Duration, payment ethtypes.Wei, secret ethtypes.Hash) (*chain.Receipt, error) {
+	commitment := MakeCommitment(label, owner, secret)
+	s.mu.RLock()
+	committedAt, ok := s.commitments[commitment]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCommitment, commitment)
+	}
+	age := now - committedAt
+	if age < int64(MinCommitmentAge/time.Second) {
+		return nil, fmt.Errorf("%w: age %ds < %s", ErrCommitmentTooNew, age, MinCommitmentAge)
+	}
+	if age > int64(MaxCommitmentAge/time.Second) {
+		return nil, fmt.Errorf("%w: age %ds > %s", ErrCommitmentExpired, age, MaxCommitmentAge)
+	}
+	rcpt, err := s.Register(now, from, owner, label, duration, payment)
+	if err == nil && rcpt.Err == nil {
+		s.mu.Lock()
+		delete(s.commitments, commitment)
+		s.mu.Unlock()
+	}
+	return rcpt, err
+}

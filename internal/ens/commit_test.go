@@ -1,0 +1,162 @@
+package ens
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+func TestCommitRevealHappyPath(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "cr-alice", 1000)
+	secret := ethtypes.HashData([]byte("my-secret"))
+
+	commitment := MakeCommitment("gold", alice, secret)
+	if _, err := s.Commit(worldStart, alice, commitment); err != nil {
+		t.Fatal(err)
+	}
+	at := worldStart + int64(MinCommitmentAge/time.Second) + 1
+	rcpt, err := s.RegisterWithCommitment(at, alice, alice, "gold", Year, s.PriceWei("gold", Year, at), secret)
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("reveal failed: %v %v", err, rcpt)
+	}
+	owner, ok := s.OwnerOf("gold", at+1)
+	if !ok || owner != alice {
+		t.Errorf("owner = %s, %v", owner, ok)
+	}
+	// The consumed commitment cannot be replayed.
+	_, err = s.RegisterWithCommitment(at+100, alice, alice, "gold", Year, s.PriceWei("gold", Year, at), secret)
+	if !errors.Is(err, ErrNoCommitment) {
+		t.Errorf("replay err = %v", err)
+	}
+}
+
+func TestCommitRevealTiming(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "cr-timing", 1000)
+	secret := ethtypes.HashData([]byte("s"))
+	commitment := MakeCommitment("silverfox", alice, secret)
+	if _, err := s.Commit(worldStart, alice, commitment); err != nil {
+		t.Fatal(err)
+	}
+	// Too soon.
+	_, err := s.RegisterWithCommitment(worldStart+10, alice, alice, "silverfox", Year, ethtypes.Ether(1), secret)
+	if !errors.Is(err, ErrCommitmentTooNew) {
+		t.Errorf("early reveal err = %v", err)
+	}
+	// Too late.
+	late := worldStart + int64(MaxCommitmentAge/time.Second) + 10
+	_, err = s.RegisterWithCommitment(late, alice, alice, "silverfox", Year, ethtypes.Ether(1), secret)
+	if !errors.Is(err, ErrCommitmentExpired) {
+		t.Errorf("late reveal err = %v", err)
+	}
+}
+
+func TestCommitWrongSecretOrOwner(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "cr-a", 1000)
+	bob := fund(c, "cr-b", 1000)
+	secret := ethtypes.HashData([]byte("s1"))
+	if _, err := s.Commit(worldStart, alice, MakeCommitment("copper", alice, secret)); err != nil {
+		t.Fatal(err)
+	}
+	at := int64(worldStart + 120)
+	// Wrong secret: different commitment, not found.
+	if _, err := s.RegisterWithCommitment(at, alice, alice, "copper", Year, ethtypes.Ether(1), ethtypes.HashData([]byte("s2"))); !errors.Is(err, ErrNoCommitment) {
+		t.Errorf("wrong secret err = %v", err)
+	}
+	// Front-runner with the right label but their own owner cannot use
+	// alice's commitment.
+	if _, err := s.RegisterWithCommitment(at, bob, bob, "copper", Year, ethtypes.Ether(1), secret); !errors.Is(err, ErrNoCommitment) {
+		t.Errorf("front-run err = %v", err)
+	}
+}
+
+func TestDuplicateCommitmentRejected(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "cr-dup", 1000)
+	commitment := MakeCommitment("zinc", alice, ethtypes.HashData([]byte("s")))
+	if _, err := s.Commit(worldStart, alice, commitment); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := s.Commit(worldStart+60, alice, commitment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrDuplicateCommit) {
+		t.Errorf("duplicate commit revert = %v", rcpt.Err)
+	}
+	// After the old commitment expires it may be re-made.
+	later := worldStart + int64(MaxCommitmentAge/time.Second) + 100
+	rcpt, err = s.Commit(later, alice, commitment)
+	if err != nil || rcpt.Err != nil {
+		t.Errorf("re-commit after expiry: %v %v", err, rcpt)
+	}
+}
+
+func TestSubdomainLifecycle(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "sd-alice", 1000)
+	mallory := fund(c, "sd-mallory", 10)
+	payBot := ethtypes.DeriveAddress("sd-paybot")
+
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+
+	// Only the parent owner can create subdomains.
+	rcpt, err := s.CreateSubdomain(worldStart+10, mallory, "gold", "pay", mallory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrNotOwner) {
+		t.Errorf("non-owner subdomain revert = %v", rcpt.Err)
+	}
+
+	rcpt, err = s.CreateSubdomain(worldStart+20, alice, "gold", "pay", payBot)
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("create: %v %v", err, rcpt)
+	}
+	sub, ok := s.SubdomainOf("pay.gold")
+	if !ok || sub.Owner != payBot || sub.FullName != "pay.gold" {
+		t.Fatalf("subdomain = %+v, %v", sub, ok)
+	}
+	if s.SubdomainCount() != 1 {
+		t.Errorf("count = %d", s.SubdomainCount())
+	}
+
+	// The subdomain owner (not the parent owner) controls its records.
+	rcpt, err = s.SetSubdomainAddr(worldStart+30, alice, "pay.gold", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrNotOwner) {
+		t.Errorf("parent setting sub record revert = %v", rcpt.Err)
+	}
+	if _, err := s.SetSubdomainAddr(worldStart+40, payBot, "pay.gold", payBot); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Resolve("pay.gold")
+	if !ok || got != payBot {
+		t.Errorf("resolve pay.gold = %s, %v", got, ok)
+	}
+
+	// Invalid labels rejected.
+	if _, err := s.CreateSubdomain(worldStart+50, alice, "gold", "a.b", alice); !errors.Is(err, ErrInvalidLabel) {
+		t.Errorf("dotted sublabel err = %v", err)
+	}
+}
+
+func TestSubdomainRecordSurvivesParentExpiry(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "sd2-alice", 1000)
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+	s.CreateSubdomain(worldStart+10, alice, "gold", "vault", alice)
+	s.SetSubdomainAddr(worldStart+20, alice, "vault.gold", alice)
+
+	// Long after gold.eth expired, vault.gold.eth still resolves — more
+	// residual state, same hazard class as the paper's 2LD finding.
+	if got, ok := s.Resolve("vault.gold"); !ok || got != alice {
+		t.Errorf("stale subdomain resolution = %s, %v", got, ok)
+	}
+}

@@ -1,0 +1,415 @@
+package ens
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// worldStart is 2020-02-01T00:00:00Z, the start of the paper's window.
+const worldStart = 1580515200
+
+func newService(t *testing.T) (*Service, *chain.Chain) {
+	t.Helper()
+	c := chain.New(worldStart)
+	return Deploy(c, pricing.NewOracleNoise(0)), c
+}
+
+func fund(c *chain.Chain, label string, eth int64) ethtypes.Address {
+	a := ethtypes.DeriveAddress(label)
+	c.Mint(a, ethtypes.Ether(eth))
+	return a
+}
+
+func TestNamehashVectors(t *testing.T) {
+	// EIP-137 test vectors.
+	cases := []struct {
+		name, want string
+	}{
+		{"", "0x0000000000000000000000000000000000000000000000000000000000000000"},
+		{"eth", "0x93cdeb708b7545dc668eb9280176169d1c33cfd8ed6f04690a0bcc88a93fc4ae"},
+		{"foo.eth", "0xde9b09fd7c5f901e23a3f19fecc54828e9c848539801e86591bd9801b019f84f"},
+	}
+	for _, c := range cases {
+		if got := Namehash(c.name).Hex(); got != c.want {
+			t.Errorf("Namehash(%q) = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNamehashHierarchy(t *testing.T) {
+	// namehash("a.b.eth") must depend on all labels.
+	h1 := Namehash("a.b.eth")
+	h2 := Namehash("a.c.eth")
+	h3 := Namehash("b.eth")
+	if h1 == h2 || h1 == h3 {
+		t.Error("namehash collisions across distinct names")
+	}
+}
+
+func TestBaseRentTiers(t *testing.T) {
+	cases := []struct {
+		label string
+		want  float64
+	}{
+		{"abc", 640}, {"abcd", 160}, {"abcde", 5}, {"averylongname", 5},
+	}
+	for _, c := range cases {
+		if got := BaseRentUSDPerYear(c.label); got != c.want {
+			t.Errorf("BaseRentUSDPerYear(%q) = %v, want %v", c.label, got, c.want)
+		}
+	}
+}
+
+func TestPremiumDecay(t *testing.T) {
+	expiry := int64(worldStart)
+	release := ReleaseTime(expiry)
+
+	if got := PremiumUSDAt(expiry, release-1); got != 0 {
+		t.Errorf("premium before release = %v", got)
+	}
+	start := PremiumUSDAt(expiry, release)
+	if start < 99_000_000 || start > 100_000_000 {
+		t.Errorf("opening premium = %v, want ~100M", start)
+	}
+	day1 := PremiumUSDAt(expiry, release+86400)
+	if ratio := day1 / start; ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("premium halving off: day1/day0 = %v", ratio)
+	}
+	if got := PremiumUSDAt(expiry, PremiumEndTime(expiry)); got != 0 {
+		t.Errorf("premium at auction end = %v, want 0", got)
+	}
+	almostEnd := PremiumUSDAt(expiry, PremiumEndTime(expiry)-3600)
+	if almostEnd <= 0 || almostEnd > 50 {
+		t.Errorf("premium one hour before end = %v, want small positive", almostEnd)
+	}
+}
+
+func TestPremiumMonotoneDecreasing(t *testing.T) {
+	expiry := int64(worldStart)
+	release := ReleaseTime(expiry)
+	prev := PremiumUSDAt(expiry, release)
+	for h := int64(1); h <= 21*24; h++ {
+		cur := PremiumUSDAt(expiry, release+h*3600)
+		if cur > prev {
+			t.Fatalf("premium increased at hour %d: %v > %v", h, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRegisterLifecycle(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+
+	if !s.Available("gold", worldStart) {
+		t.Fatal("fresh name not available")
+	}
+	price := s.PriceWei("gold", Year, worldStart)
+	rcpt, err := s.Register(worldStart, alice, alice, "gold", Year, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Err != nil {
+		t.Fatalf("register reverted: %v", rcpt.Err)
+	}
+	if len(rcpt.Logs) != 1 || rcpt.Logs[0].Event != "NameRegistered" {
+		t.Fatalf("logs: %+v", rcpt.Logs)
+	}
+	if rcpt.Logs[0].Data["name"] != "gold" {
+		t.Error("event missing plaintext name")
+	}
+
+	owner, ok := s.OwnerOf("gold", worldStart+100)
+	if !ok || owner != alice {
+		t.Errorf("OwnerOf = %s, %v", owner, ok)
+	}
+	if s.Available("gold", worldStart+100) {
+		t.Error("registered name still available")
+	}
+
+	reg, _ := s.Registration("gold")
+	// Within grace: not available, no owner reported.
+	inGrace := reg.Expiry + 86400
+	if s.Available("gold", inGrace) {
+		t.Error("name available during grace period")
+	}
+	if _, ok := s.OwnerOf("gold", inGrace); ok {
+		t.Error("expired name reports an owner")
+	}
+	// After grace: available.
+	after := ReleaseTime(reg.Expiry) + 1
+	if !s.Available("gold", after) {
+		t.Error("name not available after grace")
+	}
+}
+
+func TestRegisterRefundsExcess(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	price := s.PriceWei("gold", Year, worldStart)
+	overpay := price.Add(ethtypes.Ether(5))
+	if _, err := s.Register(worldStart, alice, alice, "gold", Year, overpay); err != nil {
+		t.Fatal(err)
+	}
+	want := ethtypes.Ether(1000).Sub(price)
+	if got := c.BalanceOf(alice); got.Cmp(want) != 0 {
+		t.Errorf("alice balance %s, want %s", got, want)
+	}
+	if got := c.BalanceOf(s.ControllerAddr); got.Cmp(price) != 0 {
+		t.Errorf("controller treasury %s, want %s", got, price)
+	}
+}
+
+func TestRegisterUnderpaidReverts(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	rcpt, err := s.Register(worldStart, alice, alice, "gold", Year, ethtypes.NewWei(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrUnderpaid) {
+		t.Errorf("revert reason = %v", rcpt.Err)
+	}
+	if _, ok := s.Registration("gold"); ok {
+		t.Error("underpaid registration recorded")
+	}
+	if got := c.BalanceOf(alice); got.Cmp(ethtypes.Ether(1000)) != 0 {
+		t.Errorf("alice balance %s after revert", got)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 10)
+	if _, err := s.Register(worldStart, alice, alice, "ab", Year, ethtypes.Ether(1)); !errors.Is(err, ErrInvalidLabel) {
+		t.Errorf("short label err = %v", err)
+	}
+	if _, err := s.Register(worldStart, alice, alice, "abcde", time.Hour, ethtypes.Ether(1)); !errors.Is(err, ErrDurationTooLow) {
+		t.Errorf("short duration err = %v", err)
+	}
+}
+
+func TestReRegistrationRequiresPremium(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	bob := fund(c, "bob", 100000)
+
+	price := s.PriceWei("gold", Year, worldStart)
+	if _, err := s.Register(worldStart, alice, alice, "gold", Year, price); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := s.Registration("gold")
+	release := ReleaseTime(reg.Expiry)
+
+	// During the grace period a third party cannot register.
+	rcpt, err := s.Register(release-86400, bob, bob, "gold", Year, ethtypes.Ether(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrUnavailable) {
+		t.Errorf("grace-period registration revert = %v", rcpt.Err)
+	}
+
+	// Right at release + 1 hour, the premium is still enormous.
+	at := release + 3600
+	usd := s.PriceUSD("gold", Year, at)
+	if usd < 90_000_000 {
+		t.Errorf("price shortly after release = %v USD, want ~100M", usd)
+	}
+
+	// After the premium window it is just base rent ("gold" is 4 chars ->
+	// the $160/yr tier).
+	at = PremiumEndTime(reg.Expiry) + 1
+	usd = s.PriceUSD("gold", Year, at)
+	if usd != BaseRentUSDPerYear("gold") {
+		t.Errorf("price after premium window = %v USD, want %v", usd, BaseRentUSDPerYear("gold"))
+	}
+	p := s.PriceWei("gold", Year, at)
+	rcpt, err = s.Register(at, bob, bob, "gold", Year, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Err != nil {
+		t.Fatalf("re-registration reverted: %v", rcpt.Err)
+	}
+	owner, ok := s.OwnerOf("gold", at+1)
+	if !ok || owner != bob {
+		t.Errorf("new owner = %s, %v", owner, ok)
+	}
+}
+
+func TestRenewExtendsExpiry(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+	before, _ := s.Registration("gold")
+
+	at := before.Expiry - 86400
+	rcpt, err := s.Renew(at, alice, "gold", Year, s.PriceWei("gold", Year, at))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Err != nil {
+		t.Fatalf("renew reverted: %v", rcpt.Err)
+	}
+	after, _ := s.Registration("gold")
+	if after.Expiry != before.Expiry+int64(Year/time.Second) {
+		t.Errorf("expiry %d, want %d", after.Expiry, before.Expiry+int64(Year/time.Second))
+	}
+}
+
+func TestRenewDuringGraceAllowedAfterGraceRejected(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+	reg, _ := s.Registration("gold")
+
+	inGrace := reg.Expiry + 86400
+	rcpt, err := s.Renew(inGrace, alice, "gold", Year, s.PriceWei("gold", Year, inGrace))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("grace renew failed: %v %v", err, rcpt)
+	}
+
+	reg2, _ := s.Registration("gold")
+	past := ReleaseTime(reg2.Expiry) + 10
+	rcpt, err = s.Renew(past, alice, "gold", Year, ethtypes.Ether(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrPastGracePeriod) {
+		t.Errorf("post-grace renew revert = %v", rcpt.Err)
+	}
+}
+
+func TestTransferName(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	bob := fund(c, "bob", 10)
+	mallory := fund(c, "mallory", 10)
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+
+	rcpt, err := s.TransferName(worldStart+100, mallory, "gold", mallory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrNotOwner) {
+		t.Errorf("non-owner transfer revert = %v", rcpt.Err)
+	}
+
+	rcpt, err = s.TransferName(worldStart+200, alice, "gold", bob)
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("transfer failed: %v %v", err, rcpt)
+	}
+	owner, _ := s.OwnerOf("gold", worldStart+300)
+	if owner != bob {
+		t.Errorf("owner after transfer = %s", owner)
+	}
+}
+
+func TestResolverPersistsAfterExpiry(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	wallet := ethtypes.DeriveAddress("alice-wallet")
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+	if _, err := s.SetAddr(worldStart+100, alice, "gold", wallet); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s.Resolve("gold")
+	if !ok || got != wallet {
+		t.Fatalf("Resolve = %s, %v", got, ok)
+	}
+
+	// Long after expiry and grace, the record still resolves — the paper's
+	// central hazard.
+	reg, _ := s.Registration("gold")
+	_ = reg
+	got, ok = s.Resolve("gold")
+	if !ok || got != wallet {
+		t.Error("resolver record lost after expiry")
+	}
+}
+
+func TestSetAddrOnlyOwner(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	mallory := fund(c, "mallory", 10)
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+
+	rcpt, err := s.SetAddr(worldStart+50, mallory, "gold", mallory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrNotOwner) {
+		t.Errorf("non-owner setAddr revert = %v", rcpt.Err)
+	}
+	// Expired owner cannot change records either (ownerOf gate).
+	reg, _ := s.Registration("gold")
+	rcpt, err = s.SetAddr(reg.Expiry+10, alice, "gold", alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rcpt.Err, ErrNotOwner) {
+		t.Errorf("expired setAddr revert = %v", rcpt.Err)
+	}
+}
+
+func TestNewOwnerOverwritesResolution(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	bob := fund(c, "bob", 1000)
+	walletA := ethtypes.DeriveAddress("wallet-a")
+	walletB := ethtypes.DeriveAddress("wallet-b")
+
+	s.Register(worldStart, alice, alice, "gold", Year, s.PriceWei("gold", Year, worldStart))
+	s.SetAddr(worldStart+10, alice, "gold", walletA)
+	reg, _ := s.Registration("gold")
+
+	at := PremiumEndTime(reg.Expiry) + 10
+	rcpt, err := s.Register(at, bob, bob, "gold", Year, s.PriceWei("gold", Year, at))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("re-register: %v %v", err, rcpt)
+	}
+	// Until bob sets a record, the name still resolves to alice's wallet.
+	if got, _ := s.Resolve("gold"); got != walletA {
+		t.Errorf("stale resolution = %s, want %s", got, walletA)
+	}
+	s.SetAddr(at+10, bob, "gold", walletB)
+	if got, _ := s.Resolve("gold"); got != walletB {
+		t.Errorf("post-overwrite resolution = %s, want %s", got, walletB)
+	}
+}
+
+func TestRegisterUnindexedHidesName(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "alice", 1000)
+	rcpt, err := s.RegisterUnindexed(worldStart, alice, alice, "hidden", Year, s.PriceWei("hidden", Year, worldStart))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("register: %v %v", err, rcpt)
+	}
+	if _, ok := rcpt.Logs[0].Data["name"]; ok {
+		t.Error("unindexed registration leaked plaintext name")
+	}
+	reg, _ := s.Registration("hidden")
+	if !reg.Unindexed {
+		t.Error("registration not marked unindexed")
+	}
+}
+
+func TestQuickPremiumBounds(t *testing.T) {
+	f := func(offsetHours uint16) bool {
+		expiry := int64(worldStart)
+		at := ReleaseTime(expiry) + int64(offsetHours)*3600
+		p := PremiumUSDAt(expiry, at)
+		return p >= 0 && p <= PremiumStartUSD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package ens implements the Ethereum Name Service contract suite on top of
+// the simulated chain: the registry, the .eth base registrar (NFT ownership
+// with expiry and the 90-day grace period), the registrar controller
+// (rent pricing plus the 21-day Dutch-auction temporary premium), and the
+// public resolver whose address records persist after expiry — the design
+// decision at the center of the paper's financial-loss analysis.
+package ens
+
+import (
+	"strings"
+
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/keccak"
+)
+
+// Namehash computes the ENS namehash of a dot-separated name, as specified
+// by EIP-137: namehash("") is the zero hash and
+// namehash(label + "." + rest) = keccak256(namehash(rest) || labelhash(label)).
+// Names are stored on-chain only as these hashes, which is why building a
+// complete domain list from the raw chain is hard (the problem the ENS
+// subgraph — and our subgraph substrate — solves).
+func Namehash(name string) ethtypes.Hash {
+	var node ethtypes.Hash
+	if name == "" {
+		return node
+	}
+	labels := strings.Split(name, ".")
+	for i := len(labels) - 1; i >= 0; i-- {
+		lh := LabelHash(labels[i])
+		var buf [64]byte
+		copy(buf[:32], node[:])
+		copy(buf[32:], lh[:])
+		node = ethtypes.Hash(keccak.Sum256(buf[:]))
+	}
+	return node
+}
+
+// LabelHash returns keccak256 of a single label ("gold" in "gold.eth").
+// It doubles as the ERC-721 token ID of a .eth second-level name.
+func LabelHash(label string) ethtypes.Hash {
+	return ethtypes.HashData([]byte(label))
+}
+
+// ETHNode is the namehash of the "eth" TLD.
+var ETHNode = Namehash("eth")
+
+// NodeFromLabelHash computes the namehash of "<label>.eth" given only the
+// label hash — how indexers derive the domain node for names whose
+// plaintext label is unknown.
+func NodeFromLabelHash(lh ethtypes.Hash) ethtypes.Hash {
+	var buf [64]byte
+	copy(buf[:32], ETHNode[:])
+	copy(buf[32:], lh[:])
+	return ethtypes.Hash(keccak.Sum256(buf[:]))
+}

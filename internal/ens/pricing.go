@@ -1,0 +1,79 @@
+package ens
+
+import (
+	"math"
+	"time"
+)
+
+// Registrar timing constants (mainnet values).
+const (
+	// GracePeriod is how long after expiry the previous registrant can
+	// still renew before the name becomes publicly available.
+	GracePeriod = 90 * 24 * time.Hour
+
+	// PremiumPeriod is the length of the Dutch auction after the grace
+	// period ends, during which re-registration costs a decaying premium.
+	PremiumPeriod = 21 * 24 * time.Hour
+
+	// PremiumStartUSD is the opening premium of the Dutch auction.
+	PremiumStartUSD = 100_000_000
+
+	// MinRegistrationDuration is the shortest allowed registration.
+	MinRegistrationDuration = 28 * 24 * time.Hour
+
+	// Year is the registration pricing unit.
+	Year = 365 * 24 * time.Hour
+)
+
+// BaseRentUSDPerYear returns the annual base rent in USD for a label, using
+// the mainnet controller's length-tiered prices: 3-character names cost
+// $640/yr, 4-character $160/yr, and 5+ characters $5/yr.
+func BaseRentUSDPerYear(label string) float64 {
+	switch n := len([]rune(label)); {
+	case n <= 3:
+		return 640
+	case n == 4:
+		return 160
+	default:
+		return 5
+	}
+}
+
+// PremiumUSDAt returns the temporary-premium component, in USD, for a name
+// whose previous registration expired at expiry, evaluated at time now.
+// Before the grace period ends the name is not purchasable and the premium
+// is +Inf conceptually; this function returns 0 there because callers gate
+// on availability first. During the 21-day auction the premium starts at
+// PremiumStartUSD and halves every 24 hours, offset so it reaches exactly
+// zero at the end of the window (the mainnet ExponentialPremiumPriceOracle).
+func PremiumUSDAt(expiry int64, now int64) float64 {
+	releaseTime := expiry + int64(GracePeriod/time.Second)
+	elapsed := now - releaseTime
+	if elapsed < 0 {
+		return 0
+	}
+	window := int64(PremiumPeriod / time.Second)
+	if elapsed >= window {
+		return 0
+	}
+	days := float64(elapsed) / 86400.0
+	totalDays := float64(window) / 86400.0
+	endValue := PremiumStartUSD * math.Pow(0.5, totalDays)
+	p := PremiumStartUSD*math.Pow(0.5, days) - endValue
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// PremiumEndTime returns the unix time at which the premium for a name with
+// the given expiry reaches zero (grace period + auction window).
+func PremiumEndTime(expiry int64) int64 {
+	return expiry + int64((GracePeriod+PremiumPeriod)/time.Second)
+}
+
+// ReleaseTime returns the unix time at which a name with the given expiry
+// becomes available for public re-registration (end of grace period).
+func ReleaseTime(expiry int64) int64 {
+	return expiry + int64(GracePeriod/time.Second)
+}

@@ -1,0 +1,147 @@
+package ens
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// Property tests over random operation sequences: whatever order of
+// registers, renews, transfers, and time jumps we throw at the contracts,
+// the registrar's core invariants must hold.
+
+// opSequence drives a randomized lifecycle for a handful of labels.
+func runRandomOps(seed int64, steps int) error {
+	rng := rand.New(rand.NewSource(seed))
+	c := chain.New(worldStart)
+	svc := Deploy(c, pricing.NewOracleNoise(0))
+
+	labels := []string{"prop-one", "prop-two", "prop-three"}
+	actors := make([]ethtypes.Address, 4)
+	for i := range actors {
+		actors[i] = ethtypes.DeriveAddress(fmt.Sprintf("prop-actor-%d-%d", seed, i))
+		c.Mint(actors[i], ethtypes.Ether(1_000_000))
+	}
+
+	now := int64(worldStart)
+	for s := 0; s < steps; s++ {
+		now += rng.Int63n(90 * 86400)
+		label := labels[rng.Intn(len(labels))]
+		actor := actors[rng.Intn(len(actors))]
+		switch rng.Intn(3) {
+		case 0:
+			price := svc.PriceWei(label, Year, now)
+			rcpt, err := svc.Register(now, actor, actor, label, Year, price)
+			if err != nil {
+				return fmt.Errorf("register transport error: %w", err)
+			}
+			// A revert is fine (unavailable); a success must make the
+			// actor the owner.
+			if rcpt.Err == nil {
+				owner, ok := svc.OwnerOf(label, now)
+				if !ok || owner != actor {
+					return fmt.Errorf("successful register did not set owner")
+				}
+			} else if svc.Available(label, now) {
+				return fmt.Errorf("register of available name reverted: %w", rcpt.Err)
+			}
+		case 1:
+			price := svc.PriceWei(label, Year, now)
+			rcpt, err := svc.Renew(now, actor, label, Year, price)
+			if err != nil {
+				return fmt.Errorf("renew transport error: %w", err)
+			}
+			if rcpt.Err == nil {
+				reg, ok := svc.Registration(label)
+				if !ok || reg.Expiry <= now {
+					return fmt.Errorf("successful renew left stale expiry")
+				}
+			}
+		case 2:
+			target := actors[rng.Intn(len(actors))]
+			rcpt, err := svc.TransferName(now, actor, label, target)
+			if err != nil {
+				return fmt.Errorf("transfer transport error: %w", err)
+			}
+			if rcpt.Err == nil {
+				owner, ok := svc.OwnerOf(label, now)
+				if !ok || owner != target {
+					return fmt.Errorf("successful transfer did not move ownership")
+				}
+			}
+		}
+
+		// Global invariants after every step.
+		for _, l := range labels {
+			reg, ok := svc.Registration(l)
+			if !ok {
+				continue
+			}
+			// Availability and ownership must be mutually exclusive.
+			if svc.Available(l, now) {
+				if _, owned := svc.OwnerOf(l, now); owned {
+					return fmt.Errorf("%q is available AND owned", l)
+				}
+			}
+			// An unexpired registration is never available.
+			if now <= reg.Expiry && svc.Available(l, now) {
+				return fmt.Errorf("%q available while unexpired", l)
+			}
+			// Expiry only ever sits in the future of its registration.
+			if reg.Expiry <= reg.RegisteredAt {
+				return fmt.Errorf("%q has non-positive tenure", l)
+			}
+		}
+	}
+	return nil
+}
+
+func TestQuickRegistrarInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		if err := runRandomOps(seed, 40); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTreasuryNeverLosesMoney(t *testing.T) {
+	// Whatever happens, the controller's balance equals the sum of all
+	// successful registration/renewal costs: refunds never overdraw it.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := chain.New(worldStart)
+		svc := Deploy(c, pricing.NewOracleNoise(0))
+		actor := ethtypes.DeriveAddress(fmt.Sprintf("treasury-actor-%d", seed))
+		c.Mint(actor, ethtypes.Ether(1_000_000))
+
+		expected := ethtypes.Wei{}
+		now := int64(worldStart)
+		for i := 0; i < 20; i++ {
+			now += rng.Int63n(200 * 86400)
+			label := fmt.Sprintf("trs%d", rng.Intn(3))
+			price := svc.PriceWei(label, Year, now)
+			overpay := price.Add(ethtypes.Ether(int64(rng.Intn(3))))
+			rcpt, err := svc.Register(now, actor, actor, label, Year, overpay)
+			if err != nil {
+				return false
+			}
+			if rcpt.Err == nil {
+				expected = expected.Add(price)
+			}
+		}
+		return c.BalanceOf(svc.ControllerAddr).Cmp(expected) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package ens
+
+import (
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+)
+
+// Reverse resolution ("primary names"): an address claims its node under
+// addr.reverse and points it at a name, so dApps can display "gold.eth"
+// instead of 0x1234…. A reverse record is only trustworthy if the forward
+// resolution of the claimed name still maps back to the address — a check
+// clients must perform themselves. Dropcatching breaks exactly this
+// invariant: after a catch, the previous owner's reverse record still
+// claims the name while the name forward-resolves to the new owner.
+
+// ReverseNode computes the reverse-registrar node for an address
+// (<hex-addr>.addr.reverse).
+func ReverseNode(addr ethtypes.Address) ethtypes.Hash {
+	const digits = "0123456789abcdef"
+	hexAddr := make([]byte, 40)
+	for i, b := range addr {
+		hexAddr[2*i] = digits[b>>4]
+		hexAddr[2*i+1] = digits[b&0x0f]
+	}
+	return Namehash(string(hexAddr) + ".addr.reverse")
+}
+
+// SetReverseRecord claims the caller's reverse node and points it at a
+// name ("gold", meaning gold.eth). Any address may claim only its own
+// reverse record, which is why from is the claimed address.
+func (s *Service) SetReverseRecord(now int64, from ethtypes.Address, label string) (*chain.Receipt, error) {
+	return s.chain.Apply(now, from, s.RegistryAddr, ethtypes.Wei{}, []byte(label), "setName", func(ctx *chain.TxContext) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		node := ReverseNode(from)
+		s.reverse[from] = label
+		ctx.Emit("ReverseClaimed", []ethtypes.Hash{node}, map[string]string{
+			"addr": from.Hex(),
+			"name": label,
+		})
+		return nil
+	})
+}
+
+// ReverseLookup returns the primary name claimed by addr. With verify set
+// (how compliant clients behave) the claim only stands if the name still
+// forward-resolves to addr; unverified lookups reproduce the sloppy-client
+// hazard.
+func (s *Service) ReverseLookup(addr ethtypes.Address, verify bool) (string, bool) {
+	s.mu.RLock()
+	label, ok := s.reverse[addr]
+	s.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	if !verify {
+		return label, true
+	}
+	forward, ok := s.Resolve(label)
+	if !ok || forward != addr {
+		return "", false
+	}
+	return label, true
+}
+
+// ReverseRecordCount returns the number of claimed reverse records.
+func (s *Service) ReverseRecordCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.reverse)
+}

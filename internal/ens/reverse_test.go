@@ -1,0 +1,72 @@
+package ens
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+func TestReverseRecordLifecycle(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "rev-alice", 1000)
+
+	s.Register(worldStart, alice, alice, "goldmine", Year, s.PriceWei("goldmine", Year, worldStart))
+	s.SetAddr(worldStart+10, alice, "goldmine", alice)
+	if _, err := s.SetReverseRecord(worldStart+20, alice, "goldmine"); err != nil {
+		t.Fatal(err)
+	}
+
+	name, ok := s.ReverseLookup(alice, true)
+	if !ok || name != "goldmine" {
+		t.Errorf("verified lookup = %q, %v", name, ok)
+	}
+	if s.ReverseRecordCount() != 1 {
+		t.Errorf("count = %d", s.ReverseRecordCount())
+	}
+	if _, ok := s.ReverseLookup(ethtypes.DeriveAddress("rev-nobody"), true); ok {
+		t.Error("unclaimed address has a reverse record")
+	}
+}
+
+func TestReverseVerificationCatchesStaleClaims(t *testing.T) {
+	s, c := newService(t)
+	alice := fund(c, "rev2-alice", 1000)
+	attacker := fund(c, "rev2-attacker", 1000)
+
+	s.Register(worldStart, alice, alice, "goldmine", Year, s.PriceWei("goldmine", Year, worldStart))
+	s.SetAddr(worldStart+10, alice, "goldmine", alice)
+	s.SetReverseRecord(worldStart+20, alice, "goldmine")
+
+	// The name expires; the attacker catches it and repoints it.
+	reg, _ := s.Registration("goldmine")
+	at := PremiumEndTime(reg.Expiry) + 10
+	rcpt, err := s.Register(at, attacker, attacker, "goldmine", Year, s.PriceWei("goldmine", Year, at))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("catch: %v %v", err, rcpt)
+	}
+	s.SetAddr(at+60, attacker, "goldmine", attacker)
+
+	// Alice's reverse record still claims the name...
+	name, ok := s.ReverseLookup(alice, false)
+	if !ok || name != "goldmine" {
+		t.Fatalf("unverified lookup = %q, %v", name, ok)
+	}
+	// ...but a compliant client's forward verification now rejects it.
+	if _, ok := s.ReverseLookup(alice, true); ok {
+		t.Error("verified lookup accepted a stale reverse claim after dropcatch")
+	}
+	// The attacker can claim it legitimately.
+	s.SetReverseRecord(at+120, attacker, "goldmine")
+	name, ok = s.ReverseLookup(attacker, true)
+	if !ok || name != "goldmine" {
+		t.Errorf("attacker verified lookup = %q, %v", name, ok)
+	}
+}
+
+func TestReverseNodeDistinct(t *testing.T) {
+	a := ReverseNode(ethtypes.DeriveAddress("rev-x"))
+	b := ReverseNode(ethtypes.DeriveAddress("rev-y"))
+	if a == b || a.IsZero() {
+		t.Error("reverse nodes not distinct")
+	}
+}

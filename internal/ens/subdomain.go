@@ -1,0 +1,109 @@
+package ens
+
+import (
+	"fmt"
+	"strings"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+)
+
+// Subdomain is a registry record under a .eth second-level name
+// (pay.gold.eth). Subdomains are plain registry entries: they have an
+// owner but no expiry of their own — they live and die with their parent's
+// registration in practice, but the registry record itself persists (one
+// more place residual state accumulates). The paper's dataset includes
+// 846,752 of them.
+type Subdomain struct {
+	// FullName is the dot-separated name without the trailing ".eth".
+	FullName string
+	Node     ethtypes.Hash
+	Parent   ethtypes.Hash // parent node (namehash of the 2LD)
+	Owner    ethtypes.Address
+	Created  int64
+}
+
+// CreateSubdomain creates (or reassigns) label.parent.eth, owned by
+// subOwner. Only the parent name's current registrant may do this — the
+// registry's setSubnodeOwner authorization.
+func (s *Service) CreateSubdomain(now int64, from ethtypes.Address, parentLabel, subLabel string, subOwner ethtypes.Address) (*chain.Receipt, error) {
+	if subLabel == "" || strings.Contains(subLabel, ".") {
+		return nil, fmt.Errorf("%w: %q", ErrInvalidLabel, subLabel)
+	}
+	return s.chain.Apply(now, from, s.RegistryAddr, ethtypes.Wei{}, []byte(subLabel+"."+parentLabel), "setSubnodeOwner", func(ctx *chain.TxContext) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		reg, ok := s.regs[LabelHash(parentLabel)]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotRegistered, parentLabel)
+		}
+		if reg.Registrant != from || now > reg.Expiry {
+			return fmt.Errorf("%w: %s", ErrNotOwner, from)
+		}
+		full := subLabel + "." + parentLabel
+		node := Namehash(full + ".eth")
+		s.subnodes[node] = &Subdomain{
+			FullName: full,
+			Node:     node,
+			Parent:   Namehash(parentLabel + ".eth"),
+			Owner:    subOwner,
+			Created:  now,
+		}
+		data := map[string]string{
+			"node":   node.Hex(),
+			"parent": Namehash(parentLabel + ".eth").Hex(),
+			"label":  LabelHash(subLabel).Hex(),
+			"owner":  subOwner.Hex(),
+			"name":   full,
+		}
+		if reg.Unindexed {
+			delete(data, "name")
+		}
+		ctx.Emit("NewOwner", []ethtypes.Hash{node}, data)
+		return nil
+	})
+}
+
+// SetSubdomainAddr sets the resolver record of an existing subdomain. Only
+// the subdomain's owner may do so; like 2LD records, the record persists
+// regardless of the parent's expiry.
+func (s *Service) SetSubdomainAddr(now int64, from ethtypes.Address, fullName string, target ethtypes.Address) (*chain.Receipt, error) {
+	return s.chain.Apply(now, from, s.ResolverAddr, ethtypes.Wei{}, []byte(fullName), "setAddr", func(ctx *chain.TxContext) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		node := Namehash(fullName + ".eth")
+		sub, ok := s.subnodes[node]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotRegistered, fullName)
+		}
+		if sub.Owner != from {
+			return fmt.Errorf("%w: %s", ErrNotOwner, from)
+		}
+		s.addrRec[node] = target
+		ctx.Emit("AddrChanged", []ethtypes.Hash{node}, map[string]string{
+			"node": node.Hex(),
+			"addr": target.Hex(),
+		})
+		return nil
+	})
+}
+
+// SubdomainOf returns the registry record for a full subdomain name
+// ("pay.gold"), if any.
+func (s *Service) SubdomainOf(fullName string) (*Subdomain, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sub, ok := s.subnodes[Namehash(fullName+".eth")]
+	if !ok {
+		return nil, false
+	}
+	cp := *sub
+	return &cp, true
+}
+
+// SubdomainCount returns the number of registry subdomain records.
+func (s *Service) SubdomainCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.subnodes)
+}

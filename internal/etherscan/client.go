@@ -1,0 +1,224 @@
+package etherscan
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+// Client is a polite Etherscan API client: it paces requests under the
+// per-key rate limit, retries transient failures with backoff, and pages
+// through large accounts by advancing startblock past the result-window
+// cap — the mechanics behind the paper's 9.7M-transaction crawl.
+type Client struct {
+	// BaseURL is the server root (no trailing /api).
+	BaseURL string
+	// APIKey identifies the rate-limit bucket.
+	APIKey string
+	// HTTPClient defaults to a 30s-timeout client.
+	HTTPClient *http.Client
+	// PageSize rows per request; defaults to 1000.
+	PageSize int
+	// MinInterval between requests; defaults to 1/DefaultRatePerSecond.
+	MinInterval time.Duration
+	// MaxRetries per request on rate-limit or transport errors.
+	MaxRetries int
+	// Sleep is indirected for tests; defaults to a context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	lastRequest time.Time
+}
+
+// NewClient returns a client with defaults.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		APIKey:      apiKey,
+		HTTPClient:  &http.Client{Timeout: 30 * time.Second},
+		PageSize:    1000,
+		MinInterval: time.Second / DefaultRatePerSecond,
+		MaxRetries:  6,
+	}
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ErrRateLimited is wrapped by errors returned when the server keeps
+// answering with its rate-limit message after all retries.
+var ErrRateLimited = fmt.Errorf("etherscan: rate limited")
+
+// call performs one API request with pacing and retries, returning the raw
+// result payload.
+func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, error) {
+	params.Set("apikey", c.APIKey)
+	endpoint := strings.TrimSuffix(c.BaseURL, "/") + "/api?" + params.Encode()
+
+	backoff := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		// Pace below the per-key rate limit.
+		if wait := c.MinInterval - time.Since(c.lastRequest); wait > 0 {
+			if err := c.sleep(ctx, wait); err != nil {
+				return nil, err
+			}
+		}
+		c.lastRequest = time.Now()
+
+		env, err := c.doOnce(ctx, endpoint)
+		switch {
+		case err == nil && env.Message != "NOTOK":
+			return env.Result, nil
+		case err == nil:
+			var msg string
+			_ = json.Unmarshal(env.Result, &msg)
+			if !strings.Contains(msg, "rate limit") {
+				return nil, fmt.Errorf("etherscan: API error: %s", msg)
+			}
+			err = fmt.Errorf("%w: %s", ErrRateLimited, msg)
+		}
+		if attempt >= c.MaxRetries {
+			return nil, fmt.Errorf("etherscan: giving up after %d attempts: %w", attempt+1, err)
+		}
+		if serr := c.sleep(ctx, backoff); serr != nil {
+			return nil, serr
+		}
+		backoff *= 2
+		if backoff > 10*time.Second {
+			backoff = 10 * time.Second
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, endpoint string) (*envelope, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("etherscan: HTTP %d", resp.StatusCode)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("etherscan: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// TxList retrieves the complete transaction list of an address, walking
+// startblock forward whenever the page window is exhausted.
+func (c *Client) TxList(ctx context.Context, addr ethtypes.Address) ([]TxRecord, error) {
+	pageSize := c.PageSize
+	if pageSize <= 0 || pageSize > MaxOffset {
+		pageSize = 1000
+	}
+	var out []TxRecord
+	startBlock := uint64(0)
+	seen := map[string]bool{}
+	for {
+		var gotAny bool
+		maxPages := MaxWindow / pageSize
+		for page := 1; page <= maxPages; page++ {
+			params := url.Values{
+				"module":     {"account"},
+				"action":     {"txlist"},
+				"address":    {"0x" + hexLower(addr)},
+				"startblock": {strconv.FormatUint(startBlock, 10)},
+				"sort":       {"asc"},
+				"page":       {strconv.Itoa(page)},
+				"offset":     {strconv.Itoa(pageSize)},
+			}
+			raw, err := c.call(ctx, params)
+			if err != nil {
+				return nil, fmt.Errorf("txlist %s from block %d: %w", addr, startBlock, err)
+			}
+			var rows []TxRecord
+			if err := json.Unmarshal(raw, &rows); err != nil {
+				return nil, fmt.Errorf("txlist decode: %w", err)
+			}
+			for _, r := range rows {
+				// Block-boundary re-reads can duplicate rows; the hash
+				// dedups them.
+				if !seen[r.Hash] {
+					seen[r.Hash] = true
+					out = append(out, r)
+				}
+			}
+			gotAny = gotAny || len(rows) > 0
+			if len(rows) < pageSize {
+				return out, nil
+			}
+		}
+		if !gotAny {
+			return out, nil
+		}
+		// Window exhausted: restart from the last seen block (inclusive,
+		// to catch blocks split across the window edge).
+		last := out[len(out)-1]
+		lb, err := strconv.ParseUint(last.BlockNumber, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("txlist: bad block number %q", last.BlockNumber)
+		}
+		if lb == startBlock {
+			return nil, fmt.Errorf("txlist: address %s has more than %d transactions in block %d", addr, MaxWindow, lb)
+		}
+		startBlock = lb
+	}
+}
+
+// FetchLabels retrieves the custodial label lists.
+func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
+	endpoint := strings.TrimSuffix(c.BaseURL, "/") + "/labels"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return Labels{}, err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return Labels{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Labels{}, fmt.Errorf("etherscan: labels HTTP %d", resp.StatusCode)
+	}
+	var labels Labels
+	if err := json.NewDecoder(resp.Body).Decode(&labels); err != nil {
+		return Labels{}, fmt.Errorf("etherscan: labels decode: %w", err)
+	}
+	return labels, nil
+}

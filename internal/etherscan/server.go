@@ -1,0 +1,246 @@
+// Package etherscan reimplements the slice of the Etherscan API the paper's
+// transaction crawl depends on: the account txlist endpoint with
+// startblock/page/offset paging, per-key rate limiting, and the label lists
+// (Coinbase and other custodial addresses) the paper sources from
+// Etherscan. The client side implements the polite-crawler loop: token
+// bucket pacing, retry on rate-limit errors, and startblock cursor paging
+// past the result-window cap.
+package etherscan
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ethtypes"
+)
+
+// API behaviour constants (mirroring etherscan.io).
+const (
+	// MaxOffset is the maximum rows per page.
+	MaxOffset = 10000
+	// MaxWindow is the deepest row reachable with page*offset paging;
+	// beyond it clients must advance startblock.
+	MaxWindow = 10000
+	// DefaultRatePerSecond is the per-key request budget.
+	DefaultRatePerSecond = 5
+)
+
+// TxRecord is one row of a txlist response, JSON-shaped like Etherscan's.
+type TxRecord struct {
+	BlockNumber string `json:"blockNumber"`
+	TimeStamp   string `json:"timeStamp"`
+	Hash        string `json:"hash"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Value       string `json:"value"`
+	IsError     string `json:"isError"`
+	Method      string `json:"functionName,omitempty"`
+}
+
+type envelope struct {
+	Status  string          `json:"status"`
+	Message string          `json:"message"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// Labels is the custodial label data the /labels endpoint serves.
+type Labels struct {
+	Coinbase       []string `json:"coinbase"`
+	OtherCustodial []string `json:"otherCustodial"`
+}
+
+// Server serves a chain's transactions through an Etherscan-shaped API.
+type Server struct {
+	chain  *chain.Chain
+	labels Labels
+	rate   int
+	log    *slog.Logger
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewServer wraps a chain. rate is requests/second/key; <= 0 uses the
+// default. The labels are served verbatim on /labels.
+func NewServer(c *chain.Chain, labels Labels, rate int, logger *slog.Logger) *Server {
+	if rate <= 0 {
+		rate = DefaultRatePerSecond
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Server{chain: c, labels: labels, rate: rate, log: logger, buckets: map[string]*bucket{}}
+}
+
+// allow consumes one token from the key's bucket.
+func (s *Server) allow(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[key]
+	now := time.Now()
+	if !ok {
+		b = &bucket{tokens: float64(s.rate), last: now}
+		s.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * float64(s.rate)
+	b.last = now
+	if b.tokens > float64(s.rate) {
+		b.tokens = float64(s.rate)
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// ServeHTTP implements http.Handler for /api and /labels.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/labels":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.labels)
+	case "/api":
+		s.serveAPI(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("apikey")
+	if !s.allow(key) {
+		writeEnvelope(w, "0", "NOTOK", "Max rate limit reached")
+		return
+	}
+	if q.Get("module") != "account" {
+		writeEnvelope(w, "0", "NOTOK", "Error! Missing or invalid module")
+		return
+	}
+	switch q.Get("action") {
+	case "txlist":
+		s.serveTxList(w, q)
+	case "balance":
+		addr, err := ethtypes.ParseAddress(q.Get("address"))
+		if err != nil {
+			writeEnvelope(w, "0", "NOTOK", "Error! Invalid address format")
+			return
+		}
+		writeEnvelope(w, "1", "OK", s.chain.BalanceOf(addr).BigInt().String())
+	default:
+		writeEnvelope(w, "0", "NOTOK", "Error! Missing or invalid action")
+	}
+}
+
+func (s *Server) serveTxList(w http.ResponseWriter, q map[string][]string) {
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	addr, err := ethtypes.ParseAddress(get("address"))
+	if err != nil {
+		writeEnvelope(w, "0", "NOTOK", "Error! Invalid address format")
+		return
+	}
+	startBlock := parseUint(get("startblock"), 0)
+	endBlock := parseUint(get("endblock"), 1<<62)
+	page := int(parseUint(get("page"), 1))
+	offset := int(parseUint(get("offset"), 100))
+	if offset <= 0 || offset > MaxOffset {
+		writeEnvelope(w, "0", "NOTOK", "Error! Invalid offset")
+		return
+	}
+	if page <= 0 || page*offset > MaxWindow {
+		writeEnvelope(w, "0", "NOTOK", fmt.Sprintf("Result window is too large, PageNo x Offset size must be less than or equal to %d", MaxWindow))
+		return
+	}
+
+	txs := s.chain.TxsByAddress(addr)
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].BlockNumber < txs[j].BlockNumber })
+	var rows []TxRecord
+	skip := (page - 1) * offset
+	for _, tx := range txs {
+		if tx.BlockNumber < startBlock || tx.BlockNumber > endBlock {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		rows = append(rows, toRecord(tx))
+		if len(rows) >= offset {
+			break
+		}
+	}
+	if len(rows) == 0 {
+		writeResult(w, "0", "No transactions found", []TxRecord{})
+		return
+	}
+	writeResult(w, "1", "OK", rows)
+}
+
+func toRecord(tx *chain.Transaction) TxRecord {
+	isErr := "0"
+	if tx.Failed {
+		isErr = "1"
+	}
+	rec := TxRecord{
+		BlockNumber: strconv.FormatUint(tx.BlockNumber, 10),
+		TimeStamp:   strconv.FormatInt(tx.Timestamp, 10),
+		Hash:        tx.Hash.Hex(),
+		From:        "0x" + hexLower(tx.From),
+		To:          "0x" + hexLower(tx.To),
+		Value:       tx.Value.BigInt().String(),
+		IsError:     isErr,
+		Method:      tx.Method,
+	}
+	return rec
+}
+
+func hexLower(a ethtypes.Address) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 40)
+	for i, b := range a {
+		out[2*i] = digits[b>>4]
+		out[2*i+1] = digits[b&0x0f]
+	}
+	return string(out)
+}
+
+func parseUint(s string, def uint64) uint64 {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 63)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func writeEnvelope(w http.ResponseWriter, status, message, result string) {
+	w.Header().Set("Content-Type", "application/json")
+	raw, _ := json.Marshal(result)
+	json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+}
+
+func writeResult(w http.ResponseWriter, status, message string, rows []TxRecord) {
+	w.Header().Set("Content-Type", "application/json")
+	raw, _ := json.Marshal(rows)
+	json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+}

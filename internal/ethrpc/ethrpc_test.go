@@ -1,0 +1,164 @@
+package ethrpc
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+const genesis = 1580515200
+
+func newRPCPair(t *testing.T) (*chain.Chain, *ens.Service, *Client) {
+	t.Helper()
+	c := chain.New(genesis)
+	svc := ens.Deploy(c, pricing.NewOracleNoise(0))
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(srv.Close)
+	return c, svc, NewClient(srv.URL)
+}
+
+func TestBlockNumberAndBalance(t *testing.T) {
+	c, _, client := newRPCPair(t)
+	alice := ethtypes.DeriveAddress("rpc-alice")
+	bob := ethtypes.DeriveAddress("rpc-bob")
+	c.Mint(alice, ethtypes.Ether(123))
+	c.Transfer(genesis+120, alice, bob, ethtypes.Ether(23))
+
+	ctx := context.Background()
+	bn, err := client.BlockNumber(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn != c.HeadBlock() {
+		t.Errorf("blockNumber = %d, want %d", bn, c.HeadBlock())
+	}
+	bal, err := client.Balance(ctx, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Cmp(ethtypes.Ether(100)) != 0 {
+		t.Errorf("balance = %s", bal)
+	}
+}
+
+func TestGetTransactionByHash(t *testing.T) {
+	c, _, client := newRPCPair(t)
+	alice := ethtypes.DeriveAddress("rpc-a2")
+	c.Mint(alice, ethtypes.Ether(5))
+	rcpt, err := c.Transfer(genesis+12, alice, alice, ethtypes.NewWei(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx RPCTransaction
+	if err := client.Call(context.Background(), "eth_getTransactionByHash", &tx, rcpt.Tx.Hash.Hex()); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Hash != rcpt.Tx.Hash.Hex() || tx.Value != "0x7" {
+		t.Errorf("tx = %+v", tx)
+	}
+	// Unknown hash -> null result.
+	var null *RPCTransaction
+	if err := client.Call(context.Background(), "eth_getTransactionByHash", &null, ethtypes.Hash{0x01}.Hex()); err != nil {
+		t.Fatal(err)
+	}
+	if null != nil {
+		t.Errorf("unknown hash returned %+v", null)
+	}
+}
+
+func TestGetLogsExposesHashesNotNames(t *testing.T) {
+	c, svc, client := newRPCPair(t)
+	alice := ethtypes.DeriveAddress("rpc-a3")
+	c.Mint(alice, ethtypes.Ether(1000))
+	rcpt, err := svc.Register(genesis+60, alice, alice, "secretname", ens.Year, svc.PriceWei("secretname", ens.Year, genesis+60))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("register: %v %v", err, rcpt)
+	}
+
+	logs, err := client.GetLogs(context.Background(), LogQuery{Events: []string{"NameRegistered"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("logs = %d", len(logs))
+	}
+	l := logs[0]
+	if len(l.Topics) == 0 || l.Topics[0] != ens.LabelHash("secretname").Hex() {
+		t.Errorf("topic0 = %v, want label hash", l.Topics)
+	}
+	// The crucial property: raw RPC logs never leak the plaintext label.
+	for _, topic := range l.Topics {
+		if strings.Contains(topic, "secretname") {
+			t.Error("plaintext label leaked in topics")
+		}
+	}
+	if strings.Contains(l.Event, "secretname") || strings.Contains(l.Address, "secretname") {
+		t.Error("plaintext label leaked")
+	}
+}
+
+func TestGetLogsPaged(t *testing.T) {
+	c, svc, client := newRPCPair(t)
+	alice := ethtypes.DeriveAddress("rpc-a4")
+	c.Mint(alice, ethtypes.Ether(100000))
+	labels := []string{"pagedone", "pagedtwo", "pagedthree", "pagedfour"}
+	ts := int64(genesis)
+	for _, l := range labels {
+		ts += 86400 * 30
+		rcpt, err := svc.Register(ts, alice, alice, l, ens.Year, svc.PriceWei(l, ens.Year, ts))
+		if err != nil || rcpt.Err != nil {
+			t.Fatalf("register %s: %v %v", l, err, rcpt)
+		}
+	}
+	// Tiny block step forces many windows.
+	logs, err := client.GetLogsPaged(context.Background(), []string{"NameRegistered"}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != len(labels) {
+		t.Errorf("paged logs = %d, want %d", len(logs), len(labels))
+	}
+	seen := map[string]bool{}
+	for _, l := range logs {
+		if seen[l.TxHash] {
+			t.Error("duplicate log across windows")
+		}
+		seen[l.TxHash] = true
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	_, _, client := newRPCPair(t)
+	ctx := context.Background()
+	if err := client.Call(ctx, "eth_noSuchMethod", nil); err == nil {
+		t.Error("unknown method succeeded")
+	}
+	var s string
+	if err := client.Call(ctx, "eth_getBalance", &s, "nothex"); err == nil {
+		t.Error("bad address succeeded")
+	}
+	if err := client.Call(ctx, "eth_getBalance", &s); err == nil {
+		t.Error("missing param succeeded")
+	}
+}
+
+func TestRPCRejectsGet(t *testing.T) {
+	c := chain.New(genesis)
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET -> %d", resp.StatusCode)
+	}
+}

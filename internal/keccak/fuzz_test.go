@@ -1,0 +1,27 @@
+package keccak
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamingEqualsOneShot checks the core sponge invariant under
+// arbitrary inputs and split points: any chunking of Write calls must
+// produce the same digest as the one-shot Sum256.
+func FuzzStreamingEqualsOneShot(f *testing.F) {
+	f.Add([]byte(""), uint16(0))
+	f.Add([]byte("abc"), uint16(1))
+	f.Add(bytes.Repeat([]byte{0x5a}, 137), uint16(68))
+	f.Add(bytes.Repeat([]byte{0xff}, 400), uint16(136))
+	f.Fuzz(func(t *testing.T, data []byte, splitRaw uint16) {
+		split := int(splitRaw) % (len(data) + 1)
+		h := New256()
+		h.Write(data[:split])
+		h.Write(data[split:])
+		streamed := h.Sum(nil)
+		oneShot := Sum256(data)
+		if !bytes.Equal(streamed, oneShot[:]) {
+			t.Fatalf("streaming %x != one-shot %x (split %d, len %d)", streamed, oneShot, split, len(data))
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// Package keccak implements the legacy Keccak-256 hash function used by
+// Ethereum. It is the pre-NIST variant of SHA3-256: the sponge construction
+// and permutation are identical to FIPS 202, but multi-rate padding uses the
+// original 0x01 domain byte instead of SHA-3's 0x06. Ethereum addresses,
+// transaction hashes, event topics, and ENS namehashes are all computed with
+// this function, so the rest of the repository builds on this package.
+package keccak
+
+import (
+	"hash"
+	"math/bits"
+)
+
+// Size is the digest size of Keccak-256 in bytes.
+const Size = 32
+
+// rate is the sponge rate for Keccak-256 in bytes (1600/8 - 2*Size).
+const rate = 136
+
+// roundConstants holds the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotc holds the rho-step rotation offset for lane i = x + 5*y.
+var rotc = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// piDst[i] is the destination lane of lane i in the combined rho-pi step:
+// B[y][(2x+3y) mod 5] = rot(A[x][y]).
+var piDst = func() (dst [25]int) {
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			dst[x+5*y] = y + 5*((2*x+3*y)%5)
+		}
+	}
+	return dst
+}()
+
+// keccakF applies the full 24-round Keccak-f[1600] permutation to the
+// state. The steps are unrolled and use the rotate intrinsic; this
+// function dominates everything from transaction hashing to brute-force
+// name recovery.
+func keccakF(a *[25]uint64) {
+	var b [25]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		c0 := a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20]
+		c1 := a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21]
+		c2 := a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22]
+		c3 := a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23]
+		c4 := a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24]
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+		for y := 0; y < 25; y += 5 {
+			a[y] ^= d0
+			a[y+1] ^= d1
+			a[y+2] ^= d2
+			a[y+3] ^= d3
+			a[y+4] ^= d4
+		}
+		// rho and pi
+		for i := 0; i < 25; i++ {
+			b[piDst[i]] = bits.RotateLeft64(a[i], int(rotc[i]))
+		}
+		// chi
+		for y := 0; y < 25; y += 5 {
+			b0, b1, b2, b3, b4 := b[y], b[y+1], b[y+2], b[y+3], b[y+4]
+			a[y] = b0 ^ (^b1 & b2)
+			a[y+1] = b1 ^ (^b2 & b3)
+			a[y+2] = b2 ^ (^b3 & b4)
+			a[y+3] = b3 ^ (^b4 & b0)
+			a[y+4] = b4 ^ (^b0 & b1)
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// digest is the streaming sponge state for Keccak-256.
+type digest struct {
+	state [25]uint64
+	buf   [rate]byte
+	n     int // bytes buffered in buf
+}
+
+// New256 returns a new hash.Hash computing the legacy Keccak-256 digest.
+func New256() hash.Hash { return &digest{} }
+
+func (d *digest) Size() int      { return Size }
+func (d *digest) BlockSize() int { return rate }
+
+func (d *digest) Reset() {
+	d.state = [25]uint64{}
+	d.n = 0
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		n := copy(d.buf[d.n:], p)
+		d.n += n
+		p = p[n:]
+		if d.n == rate {
+			d.absorb()
+		}
+	}
+	return written, nil
+}
+
+// absorb XORs the full buffer into the state and permutes.
+func (d *digest) absorb() {
+	for i := 0; i < rate/8; i++ {
+		d.state[i] ^= le64(d.buf[8*i:])
+	}
+	keccakF(&d.state)
+	d.n = 0
+}
+
+// Sum appends the current digest to b and returns the result. The receiver
+// state is not modified, so callers may continue writing afterwards.
+func (d *digest) Sum(b []byte) []byte {
+	dup := *d
+	// Multi-rate padding with the legacy Keccak domain byte 0x01.
+	dup.buf[dup.n] = 0x01
+	for i := dup.n + 1; i < rate; i++ {
+		dup.buf[i] = 0
+	}
+	dup.buf[rate-1] |= 0x80
+	dup.n = rate
+	dup.absorb()
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		putLE64(out[8*i:], dup.state[i])
+	}
+	return append(b, out[:]...)
+}
+
+// Sum256 returns the Keccak-256 digest of data. The one-shot path avoids
+// the streaming digest's buffering and state copies; it is the hot
+// function behind address derivation, namehashing, and brute-force label
+// recovery.
+func Sum256(data []byte) [Size]byte {
+	var state [25]uint64
+	for len(data) >= rate {
+		for i := 0; i < rate/8; i++ {
+			state[i] ^= le64(data[8*i:])
+		}
+		keccakF(&state)
+		data = data[rate:]
+	}
+	var block [rate]byte
+	copy(block[:], data)
+	block[len(data)] = 0x01
+	block[rate-1] |= 0x80
+	for i := 0; i < rate/8; i++ {
+		state[i] ^= le64(block[8*i:])
+	}
+	keccakF(&state)
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		putLE64(out[8*i:], state[i])
+	}
+	return out
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

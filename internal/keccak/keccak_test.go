@@ -1,0 +1,153 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors for legacy Keccak-256 (Ethereum variant).
+var kats = []struct {
+	in  string
+	out string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	{"hello", "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"},
+	{"testing", "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02"},
+}
+
+func TestSum256KnownAnswers(t *testing.T) {
+	for _, kat := range kats {
+		got := Sum256([]byte(kat.in))
+		if hex.EncodeToString(got[:]) != kat.out {
+			t.Errorf("Sum256(%q) = %x, want %s", kat.in, got, kat.out)
+		}
+	}
+}
+
+func TestHashInterface(t *testing.T) {
+	h := New256()
+	if h.Size() != 32 {
+		t.Fatalf("Size() = %d, want 32", h.Size())
+	}
+	if h.BlockSize() != 136 {
+		t.Fatalf("BlockSize() = %d, want 136", h.BlockSize())
+	}
+	h.Write([]byte("abc"))
+	sum := h.Sum(nil)
+	want, _ := hex.DecodeString(kats[1].out)
+	if !bytes.Equal(sum, want) {
+		t.Errorf("streaming Sum = %x, want %x", sum, want)
+	}
+}
+
+func TestSumDoesNotMutateState(t *testing.T) {
+	h := New256()
+	h.Write([]byte("ab"))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Sum mutated state: %x vs %x", first, second)
+	}
+	h.Write([]byte("c"))
+	want, _ := hex.DecodeString(kats[1].out)
+	if got := h.Sum(nil); !bytes.Equal(got, want) {
+		t.Errorf("write-after-Sum = %x, want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage data that should be discarded"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	want, _ := hex.DecodeString(kats[1].out)
+	if got := h.Sum(nil); !bytes.Equal(got, want) {
+		t.Errorf("after Reset = %x, want %x", got, want)
+	}
+}
+
+func TestMultiBlockInput(t *testing.T) {
+	// An input longer than the 136-byte rate exercises intermediate absorbs.
+	long := strings.Repeat("a", 1000)
+	whole := Sum256([]byte(long))
+
+	h := New256()
+	for i := 0; i < len(long); i += 7 {
+		end := i + 7
+		if end > len(long) {
+			end = len(long)
+		}
+		h.Write([]byte(long[i:end]))
+	}
+	if chunked := h.Sum(nil); !bytes.Equal(chunked, whole[:]) {
+		t.Errorf("chunked write = %x, whole write = %x", chunked, whole)
+	}
+}
+
+func TestExactRateBoundary(t *testing.T) {
+	// Inputs of length rate-1, rate, rate+1 hit all padding branches.
+	for _, n := range []int{135, 136, 137, 272} {
+		in := bytes.Repeat([]byte{0x5a}, n)
+		h := New256()
+		h.Write(in)
+		if got, want := h.Sum(nil), Sum256(in); !bytes.Equal(got, want[:]) {
+			t.Errorf("len %d: streaming %x != one-shot %x", n, got, want)
+		}
+	}
+}
+
+func TestQuickChunkingEquivalence(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		h := New256()
+		cut := int(split) % (len(data) + 1)
+		h.Write(data[:cut])
+		h.Write(data[cut:])
+		whole := Sum256(data)
+		return bytes.Equal(h.Sum(nil), whole[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDigestLength(t *testing.T) {
+	f := func(data []byte) bool {
+		sum := Sum256(data)
+		return len(sum) == Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctInputsDistinctDigests(t *testing.T) {
+	seen := map[[32]byte]string{}
+	inputs := []string{"", "a", "b", "aa", "ab", "ba", "eth", "ens", "gold.eth", "gold.eth "}
+	for _, in := range inputs {
+		sum := Sum256([]byte(in))
+		if prev, dup := seen[sum]; dup {
+			t.Fatalf("collision between %q and %q", prev, in)
+		}
+		seen[sum] = in
+	}
+}
+
+func BenchmarkSum256_32B(b *testing.B) {
+	buf := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		Sum256(buf)
+	}
+}
+
+func BenchmarkSum256_1KiB(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(buf)
+	}
+}

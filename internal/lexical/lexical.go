@@ -1,0 +1,157 @@
+// Package lexical extracts the lexical features of ENS labels that Table 1
+// of the paper compares between re-registered and control domains: length,
+// digit/numeric composition, dictionary/brand/adult-word content, hyphens,
+// and underscores. It also provides the synthetic label generator the world
+// simulator uses, which draws from the same embedded wordlists so the
+// feature extractor faces realistic inputs.
+package lexical
+
+import "strings"
+
+// Features holds the per-label lexical attributes of Table 1.
+type Features struct {
+	Length                 int  // label length in runes (without ".eth")
+	ContainsDigit          bool // at least one ASCII digit
+	IsNumeric              bool // every rune is an ASCII digit
+	ContainsDictionaryWord bool // some dictionary word (len >= 3) is a substring
+	IsDictionaryWord       bool // the whole label is a dictionary word
+	ContainsBrandName      bool // some brand name is a substring
+	ContainsAdultWord      bool // some adult keyword is a substring
+	ContainsHyphen         bool
+	ContainsUnderscore     bool
+}
+
+// Analyzer answers lexical-feature queries about ENS labels. It is
+// immutable after construction and safe for concurrent use.
+type Analyzer struct {
+	dict      map[string]bool // exact dictionary words
+	dictByLen map[int][]string
+	substr    *substrMatcher // dictionary substring matcher
+	brands    *substrMatcher
+	adult     *substrMatcher
+	minWord   int
+	maxWord   int
+}
+
+// NewAnalyzer builds an Analyzer over the embedded wordlists.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{
+		dict:      make(map[string]bool, len(dictionaryWords)),
+		dictByLen: make(map[int][]string),
+		minWord:   1 << 30,
+	}
+	for _, w := range dictionaryWords {
+		a.dict[w] = true
+		a.dictByLen[len(w)] = append(a.dictByLen[len(w)], w)
+		if len(w) < a.minWord {
+			a.minWord = len(w)
+		}
+		if len(w) > a.maxWord {
+			a.maxWord = len(w)
+		}
+	}
+	a.substr = newSubstrMatcher(dictionaryWords)
+	a.brands = newSubstrMatcher(brandNames)
+	a.adult = newSubstrMatcher(adultWords)
+	return a
+}
+
+// Analyze extracts the Table 1 features from a single label. The label must
+// be the bare second-level label ("gold", not "gold.eth"); Analyze strips a
+// trailing ".eth" defensively.
+func (a *Analyzer) Analyze(label string) Features {
+	label = strings.TrimSuffix(strings.ToLower(label), ".eth")
+	f := Features{Length: len([]rune(label))}
+	if label == "" {
+		return f
+	}
+	digits := 0
+	runes := 0
+	for _, r := range label {
+		runes++
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+			f.ContainsDigit = true
+		case r == '-':
+			f.ContainsHyphen = true
+		case r == '_':
+			f.ContainsUnderscore = true
+		}
+	}
+	f.IsNumeric = digits == runes
+	f.IsDictionaryWord = a.dict[label]
+	f.ContainsDictionaryWord = f.IsDictionaryWord || a.substr.containedIn(label)
+	f.ContainsBrandName = a.brands.containedIn(label)
+	f.ContainsAdultWord = a.adult.containedIn(label)
+	return f
+}
+
+// IsDictionaryWord reports whether the label is exactly a dictionary word.
+func (a *Analyzer) IsDictionaryWord(label string) bool {
+	return a.dict[strings.ToLower(label)]
+}
+
+// DictionaryWords returns the embedded dictionary (shared slice; callers
+// must not modify it).
+func DictionaryWords() []string { return dictionaryWords }
+
+// BrandNames returns the embedded brand list (shared slice).
+func BrandNames() []string { return brandNames }
+
+// AdultWords returns the embedded adult keyword list (shared slice).
+func AdultWords() []string { return adultWords }
+
+// ValidLabel reports whether s is a plausible ENS label: non-empty,
+// at least 3 characters (the .eth registrar minimum), lowercase letters,
+// digits, hyphens, or underscores, and no leading/trailing hyphen.
+func ValidLabel(s string) bool {
+	if len(s) < 3 {
+		return false
+	}
+	for _, r := range s {
+		ok := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-' || r == '_'
+		if !ok {
+			return false
+		}
+	}
+	return s[0] != '-' && s[len(s)-1] != '-'
+}
+
+// substrMatcher answers "is any listed word a substring of the query" in
+// O(len(query) * distinct word lengths) using per-length hash sets. Labels
+// are short (<= ~30 chars), so this outperforms a full Aho-Corasick build
+// while staying allocation-free per query.
+type substrMatcher struct {
+	byLen   map[int]map[string]bool
+	lengths []int
+}
+
+func newSubstrMatcher(words []string) *substrMatcher {
+	m := &substrMatcher{byLen: make(map[int]map[string]bool)}
+	for _, w := range words {
+		set := m.byLen[len(w)]
+		if set == nil {
+			set = make(map[string]bool)
+			m.byLen[len(w)] = set
+			m.lengths = append(m.lengths, len(w))
+		}
+		set[w] = true
+	}
+	return m
+}
+
+func (m *substrMatcher) containedIn(s string) bool {
+	for _, l := range m.lengths {
+		if l > len(s) {
+			continue
+		}
+		set := m.byLen[l]
+		for i := 0; i+l <= len(s); i++ {
+			if set[s[i:i+l]] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package lexical
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	a := NewAnalyzer()
+	cases := []struct {
+		label string
+		want  Features
+	}{
+		{"gold", Features{Length: 4, ContainsDictionaryWord: true, IsDictionaryWord: true}},
+		{"goldrush", Features{Length: 8, ContainsDictionaryWord: true}},
+		{"000", Features{Length: 3, ContainsDigit: true, IsNumeric: true}},
+		{"gold123", Features{Length: 7, ContainsDigit: true, ContainsDictionaryWord: true}},
+		{"gold-rush", Features{Length: 9, ContainsDictionaryWord: true, ContainsHyphen: true}},
+		{"gold_rush", Features{Length: 9, ContainsDictionaryWord: true, ContainsUnderscore: true}},
+		{"xqzkrw", Features{Length: 6}},
+	}
+	for _, c := range cases {
+		got := a.Analyze(c.label)
+		if got != c.want {
+			t.Errorf("Analyze(%q) = %+v, want %+v", c.label, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeBrandAndAdult(t *testing.T) {
+	a := NewAnalyzer()
+	if f := a.Analyze("pumastore"); !f.ContainsBrandName {
+		t.Error("pumastore missing brand flag")
+	}
+	if f := a.Analyze("nikeshop"); !f.ContainsBrandName {
+		t.Error("nikeshop missing brand flag")
+	}
+	if f := a.Analyze("freeporn"); !f.ContainsAdultWord {
+		t.Error("freeporn missing adult flag")
+	}
+	if f := a.Analyze("bookshelf"); f.ContainsBrandName || f.ContainsAdultWord {
+		t.Errorf("bookshelf spuriously flagged: %+v", f)
+	}
+}
+
+func TestAnalyzeStripsETHSuffixAndCase(t *testing.T) {
+	a := NewAnalyzer()
+	f := a.Analyze("Gold.eth")
+	if !f.IsDictionaryWord || f.Length != 4 {
+		t.Errorf("Gold.eth: %+v", f)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := NewAnalyzer()
+	f := a.Analyze("")
+	if f != (Features{}) {
+		t.Errorf("empty label: %+v", f)
+	}
+}
+
+func TestIsNumericRequiresAllDigits(t *testing.T) {
+	a := NewAnalyzer()
+	if a.Analyze("12a34").IsNumeric {
+		t.Error("12a34 flagged numeric")
+	}
+	if !a.Analyze("12345").IsNumeric {
+		t.Error("12345 not flagged numeric")
+	}
+}
+
+func TestValidLabel(t *testing.T) {
+	valid := []string{"abc", "gold", "a-b-c", "gold_rush", "000", "x2y"}
+	invalid := []string{"", "ab", "-abc", "abc-", "ABC", "gold.eth", "with space", "émoji"}
+	for _, v := range valid {
+		if !ValidLabel(v) {
+			t.Errorf("ValidLabel(%q) = false", v)
+		}
+	}
+	for _, v := range invalid {
+		if ValidLabel(v) {
+			t.Errorf("ValidLabel(%q) = true", v)
+		}
+	}
+}
+
+func TestWordlistsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range DictionaryWords() {
+		if len(w) < 3 {
+			t.Errorf("dictionary word %q too short", w)
+		}
+		if w != strings.ToLower(w) {
+			t.Errorf("dictionary word %q not lowercase", w)
+		}
+		if seen[w] {
+			t.Errorf("duplicate dictionary word %q", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 1000 {
+		t.Errorf("dictionary suspiciously small: %d words", len(seen))
+	}
+	for _, w := range BrandNames() {
+		if !ValidLabel(w) {
+			t.Errorf("brand %q is not a valid label", w)
+		}
+	}
+	for _, w := range AdultWords() {
+		if !ValidLabel(w) {
+			t.Errorf("adult word %q is not a valid label", w)
+		}
+	}
+}
+
+func TestGeneratorUniqueAndValid(t *testing.T) {
+	g := NewGenerator(42, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		label, cat := g.Next()
+		if seen[label] {
+			t.Fatalf("duplicate label %q at i=%d", label, i)
+		}
+		seen[label] = true
+		if !ValidLabel(label) {
+			t.Fatalf("invalid label %q (category %s)", label, cat)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(7, nil)
+	g2 := NewGenerator(7, nil)
+	for i := 0; i < 100; i++ {
+		l1, c1 := g1.Next()
+		l2, c2 := g2.Next()
+		if l1 != l2 || c1 != c2 {
+			t.Fatalf("divergence at %d: (%q,%v) vs (%q,%v)", i, l1, c1, l2, c2)
+		}
+	}
+}
+
+func TestGeneratorCategoryShapes(t *testing.T) {
+	g := NewGenerator(1, nil)
+	a := NewAnalyzer()
+	for i := 0; i < 2000; i++ {
+		label, cat := g.Next()
+		f := a.Analyze(label)
+		switch cat {
+		case CatNumeric:
+			if !f.IsNumeric {
+				t.Errorf("numeric label %q not numeric", label)
+			}
+		case CatHyphenated:
+			if !f.ContainsHyphen {
+				t.Errorf("hyphenated label %q has no hyphen", label)
+			}
+		case CatUnderscored:
+			if !f.ContainsUnderscore {
+				t.Errorf("underscored label %q has no underscore", label)
+			}
+		case CatDictionary:
+			if !f.ContainsDictionaryWord {
+				t.Errorf("dictionary label %q lacks dictionary word", label)
+			}
+		}
+	}
+}
+
+func TestGeneratorNextOfCategory(t *testing.T) {
+	g := NewGenerator(3, nil)
+	a := NewAnalyzer()
+	for i := 0; i < 200; i++ {
+		label := g.NextOfCategory(CatShort)
+		if len(label) > 6 {
+			t.Errorf("short label %q too long", label)
+		}
+		_ = a.Analyze(label)
+	}
+}
+
+func TestGeneratorMixRoughlyMatchesWeights(t *testing.T) {
+	g := NewGenerator(99, nil)
+	counts := map[Category]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		_, cat := g.Next()
+		counts[cat]++
+	}
+	// The dominant categories must appear with roughly their configured mass.
+	for _, c := range []Category{CatCompound, CatRandom, CatAlphanumeric, CatNumeric} {
+		frac := float64(counts[c]) / n
+		want := DefaultWeights[c]
+		if frac < want*0.7 || frac > want*1.3 {
+			t.Errorf("category %s frequency %.3f, want ~%.3f", c, frac, want)
+		}
+	}
+}
+
+func TestQuickAnalyzeConsistency(t *testing.T) {
+	a := NewAnalyzer()
+	f := func(raw string) bool {
+		feats := a.Analyze(raw)
+		// IsNumeric implies ContainsDigit for non-empty labels.
+		if feats.IsNumeric && feats.Length > 0 && !feats.ContainsDigit {
+			return false
+		}
+		// IsDictionaryWord implies ContainsDictionaryWord.
+		if feats.IsDictionaryWord && !feats.ContainsDictionaryWord {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	a := NewAnalyzer()
+	labels := []string{"gold", "goldrush2021", "xk-rjq_w", "000111", "pumastore"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(labels[i%len(labels)])
+	}
+}

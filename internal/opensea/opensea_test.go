@@ -1,0 +1,150 @@
+package opensea
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/world"
+)
+
+func sampleEvents() []world.OpenSeaEvent {
+	seller := ethtypes.DeriveAddress("catcher-1")
+	buyer := ethtypes.DeriveAddress("buyer-1")
+	var evs []world.OpenSeaEvent
+	for i, label := range []string{"gold", "silver", "bronze"} {
+		evs = append(evs, world.OpenSeaEvent{
+			Kind: world.OSList, Label: label, TokenID: ens.LabelHash(label),
+			Seller: seller, PriceUSD: float64(100 * (i + 1)), Timestamp: 1600000000 + int64(i),
+		})
+	}
+	evs = append(evs, world.OpenSeaEvent{
+		Kind: world.OSSale, Label: "gold", TokenID: ens.LabelHash("gold"),
+		Seller: seller, Buyer: buyer, PriceUSD: 150, Timestamp: 1600001000,
+	})
+	return evs
+}
+
+func newPair(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(sampleEvents()))
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL)
+}
+
+func TestEventsForToken(t *testing.T) {
+	_, client := newPair(t)
+	evs, err := client.EventsForToken(context.Background(), ens.LabelHash("gold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("gold events = %d, want 2", len(evs))
+	}
+	if evs[0].EventType != "listing" || evs[1].EventType != "sale" {
+		t.Errorf("event order: %+v", evs)
+	}
+	if evs[1].Buyer == "" {
+		t.Error("sale missing buyer")
+	}
+	if evs[0].Name != "gold.eth" {
+		t.Errorf("name = %q", evs[0].Name)
+	}
+}
+
+func TestEventsForUnknownToken(t *testing.T) {
+	_, client := newPair(t)
+	evs, err := client.EventsForToken(context.Background(), ens.LabelHash("nothing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Errorf("got %d events for unknown token", len(evs))
+	}
+}
+
+func TestAllEventsFilteredAndPaged(t *testing.T) {
+	_, client := newPair(t)
+	client.Limit = 1 // force one event per page
+	listings, err := client.AllEvents(context.Background(), "listing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listings) != 3 {
+		t.Fatalf("listings = %d, want 3", len(listings))
+	}
+	sales, err := client.AllEvents(context.Background(), "sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sales) != 1 {
+		t.Fatalf("sales = %d, want 1", len(sales))
+	}
+	all, err := client.AllEvents(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("all = %d, want 4", len(all))
+	}
+}
+
+func TestServerRejectsBadParams(t *testing.T) {
+	srv, _ := newPair(t)
+	for _, u := range []string{
+		srv.URL + "/events?limit=0",
+		srv.URL + "/events?limit=9999",
+		srv.URL + "/events?cursor=-1",
+		srv.URL + "/events?cursor=abc",
+	} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", u, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path -> %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWorldIntegration(t *testing.T) {
+	res, err := world.Generate(world.DefaultConfig(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(res.OpenSea))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	var wantListings, wantSales int
+	for _, ev := range res.OpenSea {
+		if ev.Kind == world.OSList {
+			wantListings++
+		} else {
+			wantSales++
+		}
+	}
+	listings, err := client.AllEvents(context.Background(), "listing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sales, err := client.AllEvents(context.Background(), "sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listings) != wantListings || len(sales) != wantSales {
+		t.Errorf("got %d/%d listings/sales, want %d/%d", len(listings), len(sales), wantListings, wantSales)
+	}
+}

@@ -1,0 +1,129 @@
+// Package pricing supplies the ETH-USD daily closing price series the paper
+// obtains from Yahoo Finance. The study converts every on-chain amount to
+// USD "using the adjusted closing price on the day of each Ethereum
+// transaction", so the oracle exposes exactly that: a deterministic
+// Close(day) function.
+//
+// The series is synthetic but shaped on the real 2019-2024 ETH-USD history
+// (COVID crash, 2021 bull runs to ~4.8K, 2022 drawdown, 2023 range) using
+// log-space interpolation between anchor closes plus small deterministic
+// day-level noise, so heavy-tailed USD income distributions and
+// time-dependent effects behave like they did for the paper's dataset.
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ensdropcatch/internal/keccak"
+)
+
+// anchor is a (date, close) calibration point taken from the real series.
+type anchor struct {
+	date  string // YYYY-MM-DD
+	close float64
+}
+
+var anchors = []anchor{
+	{"2019-01-01", 140},
+	{"2019-06-26", 310},
+	{"2019-12-31", 130},
+	{"2020-03-13", 110}, // COVID crash
+	{"2020-08-01", 390},
+	{"2021-01-01", 730},
+	{"2021-05-11", 4100},
+	{"2021-07-20", 1800},
+	{"2021-11-08", 4800}, // all-time high
+	{"2022-01-01", 3700},
+	{"2022-06-18", 1000},
+	{"2022-09-15", 1470}, // the Merge
+	{"2023-01-01", 1200},
+	{"2023-04-15", 2100},
+	{"2023-09-30", 1670},
+	{"2024-06-30", 3400},
+}
+
+// Oracle converts between ETH and USD at historical daily closes.
+// The zero value is not usable; construct with NewOracle.
+type Oracle struct {
+	days   []int64   // unix day numbers of anchors, ascending
+	logs   []float64 // log-closes at anchors
+	noise  float64   // relative day-level noise amplitude (e.g. 0.03)
+	origin time.Time
+}
+
+// NewOracle returns the standard oracle with ±3% deterministic daily noise.
+func NewOracle() *Oracle { return NewOracleNoise(0.03) }
+
+// NewOracleNoise returns an oracle with the given relative daily noise
+// amplitude; 0 yields the pure interpolated curve.
+func NewOracleNoise(noise float64) *Oracle {
+	o := &Oracle{noise: noise, origin: time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)}
+	for _, a := range anchors {
+		ts, err := time.Parse("2006-01-02", a.date)
+		if err != nil {
+			panic(fmt.Sprintf("pricing: bad anchor date %q: %v", a.date, err))
+		}
+		o.days = append(o.days, unixDay(ts.Unix()))
+		o.logs = append(o.logs, math.Log(a.close))
+	}
+	if !sort.SliceIsSorted(o.days, func(i, j int) bool { return o.days[i] < o.days[j] }) {
+		panic("pricing: anchors out of order")
+	}
+	return o
+}
+
+func unixDay(unix int64) int64 {
+	return unix / 86400
+}
+
+// Close returns the ETH-USD close for the day containing the given unix
+// timestamp. Timestamps before the first anchor clamp to the first close;
+// after the last anchor, to the last.
+func (o *Oracle) Close(unix int64) float64 {
+	day := unixDay(unix)
+	base := o.interp(day)
+	if o.noise == 0 {
+		return base
+	}
+	// Deterministic per-day jitter in [-noise, +noise].
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(day >> (8 * i))
+	}
+	sum := keccak.Sum256(buf[:])
+	u := float64(uint16(sum[0])<<8|uint16(sum[1])) / 65535.0 // [0,1]
+	return base * (1 + o.noise*(2*u-1))
+}
+
+func (o *Oracle) interp(day int64) float64 {
+	n := len(o.days)
+	if day <= o.days[0] {
+		return math.Exp(o.logs[0])
+	}
+	if day >= o.days[n-1] {
+		return math.Exp(o.logs[n-1])
+	}
+	idx := sort.Search(n, func(i int) bool { return o.days[i] > day }) - 1
+	span := float64(o.days[idx+1] - o.days[idx])
+	frac := float64(day-o.days[idx]) / span
+	return math.Exp(o.logs[idx]*(1-frac) + o.logs[idx+1]*frac)
+}
+
+// USD converts an amount of ether to USD at the close of the day containing
+// unix.
+func (o *Oracle) USD(eth float64, unix int64) float64 {
+	return eth * o.Close(unix)
+}
+
+// ETH converts a USD amount to ether at the close of the day containing
+// unix.
+func (o *Oracle) ETH(usd float64, unix int64) float64 {
+	c := o.Close(unix)
+	if c == 0 {
+		return 0
+	}
+	return usd / c
+}

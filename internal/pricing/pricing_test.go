@@ -1,0 +1,111 @@
+package pricing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func unixOf(date string) int64 {
+	t, err := time.Parse("2006-01-02", date)
+	if err != nil {
+		panic(err)
+	}
+	return t.Unix()
+}
+
+func TestCloseAtAnchors(t *testing.T) {
+	o := NewOracleNoise(0)
+	cases := []struct {
+		date string
+		want float64
+	}{
+		{"2020-03-13", 110},
+		{"2021-11-08", 4800},
+		{"2022-06-18", 1000},
+	}
+	for _, c := range cases {
+		got := o.Close(unixOf(c.date))
+		if rel := (got - c.want) / c.want; rel > 0.001 || rel < -0.001 {
+			t.Errorf("Close(%s) = %v, want %v", c.date, got, c.want)
+		}
+	}
+}
+
+func TestCloseClampsOutOfRange(t *testing.T) {
+	o := NewOracleNoise(0)
+	early := o.Close(unixOf("2015-01-01"))
+	first := o.Close(unixOf("2019-01-01"))
+	if early != first {
+		t.Errorf("pre-range close %v != first anchor %v", early, first)
+	}
+	late := o.Close(unixOf("2030-01-01"))
+	last := o.Close(unixOf("2024-06-30"))
+	if late != last {
+		t.Errorf("post-range close %v != last anchor %v", late, last)
+	}
+}
+
+func TestCloseDeterministic(t *testing.T) {
+	o1, o2 := NewOracle(), NewOracle()
+	ts := unixOf("2021-06-15")
+	if o1.Close(ts) != o2.Close(ts) {
+		t.Error("Close not deterministic across oracles")
+	}
+	// Same day, different second -> same close.
+	if o1.Close(ts) != o1.Close(ts+3600) {
+		t.Error("intra-day timestamps gave different closes")
+	}
+	// Different days differ (noise plus interpolation).
+	if o1.Close(ts) == o1.Close(ts+86400*30) {
+		t.Error("closes a month apart are identical")
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	pure := NewOracleNoise(0)
+	noisy := NewOracleNoise(0.03)
+	for d := 0; d < 1500; d++ {
+		ts := unixOf("2019-06-01") + int64(d)*86400
+		p, n := pure.Close(ts), noisy.Close(ts)
+		rel := (n - p) / p
+		if rel > 0.0301 || rel < -0.0301 {
+			t.Fatalf("day %d: noise %.4f exceeds bound", d, rel)
+		}
+	}
+}
+
+func TestBullAndBearShape(t *testing.T) {
+	o := NewOracleNoise(0)
+	covid := o.Close(unixOf("2020-03-13"))
+	ath := o.Close(unixOf("2021-11-08"))
+	bear := o.Close(unixOf("2022-06-18"))
+	if !(ath > 10*covid) {
+		t.Errorf("ATH %v not >10x COVID low %v", ath, covid)
+	}
+	if !(bear < ath/3) {
+		t.Errorf("2022 bear %v not <1/3 of ATH %v", bear, ath)
+	}
+}
+
+func TestUSDETHInverse(t *testing.T) {
+	o := NewOracle()
+	ts := unixOf("2022-02-02")
+	usd := o.USD(2.5, ts)
+	eth := o.ETH(usd, ts)
+	if diff := eth - 2.5; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("round trip: 2.5 ETH -> %v USD -> %v ETH", usd, eth)
+	}
+}
+
+func TestQuickClosePositive(t *testing.T) {
+	o := NewOracle()
+	f := func(offsetDays uint16) bool {
+		ts := unixOf("2018-01-01") + int64(offsetDays)*86400
+		c := o.Close(ts)
+		return c > 50 && c < 10000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package recovery implements plaintext-name recovery from raw chain data,
+// the approach the paper's §3.1 contrasts with its subgraph crawl: ENS
+// stores names only as keccak-256 label hashes, so a researcher working
+// from eth_getLogs must brute-force candidate labels — dictionary words,
+// word compounds, numerics, separator variants — and match their hashes
+// against the observed label-hash set. Prior work (Xia et al.) reached
+// 90.1% completeness this way; names outside any enumerable pattern
+// (random strings) are unrecoverable, which is precisely why the paper
+// switched to the subgraph.
+package recovery
+
+import (
+	"strconv"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/lexical"
+)
+
+// Options bounds the brute-force enumeration.
+type Options struct {
+	// Words is the candidate vocabulary; nil uses the embedded
+	// dictionary plus brand and adult lists.
+	Words []string
+	// MaxNumericDigits bounds pure-numeric enumeration (10^n candidates
+	// per length). 6 covers the collectible market.
+	MaxNumericDigits int
+	// DigitSuffixMax bounds word+digits enumeration (word + 1..n digit
+	// suffixes).
+	DigitSuffixMax int
+	// Compounds enables two-word concatenations (|words|^2 candidates).
+	Compounds bool
+	// Separators enables hyphen/underscore two-word variants.
+	Separators bool
+	// ShortAlphaMax exhaustively enumerates all-letter labels up to this
+	// length (26^n candidates per length; 4 is cheap and covers the
+	// "3 Letters Club" market completely).
+	ShortAlphaMax int
+}
+
+// DefaultOptions matches what a diligent brute-forcer would attempt.
+func DefaultOptions() Options {
+	return Options{
+		MaxNumericDigits: 6,
+		DigitSuffixMax:   4,
+		Compounds:        true,
+		Separators:       true,
+		ShortAlphaMax:    4,
+	}
+}
+
+// Result reports a recovery run.
+type Result struct {
+	// Targets is the number of distinct label hashes to recover.
+	Targets int
+	// Recovered maps label hash to the recovered plaintext label.
+	Recovered map[ethtypes.Hash]string
+	// CandidatesTried counts hash computations performed.
+	CandidatesTried int
+}
+
+// Rate returns the recovered fraction.
+func (r *Result) Rate() float64 {
+	if r.Targets == 0 {
+		return 0
+	}
+	return float64(len(r.Recovered)) / float64(r.Targets)
+}
+
+// BruteForce attempts to recover plaintext labels for the given label
+// hashes. The enumeration streams candidates; memory stays proportional
+// to the target set, not the candidate space.
+func BruteForce(targets []ethtypes.Hash, opts Options) *Result {
+	want := make(map[ethtypes.Hash]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	res := &Result{Targets: len(want), Recovered: make(map[ethtypes.Hash]string)}
+	remaining := len(want)
+
+	try := func(label string) bool {
+		res.CandidatesTried++
+		h := ens.LabelHash(label)
+		if want[h] {
+			if _, dup := res.Recovered[h]; !dup {
+				res.Recovered[h] = label
+				remaining--
+			}
+		}
+		return remaining == 0
+	}
+
+	words := opts.Words
+	if words == nil {
+		words = append(append(append([]string{},
+			lexical.DictionaryWords()...),
+			lexical.BrandNames()...),
+			lexical.AdultWords()...)
+	}
+
+	// Single words.
+	for _, w := range words {
+		if try(w) {
+			return res
+		}
+	}
+	// Pure numerics.
+	for digits := 1; digits <= opts.MaxNumericDigits; digits++ {
+		max := pow10(digits)
+		for n := 0; n < max; n++ {
+			s := strconv.Itoa(n)
+			for len(s) < digits {
+				s = "0" + s
+			}
+			if try(s) {
+				return res
+			}
+		}
+	}
+	// Word + digit suffixes.
+	if opts.DigitSuffixMax > 0 {
+		for _, w := range words {
+			for digits := 1; digits <= opts.DigitSuffixMax; digits++ {
+				max := pow10(digits)
+				for n := 0; n < max; n++ {
+					s := strconv.Itoa(n)
+					for len(s) < digits {
+						s = "0" + s
+					}
+					if try(w + s) {
+						return res
+					}
+				}
+			}
+		}
+	}
+	// Exhaustive short all-letter labels.
+	if opts.ShortAlphaMax >= 3 {
+		buf := make([]byte, opts.ShortAlphaMax)
+		for length := 3; length <= opts.ShortAlphaMax; length++ {
+			if enumerateAlpha(buf[:length], 0, try) {
+				return res
+			}
+		}
+	}
+	// Two-word compounds and separator variants.
+	if opts.Compounds || opts.Separators {
+		for _, a := range words {
+			for _, b := range words {
+				if opts.Compounds && try(a+b) {
+					return res
+				}
+				if opts.Separators {
+					if try(a + "-" + b) {
+						return res
+					}
+					if try(a + "_" + b) {
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// enumerateAlpha fills buf[pos:] with every a-z combination, calling try
+// for each complete label; it stops early when try reports completion.
+func enumerateAlpha(buf []byte, pos int, try func(string) bool) bool {
+	if pos == len(buf) {
+		return try(string(buf))
+	}
+	for c := byte('a'); c <= 'z'; c++ {
+		buf[pos] = c
+		if enumerateAlpha(buf, pos+1, try) {
+			return true
+		}
+	}
+	return false
+}
+
+func pow10(n int) int {
+	out := 1
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package recovery
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/lexical"
+)
+
+func hashesOf(labels ...string) []ethtypes.Hash {
+	out := make([]ethtypes.Hash, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, ens.LabelHash(l))
+	}
+	return out
+}
+
+// fast options for unit tests: tiny vocabulary, no big enumerations.
+func testOptions() Options {
+	return Options{
+		Words:            []string{"gold", "rush", "silver", "moon"},
+		MaxNumericDigits: 4,
+		DigitSuffixMax:   2,
+		Compounds:        true,
+		Separators:       true,
+		ShortAlphaMax:    3,
+	}
+}
+
+func TestBruteForceRecoversEnumerablePatterns(t *testing.T) {
+	targets := hashesOf(
+		"gold",      // single word
+		"goldrush",  // compound
+		"gold-rush", // hyphenated
+		"gold_rush", // underscored
+		"silver7",   // word + digit
+		"0042",      // numeric
+		"abc",       // short alpha
+	)
+	res := BruteForce(targets, testOptions())
+	if got := len(res.Recovered); got != len(targets) {
+		t.Fatalf("recovered %d of %d: %v", got, len(targets), res.Recovered)
+	}
+	for _, h := range targets {
+		if _, ok := res.Recovered[h]; !ok {
+			t.Errorf("hash %s not recovered", h)
+		}
+	}
+	if res.Rate() != 1 {
+		t.Errorf("rate = %v", res.Rate())
+	}
+	if res.CandidatesTried == 0 {
+		t.Error("no candidates counted")
+	}
+}
+
+func TestBruteForceCannotRecoverRandomness(t *testing.T) {
+	targets := hashesOf("gold", "xkqzjvwy", "qqjjxxzz17a")
+	res := BruteForce(targets, testOptions())
+	if len(res.Recovered) != 1 {
+		t.Fatalf("recovered %d, want only the dictionary word", len(res.Recovered))
+	}
+	if res.Recovered[ens.LabelHash("gold")] != "gold" {
+		t.Error("gold not recovered")
+	}
+	if res.Rate() < 0.3 || res.Rate() > 0.4 {
+		t.Errorf("rate = %v, want 1/3", res.Rate())
+	}
+}
+
+func TestBruteForceEarlyExit(t *testing.T) {
+	// When everything is recovered early, the enumeration stops: trying
+	// one single word must cost far less than the full candidate space.
+	res := BruteForce(hashesOf("gold"), testOptions())
+	if len(res.Recovered) != 1 {
+		t.Fatal("not recovered")
+	}
+	if res.CandidatesTried > 4 {
+		t.Errorf("tried %d candidates for the first word", res.CandidatesTried)
+	}
+}
+
+func TestBruteForceEmptyTargets(t *testing.T) {
+	res := BruteForce(nil, testOptions())
+	if res.Targets != 0 || res.Rate() != 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}
+
+func TestBruteForceDuplicateTargets(t *testing.T) {
+	h := ens.LabelHash("gold")
+	res := BruteForce([]ethtypes.Hash{h, h, h}, testOptions())
+	if res.Targets != 1 || len(res.Recovered) != 1 {
+		t.Errorf("duplicates not collapsed: %+v", res)
+	}
+}
+
+func TestDefaultVocabularyIncludesAllLists(t *testing.T) {
+	// A brand and an adult keyword must be recoverable with nil Words.
+	opts := Options{} // minimal: only single words
+	targets := hashesOf(lexical.BrandNames()[0], lexical.AdultWords()[0])
+	res := BruteForce(targets, opts)
+	if len(res.Recovered) != 2 {
+		t.Errorf("default vocabulary missed brand/adult words: %v", res.Recovered)
+	}
+}
+
+func TestGeneratorRecoveryRateByCategory(t *testing.T) {
+	// Names from enumerable generator categories must be recoverable;
+	// random-letter names must not. One brute-force pass over the whole
+	// sample; rates are evaluated per category afterwards.
+	gen := lexical.NewGenerator(5, nil)
+	catOf := map[ethtypes.Hash]lexical.Category{}
+	var targets []ethtypes.Hash
+	for i := 0; i < 400; i++ {
+		label, cat := gen.Next()
+		h := ens.LabelHash(label)
+		catOf[h] = cat
+		targets = append(targets, h)
+	}
+	// Dictionary-only vocabulary keeps the compound space (|V|^2 * 3)
+	// test-sized; numerics bounded at 5 digits (the generator emits up
+	// to 7 — the unrecoverable 6-7 digit tail is the realistic gap).
+	opts := Options{
+		Words:            lexical.DictionaryWords(),
+		MaxNumericDigits: 5,
+		Compounds:        true,
+		Separators:       true,
+	}
+	res := BruteForce(targets, opts)
+
+	hit := map[lexical.Category]int{}
+	total := map[lexical.Category]int{}
+	for h, cat := range catOf {
+		total[cat]++
+		if _, ok := res.Recovered[h]; ok {
+			hit[cat]++
+		}
+	}
+	rate := func(c lexical.Category) float64 {
+		if total[c] == 0 {
+			return 1
+		}
+		return float64(hit[c]) / float64(total[c])
+	}
+	for _, cat := range []lexical.Category{lexical.CatDictionary, lexical.CatCompound, lexical.CatHyphenated, lexical.CatUnderscored} {
+		if r := rate(cat); r < 0.9 {
+			t.Errorf("category %v: recovery rate %.2f (%d/%d), want >= 0.9", cat, r, hit[cat], total[cat])
+		}
+	}
+	// Numerics: 3-5 digit names recoverable, 6-7 digit ones not => ~3/5.
+	if r := rate(lexical.CatNumeric); r < 0.35 || r > 0.85 {
+		t.Errorf("numeric recovery rate %.2f, want ~0.6 (5-digit bound)", r)
+	}
+	if r := rate(lexical.CatRandom); r > 0.05 {
+		t.Errorf("random names recovered at %.2f; they should be unrecoverable", r)
+	}
+}

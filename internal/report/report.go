@@ -1,0 +1,211 @@
+// Package report renders analysis results as aligned ASCII tables, CSV
+// series, and terminal histograms/CDFs — the output layer of the
+// ensanalyze tool and the benchmark harness, producing the same rows and
+// series the paper's tables and figures report.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ensdropcatch/internal/stats"
+)
+
+// Table renders rows as an aligned ASCII table with a header rule.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", w-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MarkdownTable renders rows as a GitHub-flavored markdown table.
+func MarkdownTable(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	b.WriteString("|")
+	for range headers {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV writes headers and rows in CSV format.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// USD formats a dollar amount with thousands separators ("4,700 USD").
+func USD(v float64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	whole := int64(math.Round(v))
+	s := groupDigits(whole)
+	if neg {
+		s = "-" + s
+	}
+	return s + " USD"
+}
+
+// Count formats an integer with thousands separators.
+func Count(n int) string {
+	if n < 0 {
+		return "-" + groupDigits(int64(-n))
+	}
+	return groupDigits(int64(n))
+}
+
+func groupDigits(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if len(s) > lead {
+			b.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// Percent formats a fraction as "45.1%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", 100*frac)
+}
+
+// HistogramASCII renders bins as horizontal bars of at most width cells.
+func HistogramASCII(bins []stats.HistBin, width int) string {
+	if len(bins) == 0 {
+		return "(empty)\n"
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxCount := 0
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		bar := 0
+		if maxCount > 0 {
+			bar = b.Count * width / maxCount
+		}
+		if b.Count > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%14s - %-14s |%s %d\n",
+			compactFloat(b.Lo), compactFloat(b.Hi), strings.Repeat("#", bar), b.Count)
+	}
+	return sb.String()
+}
+
+// CDFASCII renders an empirical CDF as value/percentile rows sampled at
+// round fractions.
+func CDFASCII(points []stats.CDFPoint) string {
+	if len(points) == 0 {
+		return "(empty)\n"
+	}
+	var sb strings.Builder
+	fractions := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}
+	idx := 0
+	for _, f := range fractions {
+		for idx < len(points)-1 && points[idx].Fraction < f {
+			idx++
+		}
+		fmt.Fprintf(&sb, "  p%-3.0f <= %s\n", f*100, compactFloat(points[idx].Value))
+	}
+	return sb.String()
+}
+
+func compactFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

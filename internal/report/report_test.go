@@ -1,0 +1,148 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ensdropcatch/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"feature", "value"}, [][]string{
+		{"income", "69,980"},
+		{"len", "8"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "feature") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "69,980") {
+		t.Errorf("row: %q", lines[2])
+	}
+	// Short cells padded: every line should have the same trimmed-right
+	// column starts; just assert the rule is at least as wide as header.
+	if len(lines[1]) < len("feature") {
+		t.Error("rule too short")
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	out := MarkdownTable([]string{"a", "b"}, [][]string{{"1", "with|pipe"}, {"2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "| a | b |" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "|---|---|" {
+		t.Errorf("rule = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `with\|pipe`) {
+		t.Errorf("pipe not escaped: %q", lines[2])
+	}
+	if lines[3] != "| 2 |  |" {
+		t.Errorf("short row = %q", lines[3])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{{"1", "two,with,commas"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"two,with,commas"`) {
+		t.Errorf("csv quoting broken: %q", got)
+	}
+}
+
+func TestUSDAndCount(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{4700, "4,700 USD"},
+		{0, "0 USD"},
+		{999, "999 USD"},
+		{1000, "1,000 USD"},
+		{69980.4, "69,980 USD"},
+		{1234567, "1,234,567 USD"},
+		{-1234, "-1,234 USD"},
+	}
+	for _, c := range cases {
+		if got := USD(c.v); got != c.want {
+			t.Errorf("USD(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := Count(241283); got != "241,283" {
+		t.Errorf("Count = %q", got)
+	}
+	if got := Count(-5); got != "-5" {
+		t.Errorf("Count(-5) = %q", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.451); got != "45.1%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	bins := []stats.HistBin{
+		{Lo: 0, Hi: 10, Count: 5},
+		{Lo: 10, Hi: 20, Count: 50},
+		{Lo: 20, Hi: 30, Count: 0},
+	}
+	out := HistogramASCII(bins, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Error("max bin not full width")
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Error("empty bin drew a bar")
+	}
+	// Non-zero bins always draw at least one cell.
+	if !strings.Contains(lines[0], "#") {
+		t.Error("small bin invisible")
+	}
+	if HistogramASCII(nil, 10) != "(empty)\n" {
+		t.Error("empty histogram")
+	}
+}
+
+func TestCDFASCII(t *testing.T) {
+	cdf := stats.ECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	out := CDFASCII(cdf)
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "p100") {
+		t.Errorf("CDF output missing percentiles: %q", out)
+	}
+	if CDFASCII(nil) != "(empty)\n" {
+		t.Error("empty CDF")
+	}
+}
+
+func TestQuickGroupDigitsRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		s := Count(int(n))
+		plain := strings.ReplaceAll(s, ",", "")
+		var back uint64
+		for _, c := range plain {
+			back = back*10 + uint64(c-'0')
+		}
+		return back == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDFPoint is one point of an empirical distribution function: Fraction of
+// observations are <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// ECDF computes the empirical CDF of xs with one point per distinct value.
+// The input is not modified. An empty input yields an empty CDF.
+func ECDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i := 0; i < len(sorted); i++ {
+		// Emit one point per run of equal values, at the end of the run.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: sorted[i], Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an ECDF (as produced by ECDF) at value v.
+func CDFAt(cdf []CDFPoint, v float64) float64 {
+	idx := sort.Search(len(cdf), func(i int) bool { return cdf[i].Value > v })
+	if idx == 0 {
+		return 0
+	}
+	return cdf[idx-1].Fraction
+}
+
+// HistBin is one bin of a histogram over [Lo, Hi).
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into n equal-width bins spanning [min, max]. Values
+// equal to max land in the last bin. It returns nil for empty input or
+// non-positive n.
+func Histogram(xs []float64, n int) []HistBin {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		return []HistBin{{Lo: lo, Hi: hi, Count: len(xs)}}
+	}
+	width := (hi - lo) / float64(n)
+	bins := make([]HistBin, n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = lo + float64(i+1)*width
+	}
+	bins[n-1].Hi = hi
+	for _, x := range xs {
+		// The quotient can be NaN/Inf for extreme float inputs (width
+		// underflow or range overflow); clamp into the valid bin range.
+		q := (x - lo) / width
+		idx := 0
+		if q >= float64(n) || math.IsNaN(q) {
+			idx = n - 1
+		} else if q > 0 {
+			idx = int(q)
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// LogHistogram bins positive xs into n log10-spaced bins. Non-positive
+// values are counted into the first bin. Used for the paper's heavy-tailed
+// USD distributions (Figures 6-8).
+func LogHistogram(xs []float64, n int) []HistBin {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	maxVal := 0.0
+	minPos := math.Inf(1)
+	for _, x := range xs {
+		if x > maxVal {
+			maxVal = x
+		}
+		if x > 0 && x < minPos {
+			minPos = x
+		}
+	}
+	if maxVal <= 0 || math.IsInf(minPos, 1) || minPos == maxVal {
+		return []HistBin{{Lo: 0, Hi: maxVal, Count: len(xs)}}
+	}
+	loExp := math.Log10(minPos)
+	hiExp := math.Log10(maxVal)
+	width := (hiExp - loExp) / float64(n)
+	bins := make([]HistBin, n)
+	for i := range bins {
+		bins[i].Lo = math.Pow(10, loExp+float64(i)*width)
+		bins[i].Hi = math.Pow(10, loExp+float64(i+1)*width)
+	}
+	bins[0].Lo = minPos
+	bins[n-1].Hi = maxVal
+	for _, x := range xs {
+		if x <= 0 {
+			bins[0].Count++
+			continue
+		}
+		idx := int((math.Log10(x) - loExp) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// Summary bundles the descriptive statistics reported for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		StdDev: StdDev(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		P90:    Percentile(xs, 90),
+		P99:    Percentile(xs, 99),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDF(t *testing.T) {
+	cdf := ECDF([]float64{1, 2, 2, 3})
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(cdf) != len(want) {
+		t.Fatalf("got %d points, want %d", len(cdf), len(want))
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, cdf[i], want[i])
+		}
+	}
+	if ECDF(nil) != nil {
+		t.Error("empty ECDF not nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := ECDF([]float64{10, 20, 30, 40})
+	cases := []struct {
+		v, want float64
+	}{
+		{5, 0}, {10, 0.25}, {15, 0.25}, {40, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := CDFAt(cdf, c.v); got != c.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if len(bins) != 5 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Errorf("counts sum to %d, want 10", total)
+	}
+	// Max value must land in last bin, not overflow.
+	if bins[4].Count == 0 {
+		t.Error("max value missing from last bin")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	bins := Histogram([]float64{7, 7, 7}, 4)
+	if len(bins) != 1 || bins[0].Count != 3 {
+		t.Errorf("constant input: %+v", bins)
+	}
+	if Histogram(nil, 4) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Error("degenerate inputs should yield nil")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 10000}
+	bins := LogHistogram(xs, 4)
+	if len(bins) != 4 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("counts sum to %d, want %d", total, len(xs))
+	}
+	// Non-positive values go to the first bin.
+	bins = LogHistogram([]float64{0, -5, 1, 100}, 3)
+	if bins[0].Count < 2 {
+		t.Errorf("non-positive values not in first bin: %+v", bins)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	approx(t, "Mean", s.Mean, 22, 1e-12)
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		cdf := ECDF(xs)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return len(cdf) == 0 || cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramConserved(t *testing.T) {
+	f := func(raw []float64, n uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		bins := Histogram(xs, int(n%20)+1)
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("0.5-sigma shift not detected: %+v", res)
+	}
+	if res.Statistic >= 0 {
+		t.Errorf("a < b should give negative z, got %v", res.Statistic)
+	}
+}
+
+func TestMannWhitneyNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for i := range a {
+		a[i] = rng.ExpFloat64()
+		b[i] = rng.ExpFloat64()
+	}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.001) {
+		t.Errorf("identical distributions flagged: %+v", res)
+	}
+}
+
+func TestMannWhitneyRobustToOutliers(t *testing.T) {
+	// Means differ wildly because of one whale, but the bulk of the
+	// distributions coincide: the rank test must NOT fire while the
+	// difference is a single point.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1e9}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.05) {
+		t.Errorf("single outlier triggered rank test: %+v", res)
+	}
+	// Welch on the same data is dominated by the outlier's variance and
+	// also shouldn't fire — but the rank statistic must be tiny.
+	if math.Abs(res.Statistic) > 1 {
+		t.Errorf("rank statistic %.2f inflated by outlier", res.Statistic)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	a := []float64{1, 1, 1, 2, 2}
+	b := []float64{1, 2, 2, 2, 3}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.P) || res.P <= 0 || res.P > 1 {
+		t.Errorf("tied data p = %v", res.P)
+	}
+	// All values identical: p = 1.
+	res, err = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied p = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("singleton accepted")
+	}
+}
+
+func TestQuickMannWhitneySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 40)
+		b := make([]float64, 60)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() * 2
+		}
+		r1, err1 := MannWhitneyU(a, b)
+		r2, err2 := MannWhitneyU(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1.Statistic+r2.Statistic) < 1e-9 && math.Abs(r1.P-r2.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

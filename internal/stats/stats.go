@@ -1,0 +1,147 @@
+// Package stats provides the statistical machinery the paper's analysis
+// uses: descriptive statistics, Welch's t-test for numerical features,
+// the two-proportion z-test for categorical features, and empirical
+// CDF/histogram builders for the figures. Everything is implemented on the
+// standard library only (math.Erfc supplies the normal distribution).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test needs more observations than
+// were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or 0 when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs; the input is not
+// reordered.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// TwoSidedP converts a z (or large-df t) statistic into a two-sided p-value
+// under the standard normal distribution.
+func TwoSidedP(z float64) float64 {
+	return 2 * NormalCDF(-math.Abs(z))
+}
+
+// TestResult reports the outcome of a significance test.
+type TestResult struct {
+	Statistic float64 // t or z statistic
+	P         float64 // two-sided p-value
+	DF        float64 // degrees of freedom (Welch approximation; 0 for z-tests)
+}
+
+// Significant reports whether the result is significant at level alpha
+// (the paper uses alpha = 0.05).
+func (r TestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WelchT performs Welch's unequal-variance t-test comparing the means of a
+// and b. The p-value uses the normal approximation, which is accurate for
+// the sample sizes in this study (tens of thousands per group).
+func WelchT(a, b []float64) (TestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		// Identical constant samples: no evidence of difference.
+		if ma == mb {
+			return TestResult{Statistic: 0, P: 1}, nil
+		}
+		return TestResult{Statistic: math.Inf(sign(ma - mb)), P: 0}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	// Welch–Satterthwaite degrees of freedom.
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	return TestResult{Statistic: t, P: TwoSidedP(t), DF: df}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// TwoProportionZ performs the pooled two-proportion z-test: successes1 of
+// n1 trials vs successes2 of n2 trials.
+func TwoProportionZ(successes1, n1, successes2, n2 int) (TestResult, error) {
+	if n1 == 0 || n2 == 0 {
+		return TestResult{}, ErrInsufficientData
+	}
+	if successes1 < 0 || successes2 < 0 || successes1 > n1 || successes2 > n2 {
+		return TestResult{}, errors.New("stats: successes out of range")
+	}
+	p1 := float64(successes1) / float64(n1)
+	p2 := float64(successes2) / float64(n2)
+	pool := float64(successes1+successes2) / float64(n1+n2)
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return TestResult{Statistic: 0, P: 1}, nil
+	}
+	z := (p1 - p2) / se
+	return TestResult{Statistic: z, P: TwoSidedP(z)}, nil
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Mean", Mean(xs), 5, 1e-12)
+	approx(t, "Variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice statistics should be zero")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("singleton variance should be zero")
+	}
+	if Median([]float64{5}) != 5 {
+		t.Error("singleton median")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "P0", Percentile(xs, 0), 1, 0)
+	approx(t, "P50", Percentile(xs, 50), 3, 0)
+	approx(t, "P100", Percentile(xs, 100), 5, 0)
+	approx(t, "P25", Percentile(xs, 25), 2, 1e-12)
+	// Interpolation between ranks.
+	approx(t, "P10", Percentile(xs, 10), 1.4, 1e-12)
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile reordered its input")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, "CDF(0)", NormalCDF(0), 0.5, 1e-12)
+	approx(t, "CDF(1.96)", NormalCDF(1.96), 0.975, 1e-3)
+	approx(t, "CDF(-1.96)", NormalCDF(-1.96), 0.025, 1e-3)
+	approx(t, "CDF(5)", NormalCDF(5), 1, 1e-6)
+}
+
+func TestTwoSidedP(t *testing.T) {
+	approx(t, "p(0)", TwoSidedP(0), 1, 1e-12)
+	approx(t, "p(1.96)", TwoSidedP(1.96), 0.05, 1e-3)
+	approx(t, "p(-1.96)", TwoSidedP(-1.96), 0.05, 1e-3)
+}
+
+func TestWelchTDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()*10 + 100
+		b[i] = rng.NormFloat64()*20 + 110
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("shifted means not detected: %+v", res)
+	}
+	if res.Statistic >= 0 {
+		t.Errorf("statistic sign wrong: %v", res.Statistic)
+	}
+	if res.DF < 100 {
+		t.Errorf("implausible df %v", res.DF)
+	}
+}
+
+func TestWelchTNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.001) {
+		t.Errorf("identical distributions flagged significant: %+v", res)
+	}
+}
+
+func TestWelchTEdgeCases(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("singleton group accepted")
+	}
+	res, err := WelchT([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constants: p = %v, want 1", res.P)
+	}
+	res, err = WelchT([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("distinct constants: p = %v, want 0", res.P)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Clearly different proportions.
+	res, err := TwoProportionZ(500, 1000, 300, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("50%% vs 30%% not significant: %+v", res)
+	}
+	// Identical proportions.
+	res, err = TwoProportionZ(100, 1000, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.05) {
+		t.Errorf("identical proportions significant: %+v", res)
+	}
+}
+
+func TestTwoProportionZErrors(t *testing.T) {
+	if _, err := TwoProportionZ(1, 0, 1, 10); err == nil {
+		t.Error("n1=0 accepted")
+	}
+	if _, err := TwoProportionZ(11, 10, 1, 10); err == nil {
+		t.Error("successes > n accepted")
+	}
+	if _, err := TwoProportionZ(-1, 10, 1, 10); err == nil {
+		t.Error("negative successes accepted")
+	}
+	// Degenerate: all success in both groups -> se = 0, p = 1.
+	res, err := TwoProportionZ(10, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("degenerate case p = %v, want 1", res.P)
+	}
+}
+
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		v := Percentile(xs, float64(p%101))
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWelchSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50)
+		b := make([]float64, 70)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 3
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()*2 + 1
+		}
+		r1, err1 := WelchT(a, b)
+		r2, err2 := WelchT(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1.Statistic+r2.Statistic) < 1e-9 && math.Abs(r1.P-r2.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "sort"
+
+// Kaplan-Meier survival estimation. The dropcatching use: for each expired
+// name, "death" is its re-registration and the observation is censored at
+// the window end — domains that were still unclaimed when the study ended
+// contribute exposure time without a catch. This corrects the bias a naive
+// Figure 3 histogram has against slow catches near the window edge.
+
+// Observation is one subject: Time until event or censoring (in any unit),
+// and whether the event occurred (false = right-censored).
+type Observation struct {
+	Time  float64
+	Event bool
+}
+
+// SurvivalPoint is one step of the estimated survival curve: the
+// probability of remaining event-free just after Time.
+type SurvivalPoint struct {
+	Time     float64
+	Survival float64
+	AtRisk   int
+	Events   int
+}
+
+// KaplanMeier estimates the survival function S(t) from possibly-censored
+// observations. Returns one point per distinct event time, in time order.
+func KaplanMeier(obs []Observation) []SurvivalPoint {
+	if len(obs) == 0 {
+		return nil
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	var out []SurvivalPoint
+	s := 1.0
+	n := len(sorted)
+	i := 0
+	for i < n {
+		t := sorted[i].Time
+		events, leaving := 0, 0
+		for i < n && sorted[i].Time == t {
+			leaving++
+			if sorted[i].Event {
+				events++
+			}
+			i++
+		}
+		atRisk := n - (i - leaving)
+		if events > 0 {
+			s *= 1 - float64(events)/float64(atRisk)
+			out = append(out, SurvivalPoint{Time: t, Survival: s, AtRisk: atRisk, Events: events})
+		}
+	}
+	return out
+}
+
+// SurvivalAt evaluates a Kaplan-Meier curve at time t (1.0 before the
+// first event).
+func SurvivalAt(curve []SurvivalPoint, t float64) float64 {
+	s := 1.0
+	for _, p := range curve {
+		if p.Time > t {
+			break
+		}
+		s = p.Survival
+	}
+	return s
+}
+
+// MedianSurvival returns the earliest time at which survival drops to 0.5
+// or below, and whether it was reached within the observed range.
+func MedianSurvival(curve []SurvivalPoint) (float64, bool) {
+	for _, p := range curve {
+		if p.Survival <= 0.5 {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}

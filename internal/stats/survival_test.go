@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	// Without censoring, KM equals the empirical survival function.
+	obs := []Observation{
+		{1, true}, {2, true}, {3, true}, {4, true},
+	}
+	curve := KaplanMeier(obs)
+	if len(curve) != 4 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	want := []float64{0.75, 0.5, 0.25, 0}
+	for i, p := range curve {
+		if math.Abs(p.Survival-want[i]) > 1e-12 {
+			t.Errorf("S(%v) = %v, want %v", p.Time, p.Survival, want[i])
+		}
+	}
+}
+
+func TestKaplanMeierCensoringRaisesSurvival(t *testing.T) {
+	events := []Observation{{1, true}, {2, true}, {3, true}, {4, true}}
+	censored := []Observation{{1, true}, {2, true}, {3, false}, {4, false}}
+	se := KaplanMeier(events)
+	sc := KaplanMeier(censored)
+	// With the last two subjects censored instead of dying, survival
+	// beyond their times stays higher than in the all-event case.
+	if SurvivalAt(sc, 4.5) <= SurvivalAt(se, 4.5) {
+		t.Errorf("censoring did not raise survival: %v vs %v",
+			SurvivalAt(sc, 4.5), SurvivalAt(se, 4.5))
+	}
+}
+
+func TestKaplanMeierTiesAndSteps(t *testing.T) {
+	obs := []Observation{
+		{5, true}, {5, true}, {5, false}, {8, true},
+	}
+	curve := KaplanMeier(obs)
+	if len(curve) != 2 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	// At t=5: 4 at risk, 2 events -> S = 0.5.
+	if curve[0].AtRisk != 4 || curve[0].Events != 2 || math.Abs(curve[0].Survival-0.5) > 1e-12 {
+		t.Errorf("first step = %+v", curve[0])
+	}
+	// At t=8: 1 at risk, 1 event -> S = 0.
+	if curve[1].AtRisk != 1 || curve[1].Survival != 0 {
+		t.Errorf("second step = %+v", curve[1])
+	}
+}
+
+func TestSurvivalAtAndMedian(t *testing.T) {
+	curve := KaplanMeier([]Observation{{10, true}, {20, true}, {30, true}, {40, true}})
+	if SurvivalAt(curve, 5) != 1 {
+		t.Error("S before first event != 1")
+	}
+	if got := SurvivalAt(curve, 25); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("S(25) = %v", got)
+	}
+	med, ok := MedianSurvival(curve)
+	if !ok || med != 20 {
+		t.Errorf("median = %v, %v", med, ok)
+	}
+	// All censored: median never reached.
+	flat := KaplanMeier([]Observation{{1, false}, {2, false}})
+	if _, ok := MedianSurvival(flat); ok {
+		t.Error("median reached with no events")
+	}
+	if flat != nil {
+		t.Errorf("all-censored curve should have no points, got %v", flat)
+	}
+}
+
+func TestKaplanMeierEmpty(t *testing.T) {
+	if KaplanMeier(nil) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestQuickKaplanMeierMonotoneIn01(t *testing.T) {
+	f := func(raw []bool, times []uint16) bool {
+		n := len(raw)
+		if len(times) < n {
+			n = len(times)
+		}
+		obs := make([]Observation, 0, n)
+		for i := 0; i < n; i++ {
+			obs = append(obs, Observation{Time: float64(times[i]%1000) + 1, Event: raw[i]})
+		}
+		curve := KaplanMeier(obs)
+		prev := 1.0
+		for _, p := range curve {
+			if p.Survival < 0 || p.Survival > prev+1e-12 {
+				return false
+			}
+			prev = p.Survival
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

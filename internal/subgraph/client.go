@@ -1,0 +1,117 @@
+package subgraph
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client queries a subgraph endpoint and pages through collections with
+// id_gt cursors, the strategy that gives the paper's crawl its ~100%
+// completeness under the 1000-row cap.
+type Client struct {
+	// Endpoint is the subgraph URL.
+	Endpoint string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// PageSize defaults to MaxPageSize.
+	PageSize int
+}
+
+// NewClient returns a client for the given endpoint.
+func NewClient(endpoint string) *Client {
+	return &Client{
+		Endpoint:   endpoint,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		PageSize:   MaxPageSize,
+	}
+}
+
+// Query executes one raw query and returns the data map.
+func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, error) {
+	body, err := json.Marshal(gqlRequest{Query: query})
+	if err != nil {
+		return nil, fmt.Errorf("subgraph client: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("subgraph client: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("subgraph client: do: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("subgraph client: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("subgraph client: status %d: %s", resp.StatusCode, truncate(string(raw), 200))
+	}
+	var envelope gqlResponse
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		return nil, fmt.Errorf("subgraph client: decode: %w", err)
+	}
+	if len(envelope.Errors) > 0 {
+		return nil, fmt.Errorf("subgraph client: server error: %s", envelope.Errors[0].Message)
+	}
+	return envelope.Data, nil
+}
+
+// PageAll retrieves an entire collection using id_gt cursor paging,
+// requesting the given fields. The id field is always included (it drives
+// the cursor).
+func (c *Client) PageAll(ctx context.Context, collection string, fields []string) ([]Entity, error) {
+	pageSize := c.PageSize
+	if pageSize <= 0 || pageSize > MaxPageSize {
+		pageSize = MaxPageSize
+	}
+	fieldSet := ensureID(fields)
+	var out []Entity
+	cursor := ""
+	for {
+		query := fmt.Sprintf(
+			`{ %s(first: %d, orderBy: id, where: {id_gt: %q}) { %s } }`,
+			collection, pageSize, cursor, strings.Join(fieldSet, " "))
+		data, err := c.Query(ctx, query)
+		if err != nil {
+			return nil, fmt.Errorf("page after %q: %w", cursor, err)
+		}
+		rows := data[collection]
+		out = append(out, rows...)
+		if len(rows) < pageSize {
+			return out, nil
+		}
+		cursor = rows[len(rows)-1].ID()
+		if cursor == "" {
+			return nil, fmt.Errorf("subgraph client: empty id cursor in collection %q", collection)
+		}
+	}
+}
+
+func ensureID(fields []string) []string {
+	for _, f := range fields {
+		if f == "id" {
+			return fields
+		}
+	}
+	return append([]string{"id"}, fields...)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,37 @@
+package subgraph
+
+import "testing"
+
+// FuzzParse hardens the GraphQL-subset parser: arbitrary input must never
+// panic, and accepted queries must be structurally sound.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{ registrations(first: 10) { id } }`,
+		`query Foo { domains { id name } }`,
+		`{ registrationEvents(first: 1000, skip: 5, orderBy: id, where: {id_gt: "0xab", type: "NameRenewed"}) { id type } }`,
+		`{ a { b { c { d } } } }`,
+		`# comment only`,
+		`{ x(flag: true, n: -42) { id } }`,
+		"{\n  x(v: \"quoted \\\" inner\") { id }\n}",
+		`{}`,
+		`{{{{`,
+		`{ x(first: 99999999999999999999999999) { id } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(q.Selections) == 0 {
+			t.Fatal("accepted query with no selections")
+		}
+		for _, sel := range q.Selections {
+			if sel.Name == "" {
+				t.Fatal("selection with empty name")
+			}
+		}
+	})
+}

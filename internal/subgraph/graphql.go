@@ -1,0 +1,288 @@
+// Package subgraph reimplements the ENS subgraph the paper queries for its
+// registration dataset: an indexer that folds chain events into entity
+// collections, a GraphQL-subset query engine, an HTTP server, and a paging
+// client. The query surface mirrors how The Graph is used in practice —
+// `first`/`skip` windows capped at 1000 rows and `id_gt` cursor paging.
+package subgraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Query is a parsed GraphQL-subset query: one or more top-level selections.
+type Query struct {
+	Selections []*Selection
+}
+
+// Selection is one field selection with optional arguments and a nested
+// selection set.
+type Selection struct {
+	Name   string
+	Args   map[string]Value
+	Fields []*Selection
+}
+
+// Value is a GraphQL argument value.
+type Value struct {
+	Str  string
+	Int  int64
+	Bool bool
+	Obj  map[string]Value
+	Kind ValueKind
+}
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindString ValueKind = iota
+	KindInt
+	KindBool
+	KindObject
+	KindEnum // bare identifier, e.g. orderBy: id
+)
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("subgraph: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+type token struct {
+	kind string // "name", "string", "int", "punct", "eof"
+	text string
+	pos  int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: "eof", pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case strings.ContainsRune("{}():", rune(c)):
+		l.pos++
+		return token{kind: "punct", text: string(c), pos: start}, nil
+	case c == '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, &ParseError{start, "unterminated string"}
+		}
+		l.pos++ // closing quote
+		return token{kind: "string", text: b.String(), pos: start}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: "int", text: l.src[start:l.pos], pos: start}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return token{kind: "name", text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, &ParseError{start, fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind, text string) error {
+	if p.tok.kind != kind || (text != "" && p.tok.text != text) {
+		return &ParseError{p.tok.pos, fmt.Sprintf("expected %s %q, got %s %q", kind, text, p.tok.kind, p.tok.text)}
+	}
+	return p.advance()
+}
+
+// Parse parses a query document. The optional leading `query` keyword (with
+// no variables) is accepted.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == "name" && p.tok.text == "query" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Optional operation name.
+		if p.tok.kind == "name" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sels, err := p.selectionSet()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != "eof" {
+		return nil, &ParseError{p.tok.pos, "trailing input"}
+	}
+	return &Query{Selections: sels}, nil
+}
+
+func (p *parser) selectionSet() ([]*Selection, error) {
+	if err := p.expect("punct", "{"); err != nil {
+		return nil, err
+	}
+	var out []*Selection
+	for p.tok.kind == "name" {
+		sel, err := p.selection()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sel)
+	}
+	if err := p.expect("punct", "}"); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, &ParseError{p.tok.pos, "empty selection set"}
+	}
+	return out, nil
+}
+
+func (p *parser) selection() (*Selection, error) {
+	sel := &Selection{Name: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == "punct" && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sel.Args = map[string]Value{}
+		for p.tok.kind == "name" {
+			key := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("punct", ":"); err != nil {
+				return nil, err
+			}
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			sel.Args[key] = v
+		}
+		if err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == "punct" && p.tok.text == "{" {
+		fields, err := p.selectionSet()
+		if err != nil {
+			return nil, err
+		}
+		sel.Fields = fields
+	}
+	return sel, nil
+}
+
+func (p *parser) value() (Value, error) {
+	// Capture the token before advancing: mixing p.tok reads with an
+	// advance() call in one return statement has unspecified order.
+	text := p.tok.text
+	switch p.tok.kind {
+	case "string":
+		return Value{Kind: KindString, Str: text}, p.advance()
+	case "int":
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, &ParseError{p.tok.pos, "bad integer"}
+		}
+		return Value{Kind: KindInt, Int: n}, p.advance()
+	case "name":
+		switch text {
+		case "true":
+			return Value{Kind: KindBool, Bool: true}, p.advance()
+		case "false":
+			return Value{Kind: KindBool, Bool: false}, p.advance()
+		default:
+			return Value{Kind: KindEnum, Str: text}, p.advance()
+		}
+	case "punct":
+		if p.tok.text == "{" {
+			if err := p.advance(); err != nil {
+				return Value{}, err
+			}
+			obj := map[string]Value{}
+			for p.tok.kind == "name" {
+				key := p.tok.text
+				if err := p.advance(); err != nil {
+					return Value{}, err
+				}
+				if err := p.expect("punct", ":"); err != nil {
+					return Value{}, err
+				}
+				v, err := p.value()
+				if err != nil {
+					return Value{}, err
+				}
+				obj[key] = v
+			}
+			if err := p.expect("punct", "}"); err != nil {
+				return Value{}, err
+			}
+			return Value{Kind: KindObject, Obj: obj}, nil
+		}
+	}
+	return Value{}, &ParseError{p.tok.pos, fmt.Sprintf("unexpected %s %q in value position", p.tok.kind, p.tok.text)}
+}

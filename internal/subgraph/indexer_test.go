@@ -1,0 +1,86 @@
+package subgraph
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// TestIncrementalSyncEqualsFullBuild indexes a chain in two halves and
+// verifies the result matches a one-shot BuildIndex.
+func TestIncrementalSyncEqualsFullBuild(t *testing.T) {
+	start := int64(1580515200)
+	c := chain.New(start)
+	svc := ens.Deploy(c, pricing.NewOracleNoise(0))
+	alice := ethtypes.DeriveAddress("ix-alice")
+	bob := ethtypes.DeriveAddress("ix-bob")
+	c.Mint(alice, ethtypes.Ether(10000))
+	c.Mint(bob, ethtypes.Ether(10000))
+
+	register := func(ts int64, who ethtypes.Address, label string) {
+		t.Helper()
+		rcpt, err := svc.Register(ts, who, who, label, ens.Year, svc.PriceWei(label, ens.Year, ts))
+		if err != nil || rcpt.Err != nil {
+			t.Fatalf("register %s: %v %v", label, err, rcpt)
+		}
+	}
+
+	register(start, alice, "first")
+	register(start+86400, alice, "second")
+
+	ix := NewIndexer()
+	if n := ix.Sync(c); n == 0 {
+		t.Fatal("first sync indexed nothing")
+	}
+	if ix.Store().Len(ColRegistrations) != 2 {
+		t.Fatalf("after first sync: %d registrations", ix.Store().Len(ColRegistrations))
+	}
+	w1 := ix.Watermark()
+
+	// More activity: a renewal (mutates an existing entity) and a new
+	// registration.
+	rcpt, err := svc.Renew(start+2*86400, alice, "first", ens.Year, svc.PriceWei("first", ens.Year, start+2*86400))
+	if err != nil || rcpt.Err != nil {
+		t.Fatalf("renew: %v %v", err, rcpt)
+	}
+	register(start+3*86400, bob, "third")
+
+	if n := ix.Sync(c); n == 0 {
+		t.Fatal("second sync indexed nothing")
+	}
+	if ix.Watermark() <= w1 {
+		t.Error("watermark did not advance")
+	}
+	// Idempotent when nothing changed.
+	if n := ix.Sync(c); n != 0 {
+		t.Errorf("no-op sync indexed %d logs", n)
+	}
+
+	full := BuildIndex(c)
+	for _, col := range []string{ColRegistrations, ColEvents, ColDomains, ColSubdomains} {
+		if got, want := ix.Store().Len(col), full.Len(col); got != want {
+			t.Errorf("%s: incremental %d, full %d", col, got, want)
+		}
+	}
+
+	// The renewal must be visible on the incrementally updated entity.
+	q, err := Parse(`{ registrations(first: 10, where: {labelName: "first"}) { id labelName expiryDate } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ix.Store().Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out[ColRegistrations]
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	reg, _ := svc.Registration("first")
+	if got := rows[0]["expiryDate"].(int64); got != reg.Expiry {
+		t.Errorf("incremental entity expiry %d, want %d (renewal lost)", got, reg.Expiry)
+	}
+}

@@ -1,0 +1,68 @@
+package subgraph
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+)
+
+// Server exposes a Store over HTTP with a GraphQL-style POST endpoint.
+// Request body: {"query": "..."}; response: {"data": {...}} or
+// {"errors": [{"message": "..."}]}, matching The Graph's envelope.
+type Server struct {
+	store *Store
+	log   *slog.Logger
+}
+
+// NewServer wraps a store. A nil logger disables logging.
+func NewServer(store *Store, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Server{store: store, log: logger}
+}
+
+type gqlRequest struct {
+	Query string `json:"query"`
+}
+
+type gqlError struct {
+	Message string `json:"message"`
+}
+
+type gqlResponse struct {
+	Data   map[string][]Entity `json:"data,omitempty"`
+	Errors []gqlError          `json:"errors,omitempty"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req gqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, gqlResponse{Errors: []gqlError{{Message: "invalid request body: " + err.Error()}}})
+		return
+	}
+	q, err := Parse(req.Query)
+	if err != nil {
+		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
+		return
+	}
+	data, err := s.store.Execute(q)
+	if err != nil {
+		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, gqlResponse{Data: data})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body gqlResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.log.Error("subgraph: encode response", "err", err)
+	}
+}

@@ -1,0 +1,419 @@
+package subgraph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ens"
+)
+
+// MaxPageSize is The Graph's hard cap on `first` (rows per query).
+const MaxPageSize = 1000
+
+// Entity is one indexed record: flat string/int fields keyed by name.
+// Missing fields are absent from the map (GraphQL null).
+type Entity map[string]any
+
+// ID returns the entity id (always present).
+func (e Entity) ID() string {
+	id, _ := e["id"].(string)
+	return id
+}
+
+// Store holds the indexed entity collections, each sorted by id.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string][]Entity
+}
+
+// Collections available in the store (mirroring the ENS subgraph's
+// entities the paper consumed).
+const (
+	// ColRegistrations is the current registration record per name.
+	ColRegistrations = "registrations"
+	// ColEvents is the full registration event history (NameRegistered,
+	// NameRenewed, NameTransferred).
+	ColEvents = "registrationEvents"
+	// ColDomains maps namehash nodes to resolution records.
+	ColDomains = "domains"
+	// ColSubdomains holds registry subnode records (pay.gold.eth).
+	ColSubdomains = "subdomains"
+)
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{collections: map[string][]Entity{
+		ColRegistrations: nil,
+		ColEvents:        nil,
+		ColDomains:       nil,
+		ColSubdomains:    nil,
+	}}
+}
+
+// BuildIndex folds the chain's full event history into a Store, the way
+// the ENS subgraph indexes mainnet.
+func BuildIndex(c *chain.Chain) *Store {
+	ix := NewIndexer()
+	ix.Sync(c)
+	return ix.Store()
+}
+
+// Indexer folds chain events into a Store incrementally: each Sync indexes
+// only blocks past the previous watermark, the way The Graph tails the
+// chain head.
+type Indexer struct {
+	store     *Store
+	regs      map[string]Entity // labelhash -> registration entity
+	domains   map[string]Entity // node -> domain entity
+	watermark uint64            // highest fully indexed block
+}
+
+// NewIndexer returns an empty incremental indexer.
+func NewIndexer() *Indexer {
+	return &Indexer{
+		store:   NewStore(),
+		regs:    map[string]Entity{},
+		domains: map[string]Entity{},
+	}
+}
+
+// Store returns the indexed store (shared; updated by future Syncs).
+func (ix *Indexer) Store() *Store { return ix.store }
+
+// Watermark returns the highest fully indexed block.
+func (ix *Indexer) Watermark() uint64 { return ix.watermark }
+
+// indexedEvents are the event names the ENS subgraph consumes.
+var indexedEvents = []string{"NameRegistered", "NameRenewed", "NameTransferred", "AddrChanged", "NewOwner"}
+
+// Sync indexes all new logs since the previous call and returns how many
+// were processed.
+func (ix *Indexer) Sync(c *chain.Chain) int {
+	head := c.HeadBlock()
+	if head <= ix.watermark {
+		return 0
+	}
+	logs := c.FilterLogs(chain.LogFilter{FromBlock: ix.watermark + 1, ToBlock: head, Events: indexedEvents})
+	s := ix.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := ix.regs
+	domains := ix.domains
+
+	for _, l := range logs {
+		switch l.Event {
+		case "NameRegistered":
+			lh := l.Topics[0]
+			id := lh.Hex()
+			node := ens.NodeFromLabelHash(lh).Hex()
+			reg, ok := regs[id]
+			if !ok {
+				reg = Entity{"id": id, "domain": node}
+				regs[id] = reg
+			}
+			if name, ok := l.Data["name"]; ok {
+				reg["labelName"] = name
+			}
+			reg["registrant"] = l.Data["owner"]
+			reg["registrationDate"] = l.Timestamp
+			reg["expiryDate"] = atoi(l.Data["expires"])
+			reg["cost"] = l.Data["costWei"]
+			d, ok := domains[node]
+			if !ok {
+				d = Entity{"id": node, "createdAt": l.Timestamp, "labelhash": id}
+				domains[node] = d
+			}
+			if name, ok := l.Data["name"]; ok {
+				d["labelName"] = name
+				d["name"] = name + ".eth"
+			}
+			d["owner"] = l.Data["owner"]
+			s.append(ColEvents, Entity{
+				"id":          eventID(l),
+				"type":        "NameRegistered",
+				"label":       id,
+				"labelName":   orNil(l.Data, "name"),
+				"registrant":  l.Data["owner"],
+				"expiryDate":  atoi(l.Data["expires"]),
+				"costWei":     l.Data["costWei"],
+				"premiumWei":  l.Data["premium"],
+				"timestamp":   l.Timestamp,
+				"blockNumber": int64(l.BlockNumber),
+				"txHash":      l.TxHash.Hex(),
+			})
+		case "NameRenewed":
+			lh := l.Topics[0]
+			id := lh.Hex()
+			if reg, ok := regs[id]; ok {
+				reg["expiryDate"] = atoi(l.Data["expires"])
+			}
+			s.append(ColEvents, Entity{
+				"id":          eventID(l),
+				"type":        "NameRenewed",
+				"label":       id,
+				"labelName":   orNil(l.Data, "name"),
+				"expiryDate":  atoi(l.Data["expires"]),
+				"costWei":     l.Data["costWei"],
+				"timestamp":   l.Timestamp,
+				"blockNumber": int64(l.BlockNumber),
+				"txHash":      l.TxHash.Hex(),
+			})
+		case "NameTransferred":
+			lh := l.Topics[0]
+			id := lh.Hex()
+			if reg, ok := regs[id]; ok {
+				reg["registrant"] = l.Data["newOwner"]
+			}
+			s.append(ColEvents, Entity{
+				"id":          eventID(l),
+				"type":        "NameTransferred",
+				"label":       id,
+				"labelName":   orNil(l.Data, "name"),
+				"newOwner":    l.Data["newOwner"],
+				"timestamp":   l.Timestamp,
+				"blockNumber": int64(l.BlockNumber),
+				"txHash":      l.TxHash.Hex(),
+			})
+		case "AddrChanged":
+			node := l.Topics[0].Hex()
+			d, ok := domains[node]
+			if !ok {
+				d = Entity{"id": node, "createdAt": l.Timestamp}
+				domains[node] = d
+			}
+			d["resolvedAddress"] = l.Data["addr"]
+		case "NewOwner":
+			// Registry subnode creation (subdomains).
+			e := Entity{
+				"id":        l.Topics[0].Hex(),
+				"parent":    l.Data["parent"],
+				"labelhash": l.Data["label"],
+				"owner":     l.Data["owner"],
+				"createdAt": l.Timestamp,
+			}
+			if name, ok := l.Data["name"]; ok {
+				e["name"] = name + ".eth"
+			}
+			s.append(ColSubdomains, e)
+		}
+	}
+
+	// Registrations and domains are mutated in place; new ones are
+	// appended to the collections (entities are shared maps, so updates
+	// to existing ones are already visible).
+	inRegs := map[string]bool{}
+	for _, e := range s.collections[ColRegistrations] {
+		inRegs[e.ID()] = true
+	}
+	for id, reg := range regs {
+		if !inRegs[id] {
+			s.append(ColRegistrations, reg)
+		}
+	}
+	inDomains := map[string]bool{}
+	for _, e := range s.collections[ColDomains] {
+		inDomains[e.ID()] = true
+	}
+	for id, d := range domains {
+		if !inDomains[id] {
+			s.append(ColDomains, d)
+		}
+	}
+	s.sortAll()
+	ix.watermark = head
+	return len(logs)
+}
+
+func eventID(l *chain.Log) string {
+	return fmt.Sprintf("%s-%06d", l.TxHash.Hex(), l.Index)
+}
+
+func orNil(m map[string]string, key string) any {
+	if v, ok := m[key]; ok {
+		return v
+	}
+	return nil
+}
+
+func atoi(s string) int64 {
+	n, _ := strconv.ParseInt(s, 10, 64)
+	return n
+}
+
+func (s *Store) append(col string, e Entity) {
+	s.collections[col] = append(s.collections[col], e)
+}
+
+func (s *Store) sortAll() {
+	for _, list := range s.collections {
+		sort.Slice(list, func(i, j int) bool { return list[i].ID() < list[j].ID() })
+	}
+}
+
+// Len returns the number of entities in a collection.
+func (s *Store) Len(col string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.collections[col])
+}
+
+// Execute runs a parsed query against the store and returns one result
+// list per top-level selection, keyed by selection name.
+func (s *Store) Execute(q *Query) (map[string][]Entity, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]Entity, len(q.Selections))
+	for _, sel := range q.Selections {
+		list, ok := s.collections[sel.Name]
+		if !ok {
+			return nil, fmt.Errorf("subgraph: unknown collection %q", sel.Name)
+		}
+		rows, err := applySelection(list, sel)
+		if err != nil {
+			return nil, err
+		}
+		out[sel.Name] = rows
+	}
+	return out, nil
+}
+
+func applySelection(list []Entity, sel *Selection) ([]Entity, error) {
+	if len(sel.Fields) == 0 {
+		return nil, fmt.Errorf("subgraph: selection %q needs a field set", sel.Name)
+	}
+	first := int64(100) // The Graph's default page size
+	skip := int64(0)
+	var where map[string]Value
+	for k, v := range sel.Args {
+		switch k {
+		case "first":
+			if v.Kind != KindInt {
+				return nil, fmt.Errorf("subgraph: first must be an int")
+			}
+			first = v.Int
+		case "skip":
+			if v.Kind != KindInt {
+				return nil, fmt.Errorf("subgraph: skip must be an int")
+			}
+			skip = v.Int
+		case "where":
+			if v.Kind != KindObject {
+				return nil, fmt.Errorf("subgraph: where must be an object")
+			}
+			where = v.Obj
+		case "orderBy":
+			if v.Str != "id" {
+				return nil, fmt.Errorf("subgraph: only orderBy: id is supported")
+			}
+		default:
+			return nil, fmt.Errorf("subgraph: unsupported argument %q", k)
+		}
+	}
+	if first < 0 || first > MaxPageSize {
+		return nil, fmt.Errorf("subgraph: first must be in [0, %d]", MaxPageSize)
+	}
+	if skip < 0 {
+		return nil, fmt.Errorf("subgraph: skip must be non-negative")
+	}
+
+	// Fast path: a lone id_gt filter seeks directly into the sorted list
+	// (this is why cursor paging beats offset paging at scale).
+	start := 0
+	if len(where) == 1 {
+		if v, ok := where["id_gt"]; ok && v.Kind == KindString {
+			start = sort.Search(len(list), func(i int) bool { return list[i].ID() > v.Str })
+			where = nil
+		}
+	}
+
+	var rows []Entity
+	for _, e := range list[start:] {
+		if !matchWhere(e, where) {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		rows = append(rows, project(e, sel.Fields))
+		if int64(len(rows)) >= first {
+			break
+		}
+	}
+	return rows, nil
+}
+
+func matchWhere(e Entity, where map[string]Value) bool {
+	for key, v := range where {
+		field, op := key, "eq"
+		for _, suffix := range []string{"_gt", "_gte", "_lt", "_lte"} {
+			if strings.HasSuffix(key, suffix) {
+				field, op = strings.TrimSuffix(key, suffix), suffix[1:]
+				break
+			}
+		}
+		got, present := e[field]
+		if !present {
+			return false
+		}
+		if !compare(got, v, op) {
+			return false
+		}
+	}
+	return true
+}
+
+func compare(got any, want Value, op string) bool {
+	switch g := got.(type) {
+	case string:
+		w := want.Str
+		switch op {
+		case "eq":
+			return g == w
+		case "gt":
+			return g > w
+		case "gte":
+			return g >= w
+		case "lt":
+			return g < w
+		case "lte":
+			return g <= w
+		}
+	case int64:
+		if want.Kind != KindInt {
+			return false
+		}
+		switch op {
+		case "eq":
+			return g == want.Int
+		case "gt":
+			return g > want.Int
+		case "gte":
+			return g >= want.Int
+		case "lt":
+			return g < want.Int
+		case "lte":
+			return g <= want.Int
+		}
+	}
+	return false
+}
+
+// project copies only the requested fields. Requesting an absent field
+// yields an explicit null (JSON null), like GraphQL.
+func project(e Entity, fields []*Selection) Entity {
+	out := make(Entity, len(fields))
+	for _, f := range fields {
+		v, ok := e[f.Name]
+		if !ok {
+			out[f.Name] = nil
+			continue
+		}
+		out[f.Name] = v
+	}
+	return out
+}

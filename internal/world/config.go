@@ -1,0 +1,199 @@
+// Package world generates a synthetic ENS ecosystem: a population of owners
+// registering, renewing, and abandoning .eth names; senders paying them
+// through ENS or by raw address; and dropcatchers re-registering expired
+// names weighted by the income and lexical value the paper's Table 1
+// identifies. It drives the internal/chain and internal/ens substrates to
+// produce a full on-chain history (Feb 2020 - Sep 2023, like the paper's
+// window), plus an OpenSea-style event stream and ground-truth labels the
+// analysis pipeline can be validated against — but never reads.
+package world
+
+import "ensdropcatch/internal/ens"
+
+// Unix timestamps delimiting the paper's measurement window.
+const (
+	// DefaultStart is 2020-02-01T00:00:00Z.
+	DefaultStart int64 = 1580515200
+	// DefaultMigrationDeadline is 2020-05-04T00:00:00Z, the renewal
+	// deadline of the 2020 ENS contract migration that caused the
+	// expiration spike in Figure 2.
+	DefaultMigrationDeadline int64 = 1588550400
+	// DefaultEnd is 2023-09-30T00:00:00Z.
+	DefaultEnd int64 = 1696032000
+)
+
+// Config controls the generated world. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	Seed       int64
+	NumDomains int
+	Start, End int64
+	// MigrationDeadline is the forced expiry date of the legacy cohort.
+	MigrationDeadline int64
+
+	// MigrationFraction of domains belong to the pre-2020 cohort whose
+	// registration is backdated to Start and expires at the migration
+	// deadline unless renewed.
+	MigrationFraction float64
+	// MigrationRenewProb is the probability a legacy owner renews by the
+	// deadline.
+	MigrationRenewProb float64
+	// RenewProb is the per-expiry probability an owner renews a name.
+	RenewProb float64
+	// UnindexedFraction of registrations bypass the controller so the
+	// subgraph never learns their plaintext label (the paper's ~34K
+	// unrecoverable names, ~1%).
+	UnindexedFraction float64
+	// TransferProb is the probability an active name is transferred to a
+	// new owner once during a cycle (a sale outside our marketplace).
+	TransferProb float64
+	// SubdomainProb is the probability a domain's owner creates
+	// subdomains (the paper's dataset includes 846,752 of them,
+	// ~0.27 per 2LD).
+	SubdomainProb float64
+
+	// IncomeMedianUSD and IncomeSigma parametrize the lognormal
+	// pre-expiry income of a domain's wallet.
+	IncomeMedianUSD float64
+	IncomeSigma     float64
+	// SenderMean is the Poisson mean of additional senders per domain
+	// (every domain has at least one).
+	SenderMean float64
+	// StaleSendProb is the probability a sender keeps paying a wallet
+	// after its domain expired (the hijackable funds of Figure 7).
+	StaleSendProb float64
+
+	// CatchBase scales the overall dropcatch probability; CatchThreshold
+	// centers the logistic over the domain value score.
+	CatchBase      float64
+	CatchThreshold float64
+	// SelfRecoverProb is the probability the ORIGINAL owner re-registers
+	// their own expired name after the auction (not a dropcatch).
+	SelfRecoverProb float64
+	// RecatchFactor multiplies the catch probability for names dropped a
+	// second or later time (Figure 4's multi-cycle names).
+	RecatchFactor float64
+
+	// PremiumPayerProb is the probability a high-value catch happens
+	// during the Dutch auction at a positive premium.
+	PremiumPayerProb float64
+	// SameDayProb / ShortDelayProb control the Figure 3 clustering at and
+	// just after the premium end.
+	SameDayProb    float64
+	ShortDelayProb float64
+	// TailDelayMeanDays is the mean of the exponential long-tail
+	// re-registration delay.
+	TailDelayMeanDays float64
+
+	// MisdirectProb is the per-(ENS-channel sender) probability of
+	// continuing to pay through the re-registered name, i.e. sending
+	// funds to the new owner (the paper's financial-loss scenario).
+	// The paper-scale rate is ~0.0012; the default is inflated so the
+	// loss figures have usable sample sizes at 1/50 scale (documented in
+	// EXPERIMENTS.md).
+	MisdirectProb float64
+	// SplitSenderProb is the probability a continuing sender ALSO pays
+	// the old owner again after the re-registration — a confounder the
+	// conservative heuristic must exclude.
+	SplitSenderProb float64
+	// IntentionalProb is the fraction of post-catch payments to the new
+	// owner that are intentional (ground truth: not misdirected), the
+	// false-positive class the paper's Limitations section discusses.
+	IntentionalProb float64
+	// PreTenureProb is the probability a sender's relationship with an
+	// owner predates the domain registration (payments before the
+	// registration date), the class the heuristic's "only while a1 held
+	// d" clause excludes.
+	PreTenureProb float64
+	// PreTenureToA2Prob is the probability such a pre-existing contact
+	// also pays the new owner after the catch for unrelated reasons —
+	// the false positive the clause protects against.
+	PreTenureToA2Prob float64
+	// CustodialCoincidenceProb is the probability a non-Coinbase
+	// custodial address that paid a1 also pays a2 post-catch (different
+	// users behind the shared address) — what the custodial filter
+	// removes.
+	CustodialCoincidenceProb float64
+	// CatcherNoiseProb is the probability a catcher wallet receives
+	// unrelated income from fresh senders.
+	CatcherNoiseProb float64
+
+	// ListProb is the probability a caught name is listed on OpenSea;
+	// SoldProb the conditional probability a listing sells.
+	ListProb float64
+	SoldProb float64
+
+	// CoinbaseAddresses and OtherCustodialAddresses size the custodial
+	// sender pools (paper: 25 Coinbase, 558 other custodial).
+	CoinbaseAddresses       int
+	OtherCustodialAddresses int
+	// CoinbaseShare / OtherCustodialShare of sender slots come from the
+	// custodial pools; the rest are non-custodial.
+	CoinbaseShare       float64
+	OtherCustodialShare float64
+	// ENSChannelProb is the probability an ENS-capable sender pays via
+	// the name rather than a pasted raw address.
+	ENSChannelProb float64
+}
+
+// DefaultConfig returns the calibrated configuration for n domains.
+func DefaultConfig(n int) Config {
+	return Config{
+		Seed:               1,
+		NumDomains:         n,
+		Start:              DefaultStart,
+		End:                DefaultEnd,
+		MigrationDeadline:  DefaultMigrationDeadline,
+		MigrationFraction:  0.13,
+		MigrationRenewProb: 0.55,
+		RenewProb:          0.42,
+		UnindexedFraction:  0.010,
+		TransferProb:       0.03,
+		SubdomainProb:      0.13,
+
+		IncomeMedianUSD: 1500,
+		IncomeSigma:     2.2,
+		SenderMean:      6.3,
+		StaleSendProb:   0.15,
+
+		CatchBase:       1.0,
+		CatchThreshold:  1.75,
+		SelfRecoverProb: 0.05,
+		RecatchFactor:   0.75,
+
+		PremiumPayerProb:  0.22,
+		SameDayProb:       0.08,
+		ShortDelayProb:    0.13,
+		TailDelayMeanDays: 150,
+
+		MisdirectProb:    0.015,
+		SplitSenderProb:  0.10,
+		IntentionalProb:  0.05,
+		CatcherNoiseProb: 0.30,
+
+		PreTenureProb:            0.04,
+		PreTenureToA2Prob:        0.25,
+		CustodialCoincidenceProb: 0.05,
+
+		ListProb: 0.083,
+		SoldProb: 0.61,
+
+		CoinbaseAddresses:       25,
+		OtherCustodialAddresses: 558,
+		CoinbaseShare:           0.25,
+		OtherCustodialShare:     0.20,
+		ENSChannelProb:          0.50,
+	}
+}
+
+// PaperScaleLossConfig returns DefaultConfig(n) with the loss-scenario rate
+// dialed down to the paper-observed per-sender rate, for experiments that
+// compare absolute scaled counts instead of distribution shapes.
+func PaperScaleLossConfig(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.MisdirectProb = 0.0012
+	return cfg
+}
+
+// year is the default registration duration unit.
+const year = ens.Year

@@ -1,0 +1,654 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/lexical"
+)
+
+type evKind uint8
+
+const (
+	evRegister evKind = iota
+	evRegisterUnindexed
+	evRenew
+	evSetAddr
+	evTransferName
+	evSend
+	evCreateSubdomain
+	evSetSubAddr
+)
+
+// event is one planned action, executed against the chain in timestamp
+// order.
+type event struct {
+	ts       int64
+	seq      int32
+	kind     evKind
+	label    string // domain label; for subdomain ops the parent label
+	subLabel string // subdomain label (evCreateSubdomain/evSetSubAddr)
+	from     ethtypes.Address
+	to       ethtypes.Address // register/transfer: new owner; setAddr: target; send: recipient
+	usd      float64          // send amount in USD (converted at execution)
+	duration time.Duration    // register/renew duration
+	truthMis bool             // send is ground-truth misdirected
+	truthInt bool             // send is intentional but matches the loss pattern
+	viaENS   bool             // send was initiated by resolving the name
+}
+
+// senderRel is one sender-domain relationship during the first cycle.
+type senderRel struct {
+	addr       ethtypes.Address
+	kind       SenderKind
+	ensChannel bool
+	lastTx     int64
+	// preTenure marks contacts whose relationship with the owner
+	// predates the domain registration.
+	preTenure bool
+}
+
+type planner struct {
+	cfg      Config
+	rng      *rand.Rand
+	lexGen   *lexical.Generator
+	ana      *lexical.Analyzer
+	senders  *senderPool
+	catchers *catcherPool
+
+	events  []event
+	seq     int32
+	truth   *Truth
+	opensea []OpenSeaEvent
+
+	monthStarts []int64 // month boundaries across [Start, End]
+	monthCum    []float64
+}
+
+func newPlanner(cfg Config) *planner {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &planner{
+		cfg:      cfg,
+		rng:      rng,
+		lexGen:   lexical.NewGenerator(cfg.Seed+1, nil),
+		ana:      lexical.NewAnalyzer(),
+		senders:  newSenderPool(rand.New(rand.NewSource(cfg.Seed+2)), cfg),
+		catchers: newCatcherPool(rand.New(rand.NewSource(cfg.Seed+3)), cfg.NumDomains),
+		truth: &Truth{
+			MisdirectedTxHashes: make(map[ethtypes.Hash]bool),
+			IntentionalTxHashes: make(map[ethtypes.Hash]bool),
+		},
+	}
+	p.buildRegTimeDist()
+	return p
+}
+
+// buildRegTimeDist sets up the monthly registration-volume curve of
+// Figure 2: rising through 2021-2022, peaking in early-mid 2022, then
+// declining through 2023.
+func (p *planner) buildRegTimeDist() {
+	t := time.Unix(p.cfg.Start, 0).UTC()
+	end := time.Unix(p.cfg.End, 0).UTC()
+	cur := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+	var weights []float64
+	for cur.Before(end) {
+		p.monthStarts = append(p.monthStarts, cur.Unix())
+		weights = append(weights, regMonthWeight(cur))
+		cur = cur.AddDate(0, 1, 0)
+	}
+	p.monthStarts = append(p.monthStarts, end.Unix())
+	total := 0.0
+	p.monthCum = make([]float64, len(weights))
+	for i, w := range weights {
+		total += w
+		p.monthCum[i] = total
+	}
+	for i := range p.monthCum {
+		p.monthCum[i] /= total
+	}
+}
+
+func regMonthWeight(m time.Time) float64 {
+	idx := (m.Year()-2020)*12 + int(m.Month()-1) // Jan 2020 = 0
+	switch {
+	case idx < 11: // 2020
+		return 1.2
+	case idx < 23: // 2021: ramp 2 -> 4.5
+		return 2 + 2.5*float64(idx-11)/11
+	case idx < 29: // 2022 H1: ramp 5 -> 8
+		return 5 + 3*float64(idx-23)/5
+	case idx < 35: // 2022 H2: 8 -> 5.5
+		return 8 - 2.5*float64(idx-29)/5
+	default: // 2023: 4.5 declining to 2
+		return math.Max(2, 4.5-2.5*float64(idx-35)/8)
+	}
+}
+
+func (p *planner) sampleRegTime() int64 {
+	u := p.rng.Float64()
+	i := sort.SearchFloat64s(p.monthCum, u)
+	if i >= len(p.monthCum) {
+		i = len(p.monthCum) - 1
+	}
+	lo, hi := p.monthStarts[i], p.monthStarts[i+1]
+	return lo + p.rng.Int63n(hi-lo)
+}
+
+func (p *planner) push(ev event) {
+	ev.seq = p.seq
+	p.seq++
+	p.events = append(p.events, ev)
+}
+
+// Distribution helpers.
+
+func (p *planner) poisson(lambda float64) int {
+	// Knuth's algorithm; fine for the small lambdas used here.
+	l := math.Exp(-lambda)
+	k := 0
+	prod := 1.0
+	for {
+		prod *= p.rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+func (p *planner) lognormal(median, sigma float64) float64 {
+	return median * math.Exp(p.rng.NormFloat64()*sigma)
+}
+
+// geometric returns a non-negative count with success probability q per
+// trial (mean (1-q)/q).
+func (p *planner) geometric(q float64) int {
+	k := 0
+	for p.rng.Float64() > q && k < 50 {
+		k++
+	}
+	return k
+}
+
+func (p *planner) days(lo, hi float64) int64 {
+	return int64((lo + p.rng.Float64()*(hi-lo)) * 86400)
+}
+
+// subdomainLabels are the delegation names owners typically create.
+var subdomainLabels = []string{"pay", "wallet", "vault", "app", "dao", "mail", "nft", "shop"}
+
+// plan generates the full event script and ground truth.
+func (p *planner) plan() {
+	for i := 0; i < p.cfg.NumDomains; i++ {
+		p.planDomain(i)
+	}
+}
+
+func (p *planner) planDomain(i int) {
+	cfg := p.cfg
+	label, cat := p.lexGen.Next()
+	truth := &DomainTruth{Label: label, Category: cat}
+	p.truth.Domains = append(p.truth.Domains, truth)
+
+	owner := ethtypes.DeriveAddress(fmt.Sprintf("owner-%07d", i))
+	migration := p.rng.Float64() < cfg.MigrationFraction
+
+	var regAt, expiry int64
+	var dur time.Duration
+	if migration {
+		// Legacy cohort: registration recorded at window start, expiry
+		// pinned near the migration deadline.
+		regAt = cfg.Start + p.rng.Int63n(86400*7)
+		expiry = cfg.MigrationDeadline + p.days(-10, 20)
+		dur = time.Duration(expiry-regAt) * time.Second
+	} else {
+		regAt = p.sampleRegTime()
+		dur = p.sampleDuration()
+		expiry = regAt + int64(dur/time.Second)
+	}
+
+	kind := evRegister
+	if p.rng.Float64() < cfg.UnindexedFraction {
+		kind = evRegisterUnindexed
+		truth.Unindexed = true
+	}
+	p.push(event{ts: regAt, kind: kind, label: label, from: owner, to: owner, duration: dur})
+	p.push(event{ts: regAt + 3600, kind: evSetAddr, label: label, from: owner, to: owner})
+
+	// Renewals extend the first cycle.
+	renewals := 0
+	renewProb := cfg.RenewProb
+	if migration {
+		renewProb = cfg.MigrationRenewProb
+	}
+	for expiry < cfg.End && p.rng.Float64() < renewProb {
+		renewAt := expiry - p.days(1, 30)
+		if renewAt <= regAt+3600 {
+			renewAt = expiry - 3600
+		}
+		p.push(event{ts: renewAt, kind: evRenew, label: label, from: owner, duration: year})
+		expiry += int64(year / time.Second)
+		renewals++
+		renewProb = cfg.RenewProb
+	}
+
+	cycle1 := CycleTruth{Owner: owner, Wallet: owner, RegisteredAt: regAt, Expiry: expiry, Renewals: renewals}
+	truth.Cycles = append(truth.Cycles, cycle1)
+
+	// Ownership transfer for long-lived survivors only (keeps transfer
+	// history orthogonal to the dropcatch pipeline).
+	if expiry > cfg.End && p.rng.Float64() < cfg.TransferProb {
+		at := regAt + p.days(30, 200)
+		if at < cfg.End {
+			newOwner := ethtypes.DeriveAddress(fmt.Sprintf("owner-%07d-t", i))
+			p.push(event{ts: at, kind: evTransferName, label: label, from: owner, to: newOwner})
+			p.push(event{ts: at + 3600, kind: evSetAddr, label: label, from: newOwner, to: newOwner})
+		}
+	}
+
+	// Subdomains: some owners delegate names like pay.gold.eth. Created
+	// early in the tenure (before any survivor transfer).
+	if p.rng.Float64() < cfg.SubdomainProb {
+		k := 1 + p.geometric(0.5)
+		for t := 0; t < k && t < len(subdomainLabels); t++ {
+			at := regAt + p.days(5, 25)
+			if at >= expiry-3600 || at >= cfg.End-3600 {
+				continue
+			}
+			subOwner := owner
+			if p.rng.Float64() < 0.3 {
+				subOwner = ethtypes.DeriveAddress(fmt.Sprintf("subowner-%07d-%d", i, t))
+			}
+			sub := subdomainLabels[t]
+			p.push(event{ts: at, kind: evCreateSubdomain, label: label, subLabel: sub, from: owner, to: subOwner})
+			p.push(event{ts: at + 600, kind: evSetSubAddr, label: label, subLabel: sub, from: subOwner, to: subOwner})
+			truth.Subdomains++
+		}
+	}
+
+	// First-cycle income.
+	tenureEnd := expiry
+	if tenureEnd > cfg.End {
+		tenureEnd = cfg.End
+	}
+	rels, income, txCount := p.planIncome(truth, label, owner, regAt, tenureEnd)
+	truth.IncomeUSD = income
+	truth.Senders = len(rels)
+	truth.Transactions = txCount
+
+	if expiry >= cfg.End {
+		return // still active (or in grace) at the end of the window
+	}
+
+	// The name expired inside the window.
+	premiumEnd := ens.PremiumEndTime(expiry)
+	if premiumEnd >= cfg.End-86400*2 {
+		// Grace or auction extends beyond the window: nobody can have
+		// re-registered yet. Stale senders may still pay the old wallet.
+		p.planStaleSends(truth, label, rels, owner, expiry, cfg.End, income, txCount)
+		return
+	}
+
+	// Value the name the way dropcatchers do.
+	feats := p.ana.Analyze(label)
+	v := lexScore(feats) + incomeScore(income) + p.rng.NormFloat64()*0.6
+	pCatch := cfg.CatchBase * logistic(v-cfg.CatchThreshold)
+
+	if p.rng.Float64() < cfg.SelfRecoverProb {
+		// The original owner buys their own name back after the auction.
+		at := premiumEnd + p.days(0, 5)
+		if at < cfg.End {
+			p.planStaleSends(truth, label, rels, owner, expiry, at, income, txCount)
+			p.push(event{ts: at, kind: evRegister, label: label, from: owner, to: owner, duration: year})
+			truth.Cycles = append(truth.Cycles, CycleTruth{
+				Owner: owner, Wallet: owner, RegisteredAt: at,
+				Expiry: at + int64(year/time.Second), SameOwnerAsPrev: true,
+			})
+		}
+		return
+	}
+
+	if p.rng.Float64() >= pCatch {
+		// Expired, never re-registered: the control population.
+		p.planStaleSends(truth, label, rels, owner, expiry, cfg.End, income, txCount)
+		return
+	}
+
+	// Dropcaught. Decide when, by whom, and what follows.
+	catchAt, _ := p.planCatchTime(expiry, v)
+	if catchAt >= cfg.End-3600 {
+		p.planStaleSends(truth, label, rels, owner, expiry, cfg.End, income, txCount)
+		return
+	}
+	p.planStaleSends(truth, label, rels, owner, expiry, catchAt, income, txCount)
+	p.planCatchCycles(i, truth, label, rels, owner, expiry, catchAt, v)
+}
+
+func (p *planner) sampleDuration() time.Duration {
+	r := p.rng.Float64()
+	switch {
+	case r < 0.68:
+		return year
+	case r < 0.83:
+		return 2 * year
+	case r < 0.88:
+		return 3 * year
+	default:
+		// Short registrations between the 28-day minimum and ~6 months.
+		return ens.MinRegistrationDuration + time.Duration(p.rng.Int63n(int64(5*30*24)))*time.Hour
+	}
+}
+
+// planIncome creates the first-cycle income transactions and returns the
+// sender relationships, total USD income, and transaction count.
+func (p *planner) planIncome(truth *DomainTruth, label string, wallet ethtypes.Address, from, to int64) ([]senderRel, float64, int) {
+	cfg := p.cfg
+	income := p.lognormal(cfg.IncomeMedianUSD, cfg.IncomeSigma)
+	factor := math.Log10(1+income) / 3.5
+	if factor < 0.4 {
+		factor = 0.4
+	}
+	if factor > 2.0 {
+		factor = 2.0
+	}
+	n := 1 + p.poisson(cfg.SenderMean*factor)
+
+	rels := make([]senderRel, 0, n)
+	type plannedTx struct {
+		rel int
+		ts  int64
+		w   float64
+	}
+	var txs []plannedTx
+	span := to - from
+	if span < 86400 {
+		span = 86400
+	}
+	for s := 0; s < n; s++ {
+		addr, kind := p.senders.pick()
+		rel := senderRel{
+			addr:       addr,
+			kind:       kind,
+			ensChannel: kind != OtherCustodial && p.rng.Float64() < cfg.ENSChannelProb,
+		}
+		k := 1 + p.poisson(2.2)
+		for t := 0; t < k; t++ {
+			ts := from + 86400 + p.rng.Int63n(span)
+			if ts > to {
+				ts = to
+			}
+			if ts > rel.lastTx {
+				rel.lastTx = ts
+			}
+			txs = append(txs, plannedTx{rel: s, ts: ts, w: p.rng.ExpFloat64()})
+		}
+		// Some contacts already paid this owner before the domain
+		// existed — payments attributable to the relationship, not the
+		// name. They are emitted directly (outside the income split).
+		if room := from - p.cfg.Start - 2*86400; room > 86400 && p.rng.Float64() < cfg.PreTenureProb {
+			rel.preTenure = true
+			for t := 0; t < 1+p.rng.Intn(2); t++ {
+				ts := p.cfg.Start + 86400 + p.rng.Int63n(room)
+				p.push(event{ts: ts, kind: evSend, from: rel.addr, to: wallet, usd: p.lognormal(120, 1.2)})
+			}
+		}
+		rels = append(rels, rel)
+	}
+	var totalW float64
+	for _, tx := range txs {
+		totalW += tx.w
+	}
+	for _, tx := range txs {
+		amount := income * tx.w / totalW
+		p.push(event{ts: tx.ts, kind: evSend, label: label, from: rels[tx.rel].addr, to: wallet, usd: amount, viaENS: rels[tx.rel].ensChannel})
+	}
+	return rels, income, len(txs)
+}
+
+// planStaleSends models senders who keep paying an expired name's wallet
+// before any re-registration (Figure 7's hijackable funds). The window is
+// [expiry, until).
+func (p *planner) planStaleSends(truth *DomainTruth, label string, rels []senderRel, wallet ethtypes.Address, expiry, until int64, income float64, txCount int) {
+	if until <= expiry+3600 || txCount == 0 {
+		return
+	}
+	perTx := income / float64(txCount)
+	span := until - expiry - 3600
+	for _, rel := range rels {
+		if p.rng.Float64() >= p.cfg.StaleSendProb {
+			continue
+		}
+		k := 1 + p.geometric(0.5)
+		for t := 0; t < k; t++ {
+			ts := expiry + 3600 + p.rng.Int63n(span)
+			amount := perTx * p.rng.ExpFloat64()
+			if amount < 0.01 {
+				amount = 0.01
+			}
+			truth.HijackableUSD += amount
+			p.push(event{ts: ts, kind: evSend, label: label, from: rel.addr, to: wallet, usd: amount, viaENS: rel.ensChannel})
+		}
+	}
+}
+
+// planCatchTime picks the re-registration instant, reproducing Figure 3's
+// clustering: premium payers inside the auction, a spike on the day the
+// premium ends, a bump shortly after, and a long exponential tail.
+func (p *planner) planCatchTime(expiry int64, v float64) (int64, float64) {
+	cfg := p.cfg
+	release := ens.ReleaseTime(expiry)
+	premiumEnd := ens.PremiumEndTime(expiry)
+
+	if v > 1.6 && p.rng.Float64() < cfg.PremiumPayerProb {
+		// Pay a positive premium: sample a target premium and invert the
+		// halving curve to find the day.
+		target := p.lognormal(60, 2.0)
+		if target > 60000 {
+			target = 60000
+		}
+		if target < 1 {
+			target = 1
+		}
+		endVal := float64(ens.PremiumStartUSD) * math.Pow(0.5, 21)
+		daysIn := math.Log2(float64(ens.PremiumStartUSD) / (target + endVal))
+		if daysIn < 0 {
+			daysIn = 0
+		}
+		if daysIn > 20.95 {
+			daysIn = 20.95
+		}
+		at := release + int64(daysIn*86400)
+		return at, ens.PremiumUSDAt(expiry, at)
+	}
+
+	r := p.rng.Float64()
+	switch {
+	case r < cfg.SameDayProb:
+		return premiumEnd + p.rng.Int63n(86400), 0
+	case r < cfg.SameDayProb+cfg.ShortDelayProb:
+		return premiumEnd + 86400 + p.days(0, 13), 0
+	default:
+		delay := int64(p.rng.ExpFloat64() * cfg.TailDelayMeanDays * 86400)
+		at := premiumEnd + 86400 + delay
+		if at >= p.cfg.End {
+			// Fold the overshoot back into the available window.
+			avail := p.cfg.End - premiumEnd - 7200
+			if avail <= 0 {
+				return p.cfg.End, 0
+			}
+			at = premiumEnd + 3600 + p.rng.Int63n(avail)
+		}
+		return at, 0
+	}
+}
+
+// planCatchCycles emits the dropcatch registration, subsequent renewals or
+// re-drops (Figure 4's multi-cycle names), the misdirected payments of the
+// paper's loss scenario, catcher-side noise income, and OpenSea resales.
+func (p *planner) planCatchCycles(i int, truth *DomainTruth, label string, rels []senderRel, a1 ethtypes.Address, prevExpiry, catchAt int64, v float64) {
+	cfg := p.cfg
+	truth.Dropcaught = true
+
+	catcher := p.catchers.pick()
+	if catcher == a1 {
+		catcher = ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-extra-%07d", i))
+	}
+
+	dur := year
+	if p.rng.Float64() < 0.30 {
+		dur = ens.MinRegistrationDuration + time.Duration(p.rng.Int63n(int64(60*24)))*time.Hour
+	}
+	p.push(event{ts: catchAt, kind: evRegister, label: label, from: catcher, to: catcher, duration: dur})
+	p.push(event{ts: catchAt + 7200, kind: evSetAddr, label: label, from: catcher, to: catcher})
+
+	expiry := catchAt + int64(dur/time.Second)
+	renewals := 0
+	for expiry < cfg.End && p.rng.Float64() < 0.25 {
+		renewAt := expiry - p.days(1, 20)
+		if renewAt <= catchAt+7200 {
+			renewAt = expiry - 3600
+		}
+		p.push(event{ts: renewAt, kind: evRenew, label: label, from: catcher, duration: year})
+		expiry += int64(year / time.Second)
+		renewals++
+	}
+	premiumPaid := ens.PremiumUSDAt(prevExpiry, catchAt)
+	truth.Cycles = append(truth.Cycles, CycleTruth{
+		Owner: catcher, Wallet: catcher, RegisteredAt: catchAt,
+		Expiry: expiry, Renewals: renewals, PremiumUSD: premiumPaid,
+	})
+
+	// Misdirected payments: first-cycle ENS-channel senders who keep
+	// paying through the name, now resolving to the catcher.
+	misWindowEnd := expiry
+	if misWindowEnd > cfg.End {
+		misWindowEnd = cfg.End
+	}
+	if misWindowEnd > catchAt+7200+3600 {
+		span := misWindowEnd - catchAt - 7200 - 3600
+		for _, rel := range rels {
+			// Confounder classes the heuristic must handle.
+			if rel.preTenure {
+				// A pre-existing contact of a1 may also pay a2 for
+				// unrelated reasons (not via the name).
+				if p.rng.Float64() < cfg.PreTenureToA2Prob {
+					ts := catchAt + 7200 + 3600 + p.rng.Int63n(span)
+					p.push(event{ts: ts, kind: evSend, from: rel.addr, to: catcher, usd: p.lognormal(150, 1.3)})
+				}
+				continue
+			}
+			if rel.kind == OtherCustodial {
+				// A shared exchange address that paid a1 may pay a2 on
+				// behalf of a completely different user.
+				if p.rng.Float64() < cfg.CustodialCoincidenceProb {
+					ts := catchAt + 7200 + 3600 + p.rng.Int63n(span)
+					p.push(event{ts: ts, kind: evSend, from: rel.addr, to: catcher, usd: p.lognormal(250, 1.4)})
+				}
+				continue
+			}
+			if !rel.ensChannel {
+				continue
+			}
+			if p.rng.Float64() >= cfg.MisdirectProb {
+				continue
+			}
+			split := p.rng.Float64() < cfg.SplitSenderProb
+			intentional := split || p.rng.Float64() < cfg.IntentionalProb
+			k := 1 + p.geometric(0.62) // mostly single transactions
+			if k > 4 {
+				k = 4
+			}
+			for t := 0; t < k; t++ {
+				ts := catchAt + 7200 + 3600 + p.rng.Int63n(span)
+				amount := p.lognormal(300, 1.6)
+				ev := event{ts: ts, kind: evSend, label: label, from: rel.addr, to: catcher, usd: amount}
+				if intentional {
+					// Intentional payments are typed by address, not
+					// resolved through the name.
+					ev.truthInt = true
+				} else {
+					ev.truthMis = true
+					ev.viaENS = true
+					truth.MisdirectedUSD += amount
+					truth.MisdirectedTxs++
+				}
+				p.push(ev)
+			}
+			if split {
+				// The sender also pays the old wallet again — the
+				// pattern that must disqualify them from the heuristic.
+				ts := catchAt + 7200 + 3600 + p.rng.Int63n(span)
+				p.push(event{ts: ts, kind: evSend, from: rel.addr, to: a1, usd: p.lognormal(300, 1.6)})
+			}
+		}
+	}
+
+	// Unrelated income to the catcher wallet (noise the heuristic must
+	// not attribute to the domain). These counterparties are the
+	// catcher's own contacts, distinct from the domain's sender circle.
+	if p.rng.Float64() < cfg.CatcherNoiseProb && misWindowEnd > catchAt+86400 {
+		k := 1 + p.poisson(1.5)
+		span := misWindowEnd - catchAt - 86400
+		for t := 0; t < k; t++ {
+			ts := catchAt + 86400 + p.rng.Int63n(span+1)
+			noiseSender := ethtypes.DeriveAddress(fmt.Sprintf("biz-contact-%07d-%d", i, t))
+			p.push(event{ts: ts, kind: evSend, from: noiseSender, to: catcher, usd: p.lognormal(200, 1.5)})
+		}
+	}
+
+	// OpenSea resale.
+	sold := false
+	if p.rng.Float64() < cfg.ListProb {
+		listAt := catchAt + p.days(5, 60)
+		if listAt < cfg.End {
+			price := p.lognormal(450, 1.6)
+			truth.Listed = true
+			p.opensea = append(p.opensea, OpenSeaEvent{
+				Kind: OSList, Label: label, TokenID: ens.LabelHash(label),
+				Seller: catcher, PriceUSD: price, Timestamp: listAt,
+			})
+			if p.rng.Float64() < cfg.SoldProb {
+				saleAt := listAt + p.days(1, 45)
+				if saleAt < cfg.End && saleAt < expiry-86400 {
+					buyer := ethtypes.DeriveAddress(fmt.Sprintf("nft-buyer-%07d", i))
+					truth.Sold = true
+					truth.SalePriceUSD = price
+					sold = true
+					p.opensea = append(p.opensea, OpenSeaEvent{
+						Kind: OSSale, Label: label, TokenID: ens.LabelHash(label),
+						Seller: catcher, Buyer: buyer, PriceUSD: price, Timestamp: saleAt,
+					})
+					p.push(event{ts: saleAt, kind: evSend, from: buyer, to: catcher, usd: price})
+					p.push(event{ts: saleAt + 600, kind: evTransferName, label: label, from: catcher, to: buyer})
+					p.push(event{ts: saleAt + 1200, kind: evSetAddr, label: label, from: buyer, to: buyer})
+				}
+			}
+		}
+	}
+
+	// Multi-cycle drops: the catcher lets the name lapse and it is caught
+	// again (recursion capped at a few cycles).
+	if !sold && expiry < cfg.End && len(truth.Cycles) < 5 {
+		premiumEnd := ens.PremiumEndTime(expiry)
+		if premiumEnd < cfg.End-86400*2 {
+			pAgain := logistic(v-cfg.CatchThreshold) * cfg.RecatchFactor
+			if pAgain > 0.9 {
+				pAgain = 0.9
+			}
+			if p.rng.Float64() < pAgain {
+				nextAt, _ := p.planCatchTime(expiry, v)
+				if nextAt < cfg.End-3600 {
+					p.planCatchCycles(i, truth, label, nil, catcher, expiry, nextAt, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package world
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/ens"
+)
+
+// Unit tests for the planner's sampling machinery: the distributions that
+// shape the population must actually have the moments the calibration
+// assumes.
+
+func newTestPlanner(seed int64) *planner {
+	cfg := DefaultConfig(10)
+	cfg.Seed = seed
+	return newPlanner(cfg)
+}
+
+func TestPoissonMean(t *testing.T) {
+	p := newTestPlanner(1)
+	for _, lambda := range []float64{0.5, 2.2, 6.3} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(p.poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > lambda*0.1+0.05 {
+			t.Errorf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	p := newTestPlanner(2)
+	const n = 20001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = p.lognormal(1500, 2.2)
+	}
+	// Median of a lognormal is its median parameter.
+	med := quickSelectMedian(vals)
+	if med < 1200 || med > 1900 {
+		t.Errorf("lognormal median = %v, want ~1500", med)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+	}
+}
+
+func quickSelectMedian(vals []float64) float64 {
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+func TestGeometricMean(t *testing.T) {
+	p := newTestPlanner(3)
+	const q = 0.5
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(p.geometric(q))
+	}
+	want := (1 - q) / q
+	if mean := sum / n; math.Abs(mean-want) > 0.1 {
+		t.Errorf("geometric(%v) mean = %v, want %v", q, mean, want)
+	}
+}
+
+func TestSampleRegTimeWithinWindowAndShaped(t *testing.T) {
+	p := newTestPlanner(4)
+	cfg := p.cfg
+	byYear := map[int]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		ts := p.sampleRegTime()
+		if ts < cfg.Start || ts >= cfg.End {
+			t.Fatalf("registration time %d outside window", ts)
+		}
+		byYear[time.Unix(ts, 0).UTC().Year()]++
+	}
+	// Figure 2's shape: 2022 is the peak year, 2020 the lightest full year.
+	if !(byYear[2022] > byYear[2021] && byYear[2021] > byYear[2020]) {
+		t.Errorf("registration volume not increasing into 2022: %v", byYear)
+	}
+	if byYear[2022] < byYear[2023] {
+		t.Errorf("2023 should decline from the 2022 peak: %v", byYear)
+	}
+}
+
+func TestSampleDurationBounds(t *testing.T) {
+	p := newTestPlanner(5)
+	oneYear := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := p.sampleDuration()
+		if d < ens.MinRegistrationDuration {
+			t.Fatalf("duration %v below registrar minimum", d)
+		}
+		if d > 3*year {
+			t.Fatalf("duration %v above 3 years", d)
+		}
+		if d == year {
+			oneYear++
+		}
+	}
+	// One-year registrations dominate (~68%).
+	if frac := float64(oneYear) / n; frac < 0.55 || frac > 0.8 {
+		t.Errorf("one-year fraction = %v", frac)
+	}
+}
+
+func TestPlanCatchTimeAlwaysInWindow(t *testing.T) {
+	p := newTestPlanner(6)
+	cfg := p.cfg
+	// Expiries whose auction still fits well inside the window.
+	for i := 0; i < 3000; i++ {
+		expiry := cfg.Start + int64(i%700)*86400
+		if ens.PremiumEndTime(expiry) >= cfg.End-86400*2 {
+			continue
+		}
+		at, premium := p.planCatchTime(expiry, p.rng.NormFloat64()*2)
+		if at < ens.ReleaseTime(expiry) {
+			t.Fatalf("catch %d before release", at)
+		}
+		if premium < 0 {
+			t.Fatalf("negative premium %v", premium)
+		}
+		if premium > 0 && at > ens.PremiumEndTime(expiry) {
+			t.Fatal("positive premium after auction end")
+		}
+	}
+}
+
+func TestRegMonthWeightShape(t *testing.T) {
+	peak := regMonthWeight(time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC))
+	early := regMonthWeight(time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC))
+	late := regMonthWeight(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	if !(peak > early && peak > late) {
+		t.Errorf("weights not peaked in 2022: peak=%v early=%v late=%v", peak, early, late)
+	}
+	if early <= 0 || late <= 0 {
+		t.Error("non-positive month weight")
+	}
+}

@@ -1,0 +1,175 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/lexical"
+)
+
+// SenderKind classifies a sending address the way the paper's custodial
+// filter does.
+type SenderKind int
+
+const (
+	// NonCustodial wallets belong to a single user and can resolve ENS.
+	NonCustodial SenderKind = iota
+	// Coinbase is the one custodial exchange that resolves ENS.
+	Coinbase
+	// OtherCustodial exchanges cannot resolve ENS; their transactions
+	// are filtered out of the loss analysis.
+	OtherCustodial
+)
+
+// String returns the kind name.
+func (k SenderKind) String() string {
+	switch k {
+	case NonCustodial:
+		return "non-custodial"
+	case Coinbase:
+		return "coinbase"
+	case OtherCustodial:
+		return "other-custodial"
+	default:
+		return fmt.Sprintf("senderkind(%d)", int(k))
+	}
+}
+
+// senderPool hands out sending addresses. Custodial pools are small and
+// heavily reused (many users behind few addresses); the non-custodial pool
+// is large with Zipf-distributed reuse (a few businesses pay many names).
+type senderPool struct {
+	rng            *rand.Rand
+	coinbase       []ethtypes.Address
+	otherCustodial []ethtypes.Address
+	nonCustodial   []ethtypes.Address
+	nonCustZipf    *rand.Zipf
+	coinbaseShare  float64
+	otherShare     float64
+}
+
+func newSenderPool(rng *rand.Rand, cfg Config) *senderPool {
+	sp := &senderPool{
+		rng:           rng,
+		coinbaseShare: cfg.CoinbaseShare,
+		otherShare:    cfg.OtherCustodialShare,
+	}
+	for i := 0; i < cfg.CoinbaseAddresses; i++ {
+		sp.coinbase = append(sp.coinbase, ethtypes.DeriveAddress(fmt.Sprintf("coinbase-hot-%03d", i)))
+	}
+	for i := 0; i < cfg.OtherCustodialAddresses; i++ {
+		sp.otherCustodial = append(sp.otherCustodial, ethtypes.DeriveAddress(fmt.Sprintf("exchange-hot-%04d", i)))
+	}
+	// A large, mildly skewed pool: most senders pay one or two names;
+	// a few businesses pay several. Heavy concentration is what the
+	// custodial filter exists for, so non-custodial reuse stays modest.
+	n := cfg.NumDomains*2 + 100
+	for i := 0; i < n; i++ {
+		sp.nonCustodial = append(sp.nonCustodial, ethtypes.DeriveAddress(fmt.Sprintf("user-wallet-%07d", i)))
+	}
+	sp.nonCustZipf = rand.NewZipf(rng, 2.0, 20, uint64(n-1))
+	return sp
+}
+
+// pick returns a sender address and its kind.
+func (sp *senderPool) pick() (ethtypes.Address, SenderKind) {
+	r := sp.rng.Float64()
+	switch {
+	case r < sp.coinbaseShare:
+		return sp.coinbase[sp.rng.Intn(len(sp.coinbase))], Coinbase
+	case r < sp.coinbaseShare+sp.otherShare:
+		return sp.otherCustodial[sp.rng.Intn(len(sp.otherCustodial))], OtherCustodial
+	default:
+		return sp.nonCustodial[sp.nonCustZipf.Uint64()], NonCustodial
+	}
+}
+
+// pickNonCustodial returns a fresh-ish non-custodial sender.
+func (sp *senderPool) pickNonCustodial() ethtypes.Address {
+	return sp.nonCustodial[sp.nonCustZipf.Uint64()]
+}
+
+// catcherPool models the dropcatcher population as two tiers, matching
+// Figure 5's shape: a small professional tier whose top addresses catch
+// thousands of names at full scale (5,070 / 3,165 / 2,421), and a large
+// amateur tier of mostly one-off catchers.
+type catcherPool struct {
+	rng      *rand.Rand
+	pros     []ethtypes.Address
+	amateurs []ethtypes.Address
+	proZipf  *rand.Zipf
+	// proShare of catches go to the professional tier.
+	proShare float64
+}
+
+func newCatcherPool(rng *rand.Rand, numDomains int) *catcherPool {
+	cp := &catcherPool{rng: rng, proShare: 0.12}
+	for i := 0; i < 20; i++ {
+		cp.pros = append(cp.pros, ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-pro-%02d", i)))
+	}
+	n := numDomains/2 + 100
+	for i := 0; i < n; i++ {
+		cp.amateurs = append(cp.amateurs, ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-%06d", i)))
+	}
+	cp.proZipf = rand.NewZipf(rng, 1.2, 3, uint64(len(cp.pros)-1))
+	return cp
+}
+
+func (cp *catcherPool) pick() ethtypes.Address {
+	if cp.rng.Float64() < cp.proShare {
+		return cp.pros[cp.proZipf.Uint64()]
+	}
+	return cp.amateurs[cp.rng.Intn(len(cp.amateurs))]
+}
+
+// lexScore scores how attractive a label's lexical shape is to a
+// dropcatcher, encoding Table 1's observed preferences: dictionary words
+// and short names are prized; word+digit mixes, hyphens, and underscores
+// are shunned; pure numerics are neutral-to-collectible; adult terms are
+// roughly neutral.
+func lexScore(f lexical.Features) float64 {
+	s := 0.0
+	switch {
+	case f.IsDictionaryWord:
+		s += 2.3
+	case f.ContainsDictionaryWord:
+		s += 0.35
+	}
+	if f.ContainsBrandName {
+		s += 0.45
+	}
+	if f.ContainsDigit && !f.IsNumeric {
+		s -= 2.4
+	}
+	// Pure numerics are caught at roughly the population rate (Table 1:
+	// 13.9% vs 13.5%); short ones get the generic length bonus below
+	// (the "999 club" collectible market).
+	if f.ContainsHyphen {
+		s -= 0.95
+	}
+	if f.ContainsUnderscore {
+		s -= 1.9
+	}
+	switch {
+	case f.Length <= 4:
+		s += 0.9
+	case f.Length <= 6:
+		s += 0.3
+	case f.Length >= 12:
+		s -= 0.5
+	}
+	if f.ContainsAdultWord {
+		s -= 0.1
+	}
+	return s
+}
+
+// incomeScore converts pre-expiry wallet income to a value-score component.
+func incomeScore(incomeUSD float64) float64 {
+	return 0.80 * (math.Log10(1+incomeUSD) - 3.2)
+}
+
+// logistic is the standard sigmoid.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

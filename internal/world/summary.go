@@ -1,0 +1,78 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary aggregates a generated world's ground truth into the headline
+// counts tools and tests report.
+type Summary struct {
+	Domains        int
+	Subdomains     int
+	Transactions   int
+	Resolutions    int // via-ENS payments in the resolution log
+	Expired        int // first registration ended inside the window
+	Dropcaught     int
+	SelfRecovered  int
+	ActiveAtEnd    int
+	Unindexed      int
+	MisdirectedTxs int
+	MisdirectedUSD float64
+	HijackableUSD  float64
+	Listed         int
+	Sold           int
+}
+
+// Summarize computes the Summary for a generated world.
+func (r *Result) Summarize() Summary {
+	s := Summary{
+		Domains:      len(r.Truth.Domains),
+		Transactions: r.Chain.TxCount(),
+		Resolutions:  len(r.ResolutionLog),
+	}
+	for _, d := range r.Truth.Domains {
+		s.Subdomains += d.Subdomains
+		s.MisdirectedTxs += d.MisdirectedTxs
+		s.MisdirectedUSD += d.MisdirectedUSD
+		s.HijackableUSD += d.HijackableUSD
+		if d.Unindexed {
+			s.Unindexed++
+		}
+		if d.Listed {
+			s.Listed++
+		}
+		if d.Sold {
+			s.Sold++
+		}
+		if d.ExpiredBy(r.Config.End) {
+			s.Expired++
+			switch {
+			case d.Dropcaught:
+				s.Dropcaught++
+			default:
+				for _, c := range d.Cycles {
+					if c.SameOwnerAsPrev {
+						s.SelfRecovered++
+						break
+					}
+				}
+			}
+		} else {
+			s.ActiveAtEnd++
+		}
+	}
+	return s
+}
+
+// String renders the summary as a compact multi-line report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "domains=%d subdomains=%d txs=%d resolutions=%d\n",
+		s.Domains, s.Subdomains, s.Transactions, s.Resolutions)
+	fmt.Fprintf(&b, "expired=%d dropcaught=%d selfRecovered=%d active=%d unindexed=%d\n",
+		s.Expired, s.Dropcaught, s.SelfRecovered, s.ActiveAtEnd, s.Unindexed)
+	fmt.Fprintf(&b, "misdirected: %d txs / %.0f USD; hijackable %.0f USD; listed=%d sold=%d",
+		s.MisdirectedTxs, s.MisdirectedUSD, s.HijackableUSD, s.Listed, s.Sold)
+	return b.String()
+}

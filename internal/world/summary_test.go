@@ -1,0 +1,40 @@
+package world
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeConsistency(t *testing.T) {
+	res := world3k(t)
+	s := res.Summarize()
+
+	if s.Domains != 3000 {
+		t.Errorf("domains = %d", s.Domains)
+	}
+	if s.Expired+s.ActiveAtEnd != s.Domains {
+		t.Errorf("expired %d + active %d != %d", s.Expired, s.ActiveAtEnd, s.Domains)
+	}
+	if s.Dropcaught+s.SelfRecovered > s.Expired {
+		t.Error("caught + self-recovered exceeds expired")
+	}
+	if s.Sold > s.Listed {
+		t.Error("sold exceeds listed")
+	}
+	if s.Transactions != res.Chain.TxCount() {
+		t.Errorf("txs = %d, chain has %d", s.Transactions, res.Chain.TxCount())
+	}
+	if s.Resolutions != len(res.ResolutionLog) {
+		t.Error("resolution count mismatch")
+	}
+	if s.MisdirectedTxs != len(res.Truth.MisdirectedTxHashes) {
+		t.Errorf("misdirected %d != truth hashes %d", s.MisdirectedTxs, len(res.Truth.MisdirectedTxHashes))
+	}
+
+	text := s.String()
+	for _, want := range []string{"domains=3000", "dropcaught=", "misdirected:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+}

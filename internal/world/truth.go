@@ -1,0 +1,120 @@
+package world
+
+import (
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/lexical"
+)
+
+// CycleTruth records one registration cycle of a domain: a registration by
+// one owner, its renewals, and the resulting final expiry.
+type CycleTruth struct {
+	Owner           ethtypes.Address
+	Wallet          ethtypes.Address // resolver target during the cycle
+	RegisteredAt    int64
+	Expiry          int64 // final expiry after renewals
+	Renewals        int
+	PremiumUSD      float64 // premium paid at registration (0 outside auction)
+	SameOwnerAsPrev bool    // true when the cycle is a self-recovery
+}
+
+// DomainTruth is the generator's ground truth for one domain. The analysis
+// pipeline must recover these facts from crawled data alone; tests compare
+// its output against this.
+type DomainTruth struct {
+	Label     string
+	Category  lexical.Category
+	Unindexed bool
+
+	Cycles []CycleTruth
+
+	// Dropcaught is true when some cycle's owner differs from the
+	// previous cycle's owner (the paper's re-registration definition).
+	Dropcaught bool
+
+	// IncomeUSD is the USD income the first owner's wallet received
+	// during their tenure (the Table 1 income feature).
+	IncomeUSD float64
+	// Senders is the number of unique senders paying the first owner.
+	Senders int
+	// Transactions is the number of income transactions to the first
+	// owner during their tenure.
+	Transactions int
+
+	// HijackableUSD is the income sent to the expired name's wallet
+	// between expiry and re-registration (Figure 7).
+	HijackableUSD float64
+
+	// MisdirectedUSD / MisdirectedTxs total the truly mistaken payments
+	// delivered to a later owner via the stale name (Figures 8-10).
+	MisdirectedUSD float64
+	MisdirectedTxs int
+
+	// Listed/Sold record OpenSea resale ground truth; SalePriceUSD is the
+	// sale price when Sold.
+	Listed       bool
+	Sold         bool
+	SalePriceUSD float64
+
+	// Subdomains created under the name during the first cycle.
+	Subdomains int
+}
+
+// ResolutionRecord is one wallet-side ENS resolution event: a sender
+// resolved Name and sent funds to the resolved address. This is the
+// off-chain data the paper could not obtain from wallet vendors (§6,
+// Limitations); the simulation can produce it, enabling the authoritative
+// loss measurement the paper calls for as follow-up work.
+type ResolutionRecord struct {
+	Name     string // label without ".eth"
+	Sender   ethtypes.Address
+	Resolved ethtypes.Address
+	At       int64
+	TxHash   ethtypes.Hash
+}
+
+// FirstExpiry returns the expiry that ended the first cycle, or 0 if the
+// domain never had a completed first cycle.
+func (d *DomainTruth) FirstExpiry() int64 {
+	if len(d.Cycles) == 0 {
+		return 0
+	}
+	return d.Cycles[0].Expiry
+}
+
+// ExpiredBy reports whether the domain's first cycle had expired by t.
+func (d *DomainTruth) ExpiredBy(t int64) bool {
+	e := d.FirstExpiry()
+	return e != 0 && e < t
+}
+
+// Truth aggregates ground truth for the whole world.
+type Truth struct {
+	Domains []*DomainTruth
+	// MisdirectedTxHashes lists the chain transactions that ground truth
+	// marks as mistaken payments to a new owner.
+	MisdirectedTxHashes map[ethtypes.Hash]bool
+	// IntentionalTxHashes lists post-catch payments to a new owner that
+	// were intentional — the false-positive class for the heuristic.
+	IntentionalTxHashes map[ethtypes.Hash]bool
+}
+
+// OpenSeaEventKind distinguishes marketplace events.
+type OpenSeaEventKind int
+
+const (
+	// OSList is a listing creation.
+	OSList OpenSeaEventKind = iota
+	// OSSale is a completed sale.
+	OSSale
+)
+
+// OpenSeaEvent is one marketplace event for the opensea substrate to serve.
+type OpenSeaEvent struct {
+	Kind      OpenSeaEventKind
+	Label     string
+	TokenID   ethtypes.Hash
+	Seller    ethtypes.Address
+	Buyer     ethtypes.Address // zero for listings
+	PriceUSD  float64
+	Timestamp int64
+}

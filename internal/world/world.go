@@ -1,0 +1,170 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/pricing"
+)
+
+// Result bundles everything a generated world exposes: the chain with its
+// full transaction and event history, the deployed ENS service, the
+// marketplace event stream, the custodial address lists (the paper sources
+// these from Etherscan labels), and the ground truth for validation.
+type Result struct {
+	Config  Config
+	Chain   *chain.Chain
+	ENS     *ens.Service
+	Oracle  *pricing.Oracle
+	Truth   *Truth
+	OpenSea []OpenSeaEvent
+	// ResolutionLog records every via-ENS payment's resolution event —
+	// the vendor-side data the paper could not obtain.
+	ResolutionLog []ResolutionRecord
+
+	// CoinbaseAddrs and OtherCustodialAddrs are the known custodial
+	// sending addresses (25 and 558 on mainnet).
+	CoinbaseAddrs       []ethtypes.Address
+	OtherCustodialAddrs []ethtypes.Address
+}
+
+// Generate builds a complete synthetic world from cfg. It is deterministic
+// in cfg.Seed. Generation fails only on internal inconsistencies (a planned
+// event the contracts reject), which indicates a bug rather than bad input.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.NumDomains <= 0 {
+		return nil, fmt.Errorf("world: NumDomains must be positive, got %d", cfg.NumDomains)
+	}
+	if cfg.End <= cfg.Start {
+		return nil, fmt.Errorf("world: empty window [%d, %d)", cfg.Start, cfg.End)
+	}
+
+	p := newPlanner(cfg)
+	p.plan()
+
+	sort.Slice(p.events, func(i, j int) bool {
+		if p.events[i].ts != p.events[j].ts {
+			return p.events[i].ts < p.events[j].ts
+		}
+		return p.events[i].seq < p.events[j].seq
+	})
+
+	c := chain.New(cfg.Start - 86400)
+	oracle := pricing.NewOracle()
+	svc := ens.Deploy(c, oracle)
+
+	fund := func(addr ethtypes.Address, need ethtypes.Wei) {
+		if bal := c.BalanceOf(addr); bal.Cmp(need) < 0 {
+			c.Mint(addr, need.Sub(bal).Add(ethtypes.Ether(1)))
+		}
+	}
+	var resolutionLog []ResolutionRecord
+
+	for idx := range p.events {
+		ev := &p.events[idx]
+		switch ev.kind {
+		case evRegister, evRegisterUnindexed:
+			price := svc.PriceWei(ev.label, ev.duration, ev.ts)
+			fund(ev.from, price)
+			var rcpt *chain.Receipt
+			var err error
+			if ev.kind == evRegisterUnindexed {
+				rcpt, err = svc.RegisterUnindexed(ev.ts, ev.from, ev.to, ev.label, ev.duration, price)
+			} else {
+				rcpt, err = svc.Register(ev.ts, ev.from, ev.to, ev.label, ev.duration, price)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("world: register %q at %d: %w", ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: register %q at %d reverted: %w", ev.label, ev.ts, rcpt.Err)
+			}
+		case evRenew:
+			price := svc.PriceWei(ev.label, ev.duration, ev.ts)
+			fund(ev.from, price)
+			rcpt, err := svc.Renew(ev.ts, ev.from, ev.label, ev.duration, price)
+			if err != nil {
+				return nil, fmt.Errorf("world: renew %q at %d: %w", ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: renew %q at %d reverted: %w", ev.label, ev.ts, rcpt.Err)
+			}
+		case evSetAddr:
+			rcpt, err := svc.SetAddr(ev.ts, ev.from, ev.label, ev.to)
+			if err != nil {
+				return nil, fmt.Errorf("world: setAddr %q at %d: %w", ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: setAddr %q at %d reverted: %w", ev.label, ev.ts, rcpt.Err)
+			}
+		case evTransferName:
+			rcpt, err := svc.TransferName(ev.ts, ev.from, ev.label, ev.to)
+			if err != nil {
+				return nil, fmt.Errorf("world: transfer %q at %d: %w", ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: transfer %q at %d reverted: %w", ev.label, ev.ts, rcpt.Err)
+			}
+		case evSend:
+			amount := ethtypes.EtherFloat(oracle.ETH(ev.usd, ev.ts))
+			if amount.IsZero() {
+				amount = ethtypes.NewWei(1)
+			}
+			fund(ev.from, amount)
+			rcpt, err := c.Transfer(ev.ts, ev.from, ev.to, amount)
+			if err != nil {
+				return nil, fmt.Errorf("world: send at %d: %w", ev.ts, err)
+			}
+			if ev.truthMis {
+				p.truth.MisdirectedTxHashes[rcpt.Tx.Hash] = true
+			}
+			if ev.truthInt {
+				p.truth.IntentionalTxHashes[rcpt.Tx.Hash] = true
+			}
+			if ev.viaENS {
+				resolutionLog = append(resolutionLog, ResolutionRecord{
+					Name:     ev.label,
+					Sender:   ev.from,
+					Resolved: ev.to,
+					At:       ev.ts,
+					TxHash:   rcpt.Tx.Hash,
+				})
+			}
+		case evCreateSubdomain:
+			rcpt, err := svc.CreateSubdomain(ev.ts, ev.from, ev.label, ev.subLabel, ev.to)
+			if err != nil {
+				return nil, fmt.Errorf("world: subdomain %s.%s at %d: %w", ev.subLabel, ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: subdomain %s.%s at %d reverted: %w", ev.subLabel, ev.label, ev.ts, rcpt.Err)
+			}
+		case evSetSubAddr:
+			rcpt, err := svc.SetSubdomainAddr(ev.ts, ev.from, ev.subLabel+"."+ev.label, ev.to)
+			if err != nil {
+				return nil, fmt.Errorf("world: sub setAddr %s.%s at %d: %w", ev.subLabel, ev.label, ev.ts, err)
+			}
+			if rcpt.Err != nil {
+				return nil, fmt.Errorf("world: sub setAddr %s.%s at %d reverted: %w", ev.subLabel, ev.label, ev.ts, rcpt.Err)
+			}
+		default:
+			return nil, fmt.Errorf("world: unknown event kind %d", ev.kind)
+		}
+	}
+
+	sort.Slice(p.opensea, func(i, j int) bool { return p.opensea[i].Timestamp < p.opensea[j].Timestamp })
+
+	return &Result{
+		Config:              cfg,
+		Chain:               c,
+		ENS:                 svc,
+		Oracle:              oracle,
+		Truth:               p.truth,
+		OpenSea:             p.opensea,
+		ResolutionLog:       resolutionLog,
+		CoinbaseAddrs:       p.senders.coinbase,
+		OtherCustodialAddrs: p.senders.otherCustodial,
+	}, nil
+}

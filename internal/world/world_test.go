@@ -1,0 +1,283 @@
+package world
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/lexical"
+)
+
+// genSmall builds a moderate world once for the package's tests.
+func genSmall(t *testing.T) *Result {
+	t.Helper()
+	cfg := DefaultConfig(3000)
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return res
+}
+
+var cached *Result
+
+func world3k(t *testing.T) *Result {
+	t.Helper()
+	if cached == nil {
+		cached = genSmall(t)
+	}
+	return cached
+}
+
+func TestGenerateBasics(t *testing.T) {
+	res := world3k(t)
+	if len(res.Truth.Domains) != 3000 {
+		t.Fatalf("domains = %d", len(res.Truth.Domains))
+	}
+	if res.Chain.TxCount() < 3000*5 {
+		t.Errorf("suspiciously few transactions: %d", res.Chain.TxCount())
+	}
+	if len(res.CoinbaseAddrs) != 25 || len(res.OtherCustodialAddrs) != 558 {
+		t.Errorf("custodial pools: %d coinbase, %d other", len(res.CoinbaseAddrs), len(res.OtherCustodialAddrs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(300)
+	r1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Chain.TxCount() != r2.Chain.TxCount() {
+		t.Errorf("tx counts differ: %d vs %d", r1.Chain.TxCount(), r2.Chain.TxCount())
+	}
+	if len(r1.Truth.Domains) != len(r2.Truth.Domains) {
+		t.Fatal("domain counts differ")
+	}
+	for i := range r1.Truth.Domains {
+		if r1.Truth.Domains[i].Label != r2.Truth.Domains[i].Label {
+			t.Fatalf("label %d differs: %q vs %q", i, r1.Truth.Domains[i].Label, r2.Truth.Domains[i].Label)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := DefaultConfig(10)
+	cfg.End = cfg.Start
+	if _, err := Generate(cfg); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	res := world3k(t)
+	cfg := res.Config
+
+	var expired, caught, selfRecovered, active int
+	for _, d := range res.Truth.Domains {
+		switch {
+		case d.FirstExpiry() >= cfg.End:
+			active++
+		default:
+			expired++
+			if d.Dropcaught {
+				caught++
+			}
+			for _, c := range d.Cycles {
+				if c.SameOwnerAsPrev {
+					selfRecovered++
+					break
+				}
+			}
+		}
+	}
+	t.Logf("expired=%d (%.1f%%), caught=%d (%.1f%% of expired), selfRecovered=%d, active=%d",
+		expired, 100*float64(expired)/3000, caught, 100*float64(caught)/float64(expired), selfRecovered, active)
+
+	if frac := float64(expired) / 3000; frac < 0.30 || frac > 0.65 {
+		t.Errorf("expired fraction %.2f outside [0.30, 0.65]", frac)
+	}
+	// Paper: 241K of ~1.41M expired ~= 17% of expired names re-registered.
+	if frac := float64(caught) / float64(expired); frac < 0.10 || frac > 0.28 {
+		t.Errorf("caught fraction of expired %.3f outside [0.10, 0.28]", frac)
+	}
+	if selfRecovered == 0 {
+		t.Error("no self-recovered domains generated")
+	}
+}
+
+func TestIncomeSkewTowardCaught(t *testing.T) {
+	res := world3k(t)
+	cfg := res.Config
+	var caughtSum, controlSum float64
+	var caughtN, controlN int
+	for _, d := range res.Truth.Domains {
+		if d.FirstExpiry() >= cfg.End {
+			continue
+		}
+		if d.Dropcaught {
+			caughtSum += d.IncomeUSD
+			caughtN++
+		} else {
+			controlSum += d.IncomeUSD
+			controlN++
+		}
+	}
+	if caughtN == 0 || controlN == 0 {
+		t.Fatal("empty groups")
+	}
+	ratio := (caughtSum / float64(caughtN)) / (controlSum / float64(controlN))
+	t.Logf("income means: caught=%.0f control=%.0f ratio=%.2f",
+		caughtSum/float64(caughtN), controlSum/float64(controlN), ratio)
+	// Paper: 69,980 vs 21,400 => ratio ~3.3.
+	if ratio < 1.8 || ratio > 8 {
+		t.Errorf("income ratio %.2f outside [1.8, 8]", ratio)
+	}
+}
+
+func TestLexicalSelection(t *testing.T) {
+	res := world3k(t)
+	cfg := res.Config
+	ana := lexical.NewAnalyzer()
+
+	var caughtDigit, controlDigit, caughtDict, controlDict int
+	var caughtN, controlN int
+	for _, d := range res.Truth.Domains {
+		if d.FirstExpiry() >= cfg.End {
+			continue
+		}
+		f := ana.Analyze(d.Label)
+		if d.Dropcaught {
+			caughtN++
+			if f.ContainsDigit && !f.IsNumeric {
+				caughtDigit++
+			}
+			if f.IsDictionaryWord {
+				caughtDict++
+			}
+		} else {
+			controlN++
+			if f.ContainsDigit && !f.IsNumeric {
+				controlDigit++
+			}
+			if f.IsDictionaryWord {
+				controlDict++
+			}
+		}
+	}
+	digitCaught := float64(caughtDigit) / float64(caughtN)
+	digitControl := float64(controlDigit) / float64(controlN)
+	dictCaught := float64(caughtDict) / float64(caughtN)
+	dictControl := float64(controlDict) / float64(controlN)
+	t.Logf("non-numeric-digit: caught=%.3f control=%.3f; exact-dict: caught=%.3f control=%.3f",
+		digitCaught, digitControl, dictCaught, dictControl)
+
+	if digitCaught >= digitControl {
+		t.Errorf("digit-containing names should be LESS re-registered: %.3f vs %.3f", digitCaught, digitControl)
+	}
+	if dictCaught <= dictControl {
+		t.Errorf("dictionary words should be MORE re-registered: %.3f vs %.3f", dictCaught, dictControl)
+	}
+}
+
+func TestCatchTimingClusters(t *testing.T) {
+	res := world3k(t)
+	var premium, sameDay, short, tail int
+	for _, d := range res.Truth.Domains {
+		if !d.Dropcaught || len(d.Cycles) < 2 {
+			continue
+		}
+		prev, next := d.Cycles[0], d.Cycles[1]
+		if next.SameOwnerAsPrev {
+			continue
+		}
+		pe := ens.PremiumEndTime(prev.Expiry)
+		switch delay := next.RegisteredAt - pe; {
+		case delay < 0:
+			premium++
+			if next.PremiumUSD <= 0 {
+				t.Errorf("%s caught during auction but premium = %v", d.Label, next.PremiumUSD)
+			}
+		case delay < 86400:
+			sameDay++
+		case delay < 15*86400:
+			short++
+		default:
+			tail++
+		}
+	}
+	total := premium + sameDay + short + tail
+	t.Logf("catch delays: premium=%d sameDay=%d short=%d tail=%d (total %d)", premium, sameDay, short, tail, total)
+	if total == 0 {
+		t.Fatal("no catches")
+	}
+	if premium == 0 || sameDay == 0 || short == 0 || tail == 0 {
+		t.Error("some delay cluster is empty")
+	}
+	if tail < sameDay {
+		t.Error("long tail should dominate the same-day spike")
+	}
+}
+
+func TestMisdirectedAndMarketplace(t *testing.T) {
+	res := world3k(t)
+	var misUSD float64
+	var misTx, affected, listed, sold int
+	for _, d := range res.Truth.Domains {
+		misUSD += d.MisdirectedUSD
+		misTx += d.MisdirectedTxs
+		if d.MisdirectedTxs > 0 {
+			affected++
+		}
+		if d.Listed {
+			listed++
+		}
+		if d.Sold {
+			sold++
+		}
+	}
+	t.Logf("misdirected: %d txs on %d domains, %.0f USD total; marketplace: %d listed, %d sold; truth hashes=%d",
+		misTx, affected, misUSD, listed, sold, len(res.Truth.MisdirectedTxHashes))
+	if misTx == 0 {
+		t.Error("no misdirected transactions generated")
+	}
+	if len(res.Truth.MisdirectedTxHashes) != misTx {
+		t.Errorf("truth hash count %d != truth tx count %d", len(res.Truth.MisdirectedTxHashes), misTx)
+	}
+	if listed == 0 || sold == 0 || sold > listed {
+		t.Errorf("marketplace counts off: %d listed, %d sold", listed, sold)
+	}
+	if len(res.OpenSea) < listed+sold {
+		t.Errorf("opensea events %d < listings+sales %d", len(res.OpenSea), listed+sold)
+	}
+}
+
+func TestStaleResolutionOnChain(t *testing.T) {
+	res := world3k(t)
+	// Find a caught domain and confirm the chain-level invariant: after the
+	// catch, the name resolves to the catcher's wallet.
+	for _, d := range res.Truth.Domains {
+		if !d.Dropcaught || len(d.Cycles) < 2 {
+			continue
+		}
+		addr, ok := res.ENS.Resolve(d.Label)
+		if !ok {
+			t.Fatalf("caught domain %q does not resolve", d.Label)
+		}
+		last := d.Cycles[len(d.Cycles)-1]
+		if d.Sold {
+			continue // resolver points at the NFT buyer
+		}
+		if addr != last.Wallet {
+			t.Fatalf("%q resolves to %s, want %s", d.Label, addr, last.Wallet)
+		}
+		return
+	}
+	t.Fatal("no caught domain found")
+}
