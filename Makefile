@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz clean tools report
+.PHONY: all build vet test race race-all bench fuzz clean tools report
 
-all: build test
+all: build vet test race
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
+# Race-checks the concurrency-heavy packages (metrics hot paths, the
+# crawl machinery); race-all covers the whole module.
 race:
+	$(GO) test -race ./internal/obs/... ./internal/crawler/...
+
+race-all:
 	$(GO) test -race -short ./...
 
 # Regenerates every table and figure of the paper's evaluation.

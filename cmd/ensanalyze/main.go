@@ -23,6 +23,7 @@ import (
 
 	"ensdropcatch/internal/core"
 	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/pricing"
 	"ensdropcatch/internal/report"
 	"ensdropcatch/internal/stats"
@@ -31,13 +32,23 @@ import (
 
 func main() {
 	var (
-		dataDir = flag.String("data", "", "dataset directory written by enscrawl")
-		domains = flag.Int("domains", 0, "generate a world of this size instead of loading -data")
-		seed    = flag.Int64("seed", 1, "generation seed for -domains")
-		csvDir  = flag.String("csv", "", "also write figure series as CSV into this directory")
+		dataDir     = flag.String("data", "", "dataset directory written by enscrawl")
+		domains     = flag.Int("domains", 0, "generate a world of this size instead of loading -data")
+		seed        = flag.Int64("seed", 1, "generation seed for -domains")
+		csvDir      = flag.String("csv", "", "also write figure series as CSV into this directory")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof during the analysis (empty = disabled)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *metricsAddr != "" {
+		dbg, err := obs.StartDebugServer(*metricsAddr, obs.Default, logger)
+		if err != nil {
+			logger.Error("metrics listener", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+	}
 
 	ds, svc, err := loadDataset(*dataDir, *domains, *seed, logger)
 	if err != nil {

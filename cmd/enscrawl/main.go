@@ -6,9 +6,13 @@
 // for re-registered names, and writes the assembled dataset to a
 // directory.
 //
+// While crawling it logs periodic progress summaries (addresses
+// done/total, ETA) and, with -metrics-addr, exposes live /metrics,
+// /debug/pprof/*, and /debug/vars endpoints for the crawl in flight.
+//
 // Example:
 //
-//	enscrawl -base http://127.0.0.1:8080 -out ./data -workers 8
+//	enscrawl -base http://127.0.0.1:8080 -out ./data -workers 8 -metrics-addr :9090
 package main
 
 import (
@@ -22,18 +26,21 @@ import (
 
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
 )
 
 func main() {
 	var (
-		base    = flag.String("base", "http://127.0.0.1:8080", "ensworld base URL")
-		out     = flag.String("out", "data", "output dataset directory")
-		workers = flag.Int("workers", 8, "concurrent transaction crawlers")
-		apiKey  = flag.String("apikey", "enscrawl", "etherscan API key (rate-limit bucket)")
-		rps     = flag.Float64("rps", float64(etherscan.DefaultRatePerSecond), "etherscan request pacing per second")
-		resume  = flag.String("resume", "", "spool/checkpoint directory; an interrupted crawl restarts where it stopped")
+		base        = flag.String("base", "http://127.0.0.1:8080", "ensworld base URL")
+		out         = flag.String("out", "data", "output dataset directory")
+		workers     = flag.Int("workers", 8, "concurrent transaction crawlers")
+		apiKey      = flag.String("apikey", "enscrawl", "etherscan API key (rate-limit bucket)")
+		rps         = flag.Float64("rps", float64(etherscan.DefaultRatePerSecond), "etherscan request pacing per second")
+		resume      = flag.String("resume", "", "spool/checkpoint directory; an interrupted crawl restarts where it stopped")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/pprof on this address while crawling (empty = disabled)")
+		progress    = flag.Duration("progress", 10*time.Second, "interval between crawl-progress summaries (done/total, ETA)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -41,9 +48,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *metricsAddr != "" {
+		dbg, err := obs.StartDebugServer(*metricsAddr, obs.Default, logger)
+		if err != nil {
+			logger.Error("metrics listener", "err", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+	}
+
 	esClient := etherscan.NewClient(*base+"/etherscan", *apiKey)
 	if *rps > 0 {
 		esClient.MinInterval = time.Duration(float64(time.Second) / *rps)
+	} else {
+		esClient.MinInterval = 0
 	}
 
 	start := time.Now()
@@ -51,7 +69,7 @@ func main() {
 		subgraph.NewClient(*base+"/subgraph"),
 		esClient,
 		opensea.NewClient(*base+"/opensea"),
-		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, Logger: logger},
+		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, Logger: logger, ProgressEvery: *progress},
 	)
 	if err != nil {
 		logger.Error("crawl", "err", err)

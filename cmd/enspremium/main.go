@@ -9,21 +9,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/pricing"
 	"ensdropcatch/internal/report"
 )
 
 func main() {
 	var (
-		expiryStr = flag.String("expiry", "", "expiry date (YYYY-MM-DD, required)")
-		label     = flag.String("label", "example", "label, for the base-rent tier")
-		stepHours = flag.Int("step", 24, "schedule step in hours")
+		expiryStr   = flag.String("expiry", "", "expiry date (YYYY-MM-DD, required)")
+		label       = flag.String("label", "example", "label, for the base-rent tier")
+		stepHours   = flag.Int("step", 24, "schedule step in hours")
+		metricsAddr = flag.String("metrics-addr", "", "after printing, keep serving /metrics and /debug/pprof on this address until interrupted (for profiling)")
 	)
 	flag.Parse()
 	if *expiryStr == "" {
@@ -62,4 +68,15 @@ func main() {
 		})
 	}
 	fmt.Print(report.Table([]string{"time (UTC)", "auction day", "premium", "total (1yr)", "total in ETH"}, rows))
+
+	if *metricsAddr != "" {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		if _, err := obs.StartDebugServer(*metricsAddr, obs.Default, logger); err != nil {
+			fmt.Fprintf(os.Stderr, "enspremium: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+	}
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/world"
+)
+
+// healthStatus is the /healthz response body: enough for a load
+// balancer to gate on and for an operator to see what world this
+// instance is serving without grepping logs.
+type healthStatus struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Seed          int64          `json:"seed"`
+	Domains       int            `json:"domains"`
+	Subdomains    int            `json:"subdomains"`
+	Transactions  int            `json:"transactions"`
+	Index         map[string]int `json:"index"`
+}
+
+// newHealthHandler serves liveness as JSON: uptime, the generated
+// world's seed and headline counts, and the subgraph index sizes.
+func newHealthHandler(start time.Time, seed int64, summary world.Summary, store *subgraph.Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(healthStatus{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+			Seed:          seed,
+			Domains:       summary.Domains,
+			Subdomains:    summary.Subdomains,
+			Transactions:  summary.Transactions,
+			Index: map[string]int{
+				subgraph.ColRegistrations: store.Len(subgraph.ColRegistrations),
+				subgraph.ColEvents:        store.Len(subgraph.ColEvents),
+				subgraph.ColSubdomains:    store.Len(subgraph.ColSubdomains),
+			},
+		})
+	})
+}

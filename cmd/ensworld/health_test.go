@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/world"
+)
+
+func TestHealthzJSON(t *testing.T) {
+	cfg := world.DefaultConfig(300)
+	cfg.Seed = 3
+	res, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := res.Summarize()
+	store := subgraph.BuildIndex(res.Chain)
+
+	h := newHealthHandler(time.Now().Add(-90*time.Second), 3, summary, store)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var got healthStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got.Status != "ok" {
+		t.Errorf("status = %q, want ok", got.Status)
+	}
+	if got.UptimeSeconds < 90 {
+		t.Errorf("uptime = %v, want >= 90s", got.UptimeSeconds)
+	}
+	if got.Seed != 3 {
+		t.Errorf("seed = %d, want 3", got.Seed)
+	}
+	if got.Domains != summary.Domains || got.Domains == 0 {
+		t.Errorf("domains = %d, want %d (nonzero)", got.Domains, summary.Domains)
+	}
+	if got.Transactions != summary.Transactions {
+		t.Errorf("transactions = %d, want %d", got.Transactions, summary.Transactions)
+	}
+	for _, col := range []string{subgraph.ColRegistrations, subgraph.ColEvents, subgraph.ColSubdomains} {
+		if got.Index[col] != store.Len(col) {
+			t.Errorf("index[%s] = %d, want %d", col, got.Index[col], store.Len(col))
+		}
+	}
+	if got.Index[subgraph.ColEvents] == 0 {
+		t.Error("event index empty in health response")
+	}
+}

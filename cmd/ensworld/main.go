@@ -8,6 +8,15 @@
 //	GET  /etherscan/labels   custodial address lists
 //	GET  /opensea/events     marketplace events
 //	POST /rpc                JSON-RPC (eth_getLogs etc., raw chain access)
+//	GET  /healthz            JSON liveness (uptime, world shape, index sizes)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debug/pprof/*      runtime profiles
+//	GET  /debug/vars         expvar JSON
+//
+// Every route is instrumented: per-route request counts by status
+// class, latency histograms, and an in-flight gauge, exposed under the
+// ensworld_http_* metric names. SIGINT/SIGTERM drain in-flight requests
+// before exit.
 //
 // Example:
 //
@@ -15,16 +24,19 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
 	"ensdropcatch/internal/ethrpc"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
 	"ensdropcatch/internal/world"
@@ -36,9 +48,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic generation seed")
 		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
 		rate    = flag.Int("etherscan-rate", etherscan.DefaultRatePerSecond, "etherscan requests/second/key (0 = default)")
+		drain   = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := world.DefaultConfig(*domains)
 	cfg.Seed = *seed
@@ -63,15 +79,18 @@ func main() {
 		"registrations", store.Len(subgraph.ColRegistrations),
 		"events", store.Len(subgraph.ColEvents))
 
+	httpMetrics := obs.NewHTTPMetrics(obs.Default, "ensworld")
 	mux := http.NewServeMux()
-	mux.Handle("/subgraph", subgraph.NewServer(store, logger))
-	mux.Handle("/etherscan/", http.StripPrefix("/etherscan",
+	handle := func(route string, h http.Handler) {
+		mux.Handle(route, httpMetrics.Wrap(route, h))
+	}
+	handle("/subgraph", subgraph.NewServer(store, logger))
+	handle("/etherscan/", http.StripPrefix("/etherscan",
 		etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger)))
-	mux.Handle("/opensea/", http.StripPrefix("/opensea", opensea.NewServer(res.OpenSea)))
-	mux.Handle("/rpc", ethrpc.NewServer(res.Chain))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	handle("/opensea/", http.StripPrefix("/opensea", opensea.NewServer(res.OpenSea)))
+	handle("/rpc", ethrpc.NewServer(res.Chain))
+	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store))
+	obs.RegisterDebug(mux, obs.Default)
 
 	logger.Info("serving", "addr", *listen)
 	srv := &http.Server{
@@ -79,8 +98,22 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
 		logger.Error("serve", "err", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received, draining", "timeout", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
 	}
 }

@@ -60,7 +60,10 @@ func defaultSleep(ctx context.Context, d time.Duration) error {
 }
 
 // Wait blocks until a token is available or the context is cancelled.
+// Every call records its total blocked time (zero when a token was
+// free) in the crawler_ratelimit_wait_seconds histogram.
 func (l *Limiter) Wait(ctx context.Context) error {
+	var waited time.Duration
 	for {
 		l.mu.Lock()
 		now := l.now()
@@ -72,11 +75,15 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		if l.tokens >= 1 {
 			l.tokens--
 			l.mu.Unlock()
+			m().ratelimitWait.Observe(waited.Seconds())
 			return nil
 		}
 		need := (1 - l.tokens) / l.rate
 		l.mu.Unlock()
-		if err := l.sleep(ctx, time.Duration(need*float64(time.Second))); err != nil {
+		d := time.Duration(need * float64(time.Second))
+		waited += d
+		if err := l.sleep(ctx, d); err != nil {
+			m().ratelimitWait.Observe(waited.Seconds())
 			return err
 		}
 	}
@@ -116,6 +123,27 @@ func Permanent(err error) error {
 	return fmt.Errorf("%w: %w", ErrPermanent, err)
 }
 
+// sharedRand is the jitter source used when RetryConfig.Rand is nil,
+// seeded once at startup and guarded for concurrent retries.
+var (
+	sharedRandMu sync.Mutex
+	sharedRand   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitterFactor returns a multiplier in [1-j, 1+j] drawn from rng, or
+// from the shared seeded source when rng is nil.
+func jitterFactor(rng *rand.Rand, j float64) float64 {
+	var u float64
+	if rng != nil {
+		u = rng.Float64()
+	} else {
+		sharedRandMu.Lock()
+		u = sharedRand.Float64()
+		sharedRandMu.Unlock()
+	}
+	return 1 + j*(2*u-1)
+}
+
 // Retry runs fn until it succeeds, exhausts cfg.Attempts, hits a permanent
 // error, or the context is cancelled.
 func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
@@ -126,16 +154,13 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 	if sleep == nil {
 		sleep = defaultSleep
 	}
-	rng := cfg.Rand
-	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
 	delay := cfg.BaseDelay
 	var err error
 	for attempt := 1; ; attempt++ {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		m().retryAttempts.Inc()
 		err = fn()
 		if err == nil {
 			return nil
@@ -147,12 +172,12 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 			return err
 		}
 		if attempt >= cfg.Attempts {
+			m().retryExhausted.Inc()
 			return fmt.Errorf("crawler: %d attempts exhausted: %w", attempt, err)
 		}
 		d := delay
 		if cfg.Jitter > 0 {
-			f := 1 + cfg.Jitter*(2*rng.Float64()-1)
-			d = time.Duration(float64(d) * f)
+			d = time.Duration(float64(d) * jitterFactor(cfg.Rand, cfg.Jitter))
 		}
 		if err := sleep(ctx, d); err != nil {
 			return err
@@ -187,13 +212,18 @@ func ForEach[T any](ctx context.Context, workers int, items []T, fn func(context
 				if ctx.Err() != nil {
 					return
 				}
-				if err := fn(ctx, item); err != nil {
+				m().workersActive.Inc()
+				err := fn(ctx, item)
+				m().workersActive.Dec()
+				if err != nil {
+					m().itemErrors.Inc()
 					mu.Lock()
 					errs = append(errs, err)
 					mu.Unlock()
 					cancel()
 					return
 				}
+				m().itemsDone.Inc()
 			}
 		}()
 	}
@@ -271,6 +301,7 @@ func (c *Checkpoint) Mark(id string) error {
 	if _, err := c.w.WriteString(id + "\n"); err != nil {
 		return fmt.Errorf("crawler: write checkpoint: %w", err)
 	}
+	m().checkpointMarks.Inc()
 	return c.w.Flush()
 }
 

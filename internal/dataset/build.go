@@ -7,10 +7,13 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/etherscan"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
 )
@@ -48,6 +51,12 @@ type BuildOptions struct {
 	ResumeDir string
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
+	// Obs receives stage timers, item counters, and crawl-progress
+	// gauges; nil uses obs.Default.
+	Obs *obs.Registry
+	// ProgressEvery is the interval between progress summaries (with
+	// ETA) during the transaction crawl; <= 0 defaults to 10s.
+	ProgressEvery time.Duration
 }
 
 func (o *BuildOptions) defaults() {
@@ -60,6 +69,43 @@ func (o *BuildOptions) defaults() {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
 	}
+	if o.Obs == nil {
+		o.Obs = obs.Default
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 10 * time.Second
+	}
+}
+
+// buildMetrics instruments the assembly stages (the paper's Figure 1
+// pipeline: subgraph history, labels, transaction crawl, marketplace).
+type buildMetrics struct {
+	stageSeconds *obs.GaugeVec
+	stageItems   *obs.CounterVec
+	txDone       *obs.Gauge
+	txTotal      *obs.Gauge
+}
+
+func newBuildMetrics(reg *obs.Registry) *buildMetrics {
+	return &buildMetrics{
+		stageSeconds: reg.GaugeVec("dataset_stage_seconds",
+			"Wall-clock seconds the last run spent in each build stage.", "stage"),
+		stageItems: reg.CounterVec("dataset_stage_items_total",
+			"Items produced by each build stage.", "stage"),
+		txDone: reg.Gauge("dataset_tx_addresses_done",
+			"Addresses whose transaction lists have been crawled."),
+		txTotal: reg.Gauge("dataset_tx_addresses_total",
+			"Addresses the transaction crawl must cover."),
+	}
+}
+
+// stage records a completed stage's duration and item count, and logs it.
+func (bm *buildMetrics) stage(logger *slog.Logger, name string, items int, start time.Time) {
+	elapsed := time.Since(start)
+	bm.stageSeconds.With(name).Set(elapsed.Seconds())
+	bm.stageItems.With(name).Add(uint64(items))
+	logger.Info("dataset: stage complete", "stage", name, "items", items,
+		"elapsed", elapsed.Round(time.Millisecond))
 }
 
 // eventFields are the subgraph fields the assembly needs.
@@ -71,21 +117,24 @@ var eventFields = []string{"type", "label", "labelName", "registrant", "newOwner
 // labels, and marketplace events for names registered more than once.
 func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market MarketSource, opts BuildOptions) (*Dataset, error) {
 	opts.defaults()
+	bm := newBuildMetrics(opts.Obs)
 	ds := New(opts.Start, opts.End)
 
 	// 1. Registration event history.
+	stageStart := time.Now()
 	rows, err := regs.PageAll(ctx, subgraph.ColEvents, eventFields)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl registration events: %w", err)
 	}
-	opts.Logger.Info("dataset: registration events crawled", "events", len(rows))
 	for _, row := range rows {
 		if err := ds.addEventRow(row); err != nil {
 			return nil, fmt.Errorf("dataset: event row %q: %w", row.ID(), err)
 		}
 	}
+	bm.stage(opts.Logger, "events", len(rows), stageStart)
 
 	// 1b. Subdomain records.
+	stageStart = time.Now()
 	subRows, err := regs.PageAll(ctx, subgraph.ColSubdomains, []string{"parent", "name", "owner", "createdAt"})
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl subdomains: %w", err)
@@ -107,8 +156,10 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 			Created: integer(row, "createdAt"),
 		})
 	}
+	bm.stage(opts.Logger, "subdomains", len(subRows), stageStart)
 
 	// 2. Custodial labels.
+	stageStart = time.Now()
 	labels, err := txs.FetchLabels(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: fetch labels: %w", err)
@@ -127,8 +178,10 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 		}
 		ds.OtherCustodial[a] = true
 	}
+	bm.stage(opts.Logger, "labels", len(labels.Coinbase)+len(labels.OtherCustodial), stageStart)
 
 	// 3. Transaction lists for every registrant address.
+	stageStart = time.Now()
 	addrSet := map[ethtypes.Address]bool{}
 	for _, d := range ds.Domains {
 		for _, e := range d.Events {
@@ -143,9 +196,17 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	}
 	sort.Slice(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
 
+	// The transaction crawl is the long, rate-limited stage, so it gets
+	// live progress: a done/total gauge pair and periodic ETA summaries.
+	var done atomic.Int64
+	bm.txTotal.Set(float64(len(addrs)))
+	bm.txDone.Set(0)
+	onAddressDone := func() { bm.txDone.Set(float64(done.Add(1))) }
+	stopProgress := startProgressLoop(ctx, opts, &done, len(addrs), stageStart)
+
 	var mu sync.Mutex
 	if opts.ResumeDir != "" {
-		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds)
+		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone)
 	} else {
 		seen := map[ethtypes.Hash]bool{}
 		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {
@@ -153,6 +214,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 			if err != nil {
 				return fmt.Errorf("txlist %s: %w", addr, err)
 			}
+			defer onAddressDone()
 			mu.Lock()
 			defer mu.Unlock()
 			for i := range records {
@@ -169,12 +231,15 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 			return nil
 		})
 	}
+	stopProgress()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl transactions: %w", err)
 	}
 	opts.Logger.Info("dataset: transactions crawled", "addresses", len(addrs), "txs", len(ds.Txs))
+	bm.stage(opts.Logger, "transactions", len(ds.Txs), stageStart)
 
 	// 4. Marketplace events for names with more than one registration.
+	stageStart = time.Now()
 	var tokens []ethtypes.Hash
 	for lh, d := range ds.Domains {
 		if len(d.Registrations()) >= 2 {
@@ -209,10 +274,48 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl marketplace: %w", err)
 	}
+	bm.stage(opts.Logger, "market", len(tokens), stageStart)
 
 	ds.Reindex()
 	ds.inferWindow()
 	return ds, nil
+}
+
+// startProgressLoop emits periodic done/total/ETA summaries through the
+// options logger until the returned stop function is called.
+func startProgressLoop(ctx context.Context, opts BuildOptions, done *atomic.Int64, total int, start time.Time) func() {
+	if total == 0 {
+		return func() {}
+	}
+	progressCtx, cancel := context.WithCancel(ctx)
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(opts.ProgressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-progressCtx.Done():
+				return
+			case <-t.C:
+				d := done.Load()
+				elapsed := time.Since(start)
+				eta := "unknown"
+				if d > 0 {
+					eta = (time.Duration(float64(elapsed) * float64(int64(total)-d) / float64(d))).Round(time.Second).String()
+				}
+				opts.Logger.Info("dataset: tx crawl progress",
+					"addresses_done", d,
+					"addresses_total", total,
+					"elapsed", elapsed.Round(time.Second),
+					"eta", eta)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-finished
+	}
 }
 
 // inferWindow fills an unspecified observation window from the data: the

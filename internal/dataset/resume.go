@@ -35,8 +35,13 @@ type spoolEntry struct {
 // crawlTxsResumable crawls transaction lists for addrs with concurrency
 // workers, spooling results under dir. Completed addresses recorded in
 // the checkpoint are skipped and their transactions recovered from the
-// spool.
-func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset) error {
+// spool. onAddressDone is invoked once per covered address — including
+// addresses recovered from the checkpoint — so progress reporting sees
+// the full total.
+func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func()) error {
+	if onAddressDone == nil {
+		onAddressDone = func() {}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: resume dir: %w", err)
 	}
@@ -92,11 +97,14 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 	defer spool.Close()
 	spoolEnc := json.NewEncoder(spool)
 
-	// Only crawl what is not checkpointed.
+	// Only crawl what is not checkpointed; recovered addresses count as
+	// done immediately.
 	var todo []ethtypes.Address
 	for _, a := range addrs {
 		if !cp.Done(strings0x(a)) {
 			todo = append(todo, a)
+		} else {
+			onAddressDone()
 		}
 	}
 	sort.Slice(todo, func(i, j int) bool { return lessAddr(todo[i], todo[j]) })
@@ -125,6 +133,7 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 			return err
 		}
 		absorb(rows)
+		onAddressDone()
 		return nil
 	})
 	if err != nil {

@@ -9,15 +9,19 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
 )
 
 // Client is a polite Etherscan API client: it paces requests under the
 // per-key rate limit, retries transient failures with backoff, and pages
 // through large accounts by advancing startblock past the result-window
-// cap — the mechanics behind the paper's 9.7M-transaction crawl.
+// cap — the mechanics behind the paper's 9.7M-transaction crawl. Pacing
+// and retries run through the crawler package, so its rate-limiter wait
+// and retry metrics cover this client. Safe for concurrent use.
 type Client struct {
 	// BaseURL is the server root (no trailing /api).
 	BaseURL string
@@ -28,13 +32,16 @@ type Client struct {
 	// PageSize rows per request; defaults to 1000.
 	PageSize int
 	// MinInterval between requests; defaults to 1/DefaultRatePerSecond.
+	// Zero disables pacing.
 	MinInterval time.Duration
 	// MaxRetries per request on rate-limit or transport errors.
 	MaxRetries int
 	// Sleep is indirected for tests; defaults to a context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
 
-	lastRequest time.Time
+	mu          sync.Mutex
+	lim         *crawler.Limiter
+	limInterval time.Duration
 }
 
 // NewClient returns a client with defaults.
@@ -67,45 +74,69 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 // answering with its rate-limit message after all retries.
 var ErrRateLimited = fmt.Errorf("etherscan: rate limited")
 
+// limiter returns the pacing limiter for the current MinInterval,
+// rebuilding it when the interval changes (callers tune MinInterval
+// after NewClient, before crawling). Nil means pacing is disabled.
+func (c *Client) limiter() *crawler.Limiter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.MinInterval <= 0 {
+		c.lim, c.limInterval = nil, 0
+		return nil
+	}
+	if c.lim == nil || c.limInterval != c.MinInterval {
+		c.lim = crawler.NewLimiter(float64(time.Second)/float64(c.MinInterval), 1)
+		c.limInterval = c.MinInterval
+	}
+	return c.lim
+}
+
 // call performs one API request with pacing and retries, returning the raw
 // result payload.
 func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, error) {
 	params.Set("apikey", c.APIKey)
 	endpoint := strings.TrimSuffix(c.BaseURL, "/") + "/api?" + params.Encode()
 
-	backoff := 200 * time.Millisecond
-	for attempt := 0; ; attempt++ {
-		// Pace below the per-key rate limit.
-		if wait := c.MinInterval - time.Since(c.lastRequest); wait > 0 {
-			if err := c.sleep(ctx, wait); err != nil {
-				return nil, err
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	cfg := crawler.RetryConfig{
+		Attempts:  attempts,
+		BaseDelay: 200 * time.Millisecond,
+		MaxDelay:  10 * time.Second,
+		Sleep:     c.Sleep,
+	}
+	var result json.RawMessage
+	err := crawler.Retry(ctx, cfg, func() error {
+		if lim := c.limiter(); lim != nil {
+			if err := lim.Wait(ctx); err != nil {
+				return crawler.Permanent(err)
 			}
 		}
-		c.lastRequest = time.Now()
-
+		m().clientRequests.Inc()
 		env, err := c.doOnce(ctx, endpoint)
-		switch {
-		case err == nil && env.Message != "NOTOK":
-			return env.Result, nil
-		case err == nil:
+		if err != nil {
+			m().clientErrors.Inc()
+			return err
+		}
+		if env.Message == "NOTOK" {
 			var msg string
 			_ = json.Unmarshal(env.Result, &msg)
 			if !strings.Contains(msg, "rate limit") {
-				return nil, fmt.Errorf("etherscan: API error: %s", msg)
+				m().clientErrors.Inc()
+				return crawler.Permanent(fmt.Errorf("etherscan: API error: %s", msg))
 			}
-			err = fmt.Errorf("%w: %s", ErrRateLimited, msg)
+			m().clientRateLimited.Inc()
+			return fmt.Errorf("%w: %s", ErrRateLimited, msg)
 		}
-		if attempt >= c.MaxRetries {
-			return nil, fmt.Errorf("etherscan: giving up after %d attempts: %w", attempt+1, err)
-		}
-		if serr := c.sleep(ctx, backoff); serr != nil {
-			return nil, serr
-		}
-		backoff *= 2
-		if backoff > 10*time.Second {
-			backoff = 10 * time.Second
-		}
+		result = env.Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return result, nil
 }
 
 func (c *Client) doOnce(ctx context.Context, endpoint string) (*envelope, error) {
@@ -167,6 +198,8 @@ func (c *Client) TxList(ctx context.Context, addr ethtypes.Address) ([]TxRecord,
 			if err := json.Unmarshal(raw, &rows); err != nil {
 				return nil, fmt.Errorf("txlist decode: %w", err)
 			}
+			m().clientPages.Inc()
+			m().clientRows.Add(uint64(len(rows)))
 			for _, r := range rows {
 				// Block-boundary re-reads can duplicate rows; the hash
 				// dedups them.

@@ -100,6 +100,7 @@ func (s *Server) allow(key string) bool {
 		b.tokens = float64(s.rate)
 	}
 	if b.tokens < 1 {
+		m().serverRateLimited.Inc()
 		return false
 	}
 	b.tokens--

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"errors"
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// RegisterDebug mounts the observability endpoints on mux:
+//
+//	GET /metrics            Prometheus text exposition of reg
+//	GET /debug/pprof/*      runtime profiles (heap, goroutine, CPU, ...)
+//	GET /debug/vars         expvar JSON (cmdline, memstats)
+//
+// A nil reg uses Default.
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
+	if reg == nil {
+		reg = Default
+	}
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// StartDebugServer listens on addr and serves the debug endpoints in a
+// background goroutine, for binaries (like enscrawl) whose main job is
+// not HTTP. It fails fast if the address cannot be bound; shut it down
+// with the returned server's Shutdown/Close.
+func StartDebugServer(addr string, reg *Registry, logger *slog.Logger) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && logger != nil {
+			logger.Error("obs: debug server", "err", err)
+		}
+	}()
+	if logger != nil {
+		logger.Info("obs: debug endpoints listening", "addr", ln.Addr().String())
+	}
+	return srv, nil
+}

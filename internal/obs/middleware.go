@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers with per-route request counts
+// (by status class), an in-flight gauge, and latency histograms. One
+// HTTPMetrics is shared by every wrapped route of a server.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg (nil uses
+// Default) under the given namespace prefix, e.g. "ensworld" yields
+// ensworld_http_requests_total{route,code},
+// ensworld_http_request_seconds{route}, and
+// ensworld_http_inflight_requests.
+func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
+	if reg == nil {
+		reg = Default
+	}
+	ns := namespace
+	if ns != "" {
+		ns += "_"
+	}
+	return &HTTPMetrics{
+		requests: reg.CounterVec(ns+"http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		latency: reg.HistogramVec(ns+"http_request_seconds",
+			"HTTP request latency in seconds, by route.", DefBuckets, "route"),
+		inflight: reg.Gauge(ns+"http_inflight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// Wrap returns next instrumented under the given route label. Handles
+// are resolved once here, so the per-request path is allocation-free
+// apart from the status recorder.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	hist := m.latency.With(route)
+	var byClass [6]*Counter
+	byClass[0] = m.requests.With(route, "other")
+	for i := 1; i <= 5; i++ {
+		byClass[i] = m.requests.With(route, strconv.Itoa(i)+"xx")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		defer m.inflight.Dec()
+		start := time.Now()
+		rec := statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(&rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		cls := rec.code / 100
+		if cls < 1 || cls > 5 {
+			cls = 0
+		}
+		byClass[cls].Inc()
+	})
+}
+
+var defaultHTTP = sync.OnceValue(func() *HTTPMetrics { return NewHTTPMetrics(Default, "") })
+
+// Middleware instruments next on the Default registry under the
+// unprefixed http_* metric names. Servers wanting their own namespace
+// use NewHTTPMetrics.
+func Middleware(route string, next http.Handler) http.Handler {
+	return defaultHTTP().Wrap(route, next)
+}
+
+// statusRecorder captures the response status code.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,39 @@
+package opensea
+
+import (
+	"sync/atomic"
+
+	"ensdropcatch/internal/obs"
+)
+
+// metricSet holds the client's instrumentation handles.
+type metricSet struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	pages    *obs.Counter
+	events   *obs.Counter
+}
+
+var metrics atomic.Pointer[metricSet]
+
+func init() { InitMetrics(obs.Default) }
+
+// InitMetrics points the package's instrumentation at reg (nil resets
+// to obs.Default).
+func InitMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	metrics.Store(&metricSet{
+		requests: reg.Counter("opensea_client_requests_total",
+			"Event-API requests issued by the OpenSea client."),
+		errors: reg.Counter("opensea_client_errors_total",
+			"Transport, HTTP, or decode errors seen by the OpenSea client."),
+		pages: reg.Counter("opensea_client_pages_total",
+			"Cursor pages fetched by the OpenSea client."),
+		events: reg.Counter("opensea_client_events_total",
+			"Marketplace events received."),
+	})
+}
+
+func m() *metricSet { return metrics.Load() }

@@ -175,22 +175,29 @@ func (c *Client) page(ctx context.Context, params url.Values) ([]Event, error) {
 		if httpClient == nil {
 			httpClient = &http.Client{Timeout: 30 * time.Second}
 		}
+		m().requests.Inc()
 		resp, err := httpClient.Do(req)
 		if err != nil {
+			m().errors.Inc()
 			return nil, fmt.Errorf("opensea: %w", err)
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
 		if err != nil {
+			m().errors.Inc()
 			return nil, fmt.Errorf("opensea: read: %w", err)
 		}
 		if resp.StatusCode != http.StatusOK {
+			m().errors.Inc()
 			return nil, fmt.Errorf("opensea: HTTP %d: %s", resp.StatusCode, body)
 		}
 		var page eventsResponse
 		if err := json.Unmarshal(body, &page); err != nil {
+			m().errors.Inc()
 			return nil, fmt.Errorf("opensea: decode: %w", err)
 		}
+		m().pages.Inc()
+		m().events.Add(uint64(len(page.AssetEvents)))
 		out = append(out, page.AssetEvents...)
 		if page.Next == "" {
 			return out, nil

@@ -34,6 +34,7 @@ func NewClient(endpoint string) *Client {
 
 // Query executes one raw query and returns the data map.
 func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, error) {
+	m().requests.Inc()
 	body, err := json.Marshal(gqlRequest{Query: query})
 	if err != nil {
 		return nil, fmt.Errorf("subgraph client: marshal: %w", err)
@@ -49,21 +50,26 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 	}
 	resp, err := httpClient.Do(req)
 	if err != nil {
+		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: do: %w", err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: read: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: status %d: %s", resp.StatusCode, truncate(string(raw), 200))
 	}
 	var envelope gqlResponse
 	if err := json.Unmarshal(raw, &envelope); err != nil {
+		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: decode: %w", err)
 	}
 	if len(envelope.Errors) > 0 {
+		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: server error: %s", envelope.Errors[0].Message)
 	}
 	return envelope.Data, nil
@@ -89,6 +95,8 @@ func (c *Client) PageAll(ctx context.Context, collection string, fields []string
 			return nil, fmt.Errorf("page after %q: %w", cursor, err)
 		}
 		rows := data[collection]
+		m().pages.Inc()
+		m().entities.Add(uint64(len(rows)))
 		out = append(out, rows...)
 		if len(rows) < pageSize {
 			return out, nil

@@ -1,0 +1,39 @@
+package subgraph
+
+import (
+	"sync/atomic"
+
+	"ensdropcatch/internal/obs"
+)
+
+// metricSet holds the client's instrumentation handles.
+type metricSet struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	pages    *obs.Counter
+	entities *obs.Counter
+}
+
+var metrics atomic.Pointer[metricSet]
+
+func init() { InitMetrics(obs.Default) }
+
+// InitMetrics points the package's instrumentation at reg (nil resets
+// to obs.Default).
+func InitMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	metrics.Store(&metricSet{
+		requests: reg.Counter("subgraph_client_requests_total",
+			"GraphQL queries issued by the subgraph client."),
+		errors: reg.Counter("subgraph_client_errors_total",
+			"Transport, HTTP, or GraphQL errors seen by the subgraph client."),
+		pages: reg.Counter("subgraph_client_pages_total",
+			"id_gt cursor pages fetched by PageAll."),
+		entities: reg.Counter("subgraph_client_entities_total",
+			"Entities received by PageAll."),
+	})
+}
+
+func m() *metricSet { return metrics.Load() }
