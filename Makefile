@@ -14,9 +14,9 @@ test:
 	$(GO) test ./...
 
 # Race-checks the concurrency-heavy packages (metrics hot paths, the
-# crawl machinery); race-all covers the whole module.
+# crawl machinery, the resumable build); race-all covers the whole module.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/crawler/...
+	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/dataset/...
 
 race-all:
 	$(GO) test -race -short ./...

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
 	"ensdropcatch/internal/obs"
@@ -39,6 +40,9 @@ func main() {
 		apiKey      = flag.String("apikey", "enscrawl", "etherscan API key (rate-limit bucket)")
 		rps         = flag.Float64("rps", float64(etherscan.DefaultRatePerSecond), "etherscan request pacing per second")
 		resume      = flag.String("resume", "", "spool/checkpoint directory; an interrupted crawl restarts where it stopped")
+		fsync       = flag.Bool("fsync", false, "fsync the spool and checkpoint at every completed address (survives power loss, costs throughput)")
+		breaker     = flag.Int("breaker-threshold", 8, "consecutive transport failures before a source's circuit opens (0 = breakers off)")
+		cooldown    = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open circuit waits before probing the source again")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/pprof on this address while crawling (empty = disabled)")
 		progress    = flag.Duration("progress", 10*time.Second, "interval between crawl-progress summaries (done/total, ETA)")
 	)
@@ -63,13 +67,20 @@ func main() {
 	} else {
 		esClient.MinInterval = 0
 	}
+	sgClient := subgraph.NewClient(*base + "/subgraph")
+	osClient := opensea.NewClient(*base + "/opensea")
+	if *breaker > 0 {
+		esClient.Breaker = crawler.NewBreaker("etherscan", *breaker, *cooldown)
+		sgClient.Breaker = crawler.NewBreaker("subgraph", *breaker, *cooldown)
+		osClient.Breaker = crawler.NewBreaker("opensea", *breaker, *cooldown)
+	}
 
 	start := time.Now()
 	ds, err := dataset.Build(ctx,
-		subgraph.NewClient(*base+"/subgraph"),
+		sgClient,
 		esClient,
-		opensea.NewClient(*base+"/opensea"),
-		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, Logger: logger, ProgressEvery: *progress},
+		osClient,
+		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, FsyncCheckpoint: *fsync, Logger: logger, ProgressEvery: *progress},
 	)
 	if err != nil {
 		logger.Error("crawl", "err", err)

@@ -18,9 +18,16 @@
 // ensworld_http_* metric names. SIGINT/SIGTERM drain in-flight requests
 // before exit.
 //
+// With -chaos-rate > 0, a seeded fault injector (internal/chaos) wraps
+// the three API routes, randomly answering with 429s, 500s, connection
+// resets, slow bodies, stalls, and truncated JSON — a repeatable
+// hostile-network drill for crawler hardening. Health and debug routes
+// stay clean.
+//
 // Example:
 //
 //	ensworld -domains 30000 -seed 7 -listen :8080
+//	ensworld -domains 5000 -chaos-rate 0.2 -chaos-seed 42
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"ensdropcatch/internal/chaos"
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
 	"ensdropcatch/internal/ethrpc"
@@ -44,11 +52,13 @@ import (
 
 func main() {
 	var (
-		domains = flag.Int("domains", 10000, "number of domains to simulate")
-		seed    = flag.Int64("seed", 1, "deterministic generation seed")
-		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
-		rate    = flag.Int("etherscan-rate", etherscan.DefaultRatePerSecond, "etherscan requests/second/key (0 = default)")
-		drain   = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		domains   = flag.Int("domains", 10000, "number of domains to simulate")
+		seed      = flag.Int64("seed", 1, "deterministic generation seed")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		rate      = flag.Int("etherscan-rate", etherscan.DefaultRatePerSecond, "etherscan requests/second/key (0 = default)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		chaosRate = flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1] on the three API routes (0 = off)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "deterministic fault schedule seed")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -84,10 +94,19 @@ func main() {
 	handle := func(route string, h http.Handler) {
 		mux.Handle(route, httpMetrics.Wrap(route, h))
 	}
-	handle("/subgraph", subgraph.NewServer(store, logger))
+	// The three crawled APIs optionally run behind a seeded fault
+	// injector so clients' retry/breaker/resume paths can be exercised;
+	// health and debug routes stay clean.
+	faulty := func(h http.Handler) http.Handler { return h }
+	if *chaosRate > 0 {
+		inj := chaos.New(chaos.Config{Seed: *chaosSeed, Rate: *chaosRate})
+		faulty = inj.Wrap
+		logger.Info("chaos enabled", "rate", *chaosRate, "seed", *chaosSeed)
+	}
+	handle("/subgraph", faulty(subgraph.NewServer(store, logger)))
 	handle("/etherscan/", http.StripPrefix("/etherscan",
-		etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger)))
-	handle("/opensea/", http.StripPrefix("/opensea", opensea.NewServer(res.OpenSea)))
+		faulty(etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger))))
+	handle("/opensea/", http.StripPrefix("/opensea", faulty(opensea.NewServer(res.OpenSea))))
 	handle("/rpc", ethrpc.NewServer(res.Chain))
 	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store))
 	obs.RegisterDebug(mux, obs.Default)

@@ -1,0 +1,269 @@
+// Package chaos is a deterministic fault-injection harness for the mock
+// data-source servers (subgraph, Etherscan, OpenSea) and their clients.
+// The paper's crawl ran for weeks against live APIs where 429s, 5xxs,
+// dropped connections, and truncated payloads are routine; this package
+// reproduces those conditions on demand so the pipeline's retry, breaker,
+// and resume machinery can be exercised end-to-end under a seeded,
+// repeatable fault schedule.
+//
+// An Injector wraps either side of the wire: Wrap produces an
+// http.Handler that injects faults before (or into) the inner handler's
+// response, and RoundTripper produces an http.RoundTripper that injects
+// the equivalent failures client-side without a server. Both draw from
+// the same seeded source, so a given (Seed, Rate, Faults) configuration
+// yields a reproducible fault sequence.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Fault names one injectable failure mode.
+type Fault string
+
+const (
+	// FaultRateLimit answers 429 Too Many Requests with a Retry-After
+	// header (fractional seconds, so tests can keep backoff short).
+	FaultRateLimit Fault = "ratelimit"
+	// FaultServerError answers 500 Internal Server Error.
+	FaultServerError Fault = "servererror"
+	// FaultReset aborts the connection before any response bytes.
+	FaultReset Fault = "reset"
+	// FaultSlowBody delays the (otherwise correct) response by Delay.
+	FaultSlowBody Fault = "slowbody"
+	// FaultStall hangs for Delay and then aborts the connection, the
+	// shape of a request that times out server-side.
+	FaultStall Fault = "stall"
+	// FaultTruncate sends roughly half of the correct response body and
+	// then aborts the connection, producing truncated JSON.
+	FaultTruncate Fault = "truncate"
+)
+
+// AllFaults lists every injectable fault mode.
+func AllFaults() []Fault {
+	return []Fault{FaultRateLimit, FaultServerError, FaultReset, FaultSlowBody, FaultStall, FaultTruncate}
+}
+
+// Config tunes an Injector.
+type Config struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+	// Rate in [0, 1] is the per-request fault probability.
+	Rate float64
+	// Faults is the enabled fault set; nil enables AllFaults.
+	Faults []Fault
+	// RetryAfter is the hint sent with injected 429s; <= 0 uses 1s.
+	RetryAfter time.Duration
+	// Delay is the slow-body and stall duration; <= 0 uses 50ms.
+	Delay time.Duration
+}
+
+// Injector deterministically injects faults into HTTP traffic. Safe for
+// concurrent use; under concurrency the fault *sequence* is still drawn
+// deterministically from the seed, though its assignment to requests
+// follows arrival order.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.Rate < 0 {
+		cfg.Rate = 0
+	}
+	if cfg.Rate > 1 {
+		cfg.Rate = 1
+	}
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = AllFaults()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// pick draws the next scheduled fault, or "" for a clean request.
+func (in *Injector) pick() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.Rate {
+		return ""
+	}
+	return in.cfg.Faults[in.rng.Intn(len(in.cfg.Faults))]
+}
+
+// retryAfterSeconds renders the Retry-After hint; fractional values keep
+// chaos tests fast while integer values match real servers.
+func (in *Injector) retryAfterSeconds() string {
+	return strconv.FormatFloat(in.cfg.RetryAfter.Seconds(), 'g', -1, 64)
+}
+
+// Wrap returns a handler that injects faults around inner. Clean
+// requests pass through untouched.
+func (in *Injector) Wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fault := in.pick()
+		if fault != "" {
+			m().injected.With(string(fault)).Inc()
+		} else {
+			m().passed.Inc()
+		}
+		switch fault {
+		case "":
+			inner.ServeHTTP(w, r)
+		case FaultRateLimit:
+			w.Header().Set("Retry-After", in.retryAfterSeconds())
+			http.Error(w, "chaos: rate limited", http.StatusTooManyRequests)
+		case FaultServerError:
+			http.Error(w, "chaos: internal error", http.StatusInternalServerError)
+		case FaultReset:
+			// ErrAbortHandler makes the server drop the connection with
+			// no response and no panic log.
+			panic(http.ErrAbortHandler)
+		case FaultSlowBody:
+			sleep(r, in.cfg.Delay)
+			inner.ServeHTTP(w, r)
+		case FaultStall:
+			sleep(r, in.cfg.Delay)
+			panic(http.ErrAbortHandler)
+		case FaultTruncate:
+			rec := &recorder{header: make(http.Header)}
+			inner.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			// Promise the full body, deliver half, then kill the
+			// connection so clients see an unexpected EOF rather than a
+			// plausible short document.
+			w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
+			if rec.status != 0 {
+				w.WriteHeader(rec.status)
+			}
+			w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+// sleep waits for d or until the request is cancelled.
+func sleep(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+}
+
+// recorder buffers an inner handler's response for partial replay.
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// ErrInjected marks transport-level failures synthesized by the
+// RoundTripper, so tests can tell injected resets from real ones.
+var ErrInjected = fmt.Errorf("chaos: injected connection failure")
+
+// RoundTripper returns a transport that injects the configured faults
+// client-side. next == nil uses http.DefaultTransport.
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		fault := in.pick()
+		if fault != "" {
+			m().injected.With(string(fault)).Inc()
+		} else {
+			m().passed.Inc()
+		}
+		switch fault {
+		case FaultRateLimit:
+			resp := synthesize(req, http.StatusTooManyRequests, "chaos: rate limited\n")
+			resp.Header.Set("Retry-After", in.retryAfterSeconds())
+			return resp, nil
+		case FaultServerError:
+			return synthesize(req, http.StatusInternalServerError, "chaos: internal error\n"), nil
+		case FaultReset:
+			return nil, ErrInjected
+		case FaultSlowBody:
+			sleep(req, in.cfg.Delay)
+		case FaultStall:
+			sleep(req, in.cfg.Delay)
+			return nil, ErrInjected
+		}
+		resp, err := next.RoundTrip(req)
+		if err != nil || fault != FaultTruncate {
+			return resp, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(body[:len(body)/2]),
+			errReader{io.ErrUnexpectedEOF},
+		))
+		return resp, nil
+	})
+}
+
+// synthesize builds a minimal fault response without touching the network.
+func synthesize(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }

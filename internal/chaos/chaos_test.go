@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drawSequence collects the fault schedule an injector produces.
+func drawSequence(in *Injector, n int) []Fault {
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = in.pick()
+	}
+	return out
+}
+
+func TestScheduleIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.3}
+	a := drawSequence(New(cfg), 500)
+	b := drawSequence(New(cfg), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := drawSequence(New(Config{Seed: 43, Rate: 0.3}), 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestRateIsRespected(t *testing.T) {
+	in := New(Config{Seed: 7, Rate: 0.2})
+	faults := 0
+	const n = 10000
+	for _, f := range drawSequence(in, n) {
+		if f != "" {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.17 || got > 0.23 {
+		t.Errorf("fault rate %.3f, want ~0.2", got)
+	}
+	if n := len(drawSequence(New(Config{Seed: 7, Rate: 0}), 100)); countFaults(drawSequence(New(Config{Seed: 7}), 100)) != 0 || n == 0 {
+		t.Error("rate 0 still injected")
+	}
+}
+
+func countFaults(fs []Fault) int {
+	n := 0
+	for _, f := range fs {
+		if f != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// chaosServer wraps a trivial JSON handler with a single-fault injector.
+func chaosServer(t *testing.T, fault Fault, cfg Config) *httptest.Server {
+	t.Helper()
+	cfg.Rate = 1
+	cfg.Faults = []Fault{fault}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok": true, "payload": "0123456789abcdef0123456789abcdef"}`)
+	})
+	srv := httptest.NewServer(New(cfg).Wrap(inner))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHandlerRateLimitFault(t *testing.T) {
+	srv := chaosServer(t, FaultRateLimit, Config{RetryAfter: 250 * time.Millisecond})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "0.25" {
+		t.Errorf("Retry-After = %q, want 0.25", ra)
+	}
+}
+
+func TestHandlerServerErrorFault(t *testing.T) {
+	srv := chaosServer(t, FaultServerError, Config{})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerResetFault(t *testing.T) {
+	srv := chaosServer(t, FaultReset, Config{})
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("reset fault produced a response")
+	}
+}
+
+func TestHandlerTruncateFaultBreaksDecoding(t *testing.T) {
+	srv := chaosServer(t, FaultTruncate, Config{})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		// Some transports surface the abort before headers are read.
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		var v map[string]any
+		if json.Unmarshal(body, &v) == nil {
+			t.Fatalf("truncated response decoded cleanly: %q", body)
+		}
+	}
+}
+
+func TestHandlerSlowBodyStillCorrect(t *testing.T) {
+	srv := chaosServer(t, FaultSlowBody, Config{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("slow body served in %v", elapsed)
+	}
+	if !strings.Contains(string(body), `"ok": true`) {
+		t.Errorf("slow body corrupted: %q", body)
+	}
+}
+
+func TestHandlerPassthroughAtZeroRate(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "clean")
+	})
+	srv := httptest.NewServer(New(Config{Seed: 1, Rate: 0}).Wrap(inner))
+	defer srv.Close()
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "clean" {
+			t.Fatalf("request %d: body %q", i, body)
+		}
+	}
+}
+
+func TestRoundTripperFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok": true, "payload": "0123456789abcdef"}`)
+	})
+	srv := httptest.NewServer(inner)
+	defer srv.Close()
+
+	tryWith := func(fault Fault) (*http.Response, error) {
+		in := New(Config{Seed: 1, Rate: 1, Faults: []Fault{fault}, RetryAfter: 500 * time.Millisecond, Delay: time.Millisecond})
+		client := &http.Client{Transport: in.RoundTripper(nil)}
+		return client.Get(srv.URL)
+	}
+
+	resp, err := tryWith(FaultRateLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "0.5" {
+		t.Errorf("ratelimit: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	resp, err = tryWith(FaultServerError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("servererror: status %d", resp.StatusCode)
+	}
+
+	if _, err = tryWith(FaultReset); err == nil {
+		t.Error("reset: no error")
+	}
+
+	resp, err = tryWith(FaultTruncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Error("truncate: body read completed cleanly")
+	}
+}

@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"ensdropcatch/internal/obs"
+)
+
+// metricSet holds the package's instrumentation handles.
+type metricSet struct {
+	injected *obs.CounterVec
+	passed   *obs.Counter
+}
+
+var metrics atomic.Pointer[metricSet]
+
+func init() { InitMetrics(obs.Default) }
+
+// InitMetrics points the package's instrumentation at reg (nil resets
+// to obs.Default).
+func InitMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	metrics.Store(&metricSet{
+		injected: reg.CounterVec("chaos_faults_injected_total",
+			"Faults injected into requests, by fault mode.", "fault"),
+		passed: reg.Counter("chaos_requests_passed_total",
+			"Requests the injector let through cleanly."),
+	})
+}
+
+func m() *metricSet { return metrics.Load() }

@@ -1,0 +1,127 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker on a fake clock the test can advance.
+func testBreaker(t *testing.T, threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	t.Helper()
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	b := NewBreaker("test", threshold, cooldown)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(t, 3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		b.Record(boom)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v before threshold", b.State())
+	}
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after %d failures", b.State(), 3)
+	}
+	err := b.Allow()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	// The rejection carries a cooldown hint so Retry waits it out.
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) || ra.After <= 0 || ra.After > time.Minute {
+		t.Errorf("rejection hint = %v, want (0, 1m]", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, now := testBreaker(t, 1, time.Minute)
+	b.Record(errors.New("boom"))
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold 1 did not open")
+	}
+	*now = now.Add(time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open rejected the probe: %v", err)
+	}
+	// A second caller while the probe is in flight is rejected.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, now := testBreaker(t, 1, time.Minute)
+	b.Record(errors.New("boom"))
+	*now = now.Add(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("still down"))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	*now = now.Add(30 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted: %v", err)
+	}
+}
+
+func TestBreakerNeutralAndPermanentOutcomes(t *testing.T) {
+	b, _ := testBreaker(t, 2, time.Minute)
+	// Context cancellations say nothing about source health.
+	for i := 0; i < 10; i++ {
+		b.Record(context.Canceled)
+		b.Record(context.DeadlineExceeded)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("cancellations opened the breaker: %v", b.State())
+	}
+	// A permanent API error means the source answered: it resets the
+	// failure run like a success.
+	b.Record(errors.New("transport down"))
+	b.Record(Permanent(errors.New("bad request")))
+	b.Record(errors.New("transport down"))
+	if b.State() != BreakerClosed {
+		t.Fatal("permanent error did not reset the failure run")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	b, now := testBreaker(t, 1, time.Minute)
+	boom := errors.New("boom")
+	if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v", err)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Do = %v, want fast rejection", err)
+	}
+	*now = now.Add(time.Minute)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v", b.State())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -60,10 +61,12 @@ func defaultSleep(ctx context.Context, d time.Duration) error {
 }
 
 // Wait blocks until a token is available or the context is cancelled.
-// Every call records its total blocked time (zero when a token was
-// free) in the crawler_ratelimit_wait_seconds histogram.
+// Every call records its actual elapsed blocked time (zero when a token
+// was free) in the crawler_ratelimit_wait_seconds histogram — measured
+// from the clock, so a sleep cut short by context cancellation is not
+// overstated.
 func (l *Limiter) Wait(ctx context.Context) error {
-	var waited time.Duration
+	start := l.now()
 	for {
 		l.mu.Lock()
 		now := l.now()
@@ -75,15 +78,14 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		if l.tokens >= 1 {
 			l.tokens--
 			l.mu.Unlock()
-			m().ratelimitWait.Observe(waited.Seconds())
+			m().ratelimitWait.Observe(l.now().Sub(start).Seconds())
 			return nil
 		}
 		need := (1 - l.tokens) / l.rate
 		l.mu.Unlock()
 		d := time.Duration(need * float64(time.Second))
-		waited += d
 		if err := l.sleep(ctx, d); err != nil {
-			m().ratelimitWait.Observe(waited.Seconds())
+			m().ratelimitWait.Observe(l.now().Sub(start).Seconds())
 			return err
 		}
 	}
@@ -121,6 +123,47 @@ func Permanent(err error) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %w", ErrPermanent, err)
+}
+
+// RetryAfterError carries a server-directed backoff hint (typically from
+// a Retry-After header). Retry honors the hint in place of its own
+// computed delay, still capped by MaxDelay.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// RetryAfter wraps err with a delay hint for Retry. A nil err returns
+// nil; a non-positive delay hints an immediate retry.
+func RetryAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	if after < 0 {
+		after = 0
+	}
+	return &RetryAfterError{Err: err, After: after}
+}
+
+// ParseRetryAfter interprets a Retry-After header value as a delay.
+// Delay-seconds (integer per RFC 9110, fractional accepted for test
+// servers) are supported; anything else — including the HTTP-date form —
+// yields (0, false).
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 || secs > (time.Hour * 24).Seconds() {
+		return 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), true
 }
 
 // sharedRand is the jitter source used when RetryConfig.Rand is nil,
@@ -179,6 +222,15 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 		if cfg.Jitter > 0 {
 			d = time.Duration(float64(d) * jitterFactor(cfg.Rand, cfg.Jitter))
 		}
+		// A server-directed hint (Retry-After, breaker cooldown)
+		// overrides the computed backoff, jitter included.
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			d = ra.After
+			if cfg.MaxDelay > 0 && d > cfg.MaxDelay {
+				d = cfg.MaxDelay
+			}
+		}
 		if err := sleep(ctx, d); err != nil {
 			return err
 		}
@@ -189,39 +241,87 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 	}
 }
 
-// ForEach processes items with the given concurrency. The first error
-// cancels outstanding work and is returned (joined with any other errors
-// observed before cancellation took effect).
+// FailurePolicy controls how a ForEach pool reacts to item errors.
+// The zero value is fail-fast: the first error cancels outstanding work.
+type FailurePolicy struct {
+	// ContinueOnError keeps the pool running after item failures,
+	// collecting every error instead of cancelling on the first.
+	ContinueOnError bool
+	// ErrorBudget bounds the tolerated failures when ContinueOnError is
+	// set: once more than ErrorBudget items have failed the pool aborts
+	// like fail-fast. 0 means unbounded.
+	ErrorBudget int
+}
+
+// ItemError records the failure of one ForEach item by position, so a
+// continue-on-error crawl can report exactly which items failed.
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+func (e *ItemError) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// ErrBudgetExhausted is joined into the ForEachPolicy result when a
+// continue-on-error pool aborted because its error budget ran out.
+var ErrBudgetExhausted = errors.New("crawler: error budget exhausted")
+
+// ForEach processes items with the given concurrency and fail-fast
+// semantics: the first error cancels outstanding work and is returned
+// (joined with any other errors observed before cancellation took
+// effect).
 func ForEach[T any](ctx context.Context, workers int, items []T, fn func(context.Context, T) error) error {
+	return ForEachPolicy(ctx, workers, items, FailurePolicy{}, fn)
+}
+
+// ForEachPolicy processes items with the given concurrency under the
+// given failure policy. Errors are returned joined, each wrapped in an
+// *ItemError carrying the item's index.
+func ForEachPolicy[T any](ctx context.Context, workers int, items []T, policy FailurePolicy, fn func(context.Context, T) error) error {
 	if workers < 1 {
 		workers = 1
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan T)
+	type job struct {
+		index int
+		item  T
+	}
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
+	budgetBlown := false
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for item := range jobs {
+			for j := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
 				m().workersActive.Inc()
-				err := fn(ctx, item)
+				err := fn(ctx, j.item)
 				m().workersActive.Dec()
 				if err != nil {
 					m().itemErrors.Inc()
 					mu.Lock()
-					errs = append(errs, err)
+					errs = append(errs, &ItemError{Index: j.index, Err: err})
+					over := policy.ContinueOnError && policy.ErrorBudget > 0 && len(errs) > policy.ErrorBudget
+					if over && !budgetBlown {
+						budgetBlown = true
+						errs = append(errs, ErrBudgetExhausted)
+					}
 					mu.Unlock()
-					cancel()
-					return
+					if !policy.ContinueOnError || over {
+						cancel()
+						return
+					}
+					continue
 				}
 				m().itemsDone.Inc()
 			}
@@ -229,9 +329,9 @@ func ForEach[T any](ctx context.Context, workers int, items []T, fn func(context
 	}
 
 feed:
-	for _, item := range items {
+	for i, item := range items {
 		select {
-		case jobs <- item:
+		case jobs <- job{index: i, item: item}:
 		case <-ctx.Done():
 			break feed
 		}
@@ -248,15 +348,30 @@ type Checkpoint struct {
 	done map[string]bool
 	f    *os.File
 	w    *bufio.Writer
+	sync bool
+}
+
+// CheckpointOption tunes OpenCheckpoint.
+type CheckpointOption func(*Checkpoint)
+
+// WithSync makes every Mark fsync the checkpoint file, so a completed id
+// survives power loss — not just process death — at the cost of one disk
+// sync per item. Opt-in: crawls that can afford to re-crawl a tail of
+// addresses keep the cheap default.
+func WithSync() CheckpointOption {
+	return func(c *Checkpoint) { c.sync = true }
 }
 
 // OpenCheckpoint loads (or creates) the checkpoint at path.
-func OpenCheckpoint(path string) (*Checkpoint, error) {
+func OpenCheckpoint(path string, opts ...CheckpointOption) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: open checkpoint: %w", err)
 	}
 	cp := &Checkpoint{done: make(map[string]bool), f: f}
+	for _, opt := range opts {
+		opt(cp)
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -302,7 +417,15 @@ func (c *Checkpoint) Mark(id string) error {
 		return fmt.Errorf("crawler: write checkpoint: %w", err)
 	}
 	m().checkpointMarks.Inc()
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if c.sync {
+		if err := c.f.Sync(); err != nil {
+			return fmt.Errorf("crawler: sync checkpoint: %w", err)
+		}
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying file.

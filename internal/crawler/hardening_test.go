@@ -1,0 +1,269 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/obs"
+)
+
+// withTestMetrics points the package metrics at a private registry for
+// the duration of the test and returns it.
+func withTestMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	InitMetrics(reg)
+	t.Cleanup(func() { InitMetrics(nil) })
+	return reg
+}
+
+func TestLimiterWaitRecordsActualElapsed(t *testing.T) {
+	reg := withTestMetrics(t)
+	hist := reg.Histogram("crawler_ratelimit_wait_seconds", "", []float64{.001, .005, .01, .05, .1, .5, 1, 5, 15, 60})
+
+	now := time.Unix(0, 0)
+	l := NewLimiter(1, 1) // 1 rps: a drained bucket waits ~1s
+	l.now = func() time.Time { return now }
+	l.last = now
+	// The sleep is interrupted by "cancellation" after only 10ms of the
+	// requested full delay has elapsed.
+	l.sleep = func(ctx context.Context, d time.Duration) error {
+		now = now.Add(10 * time.Millisecond)
+		return context.Canceled
+	}
+	if err := l.Wait(context.Background()); err != nil { // burst token, no sleep
+		t.Fatal(err)
+	}
+	if err := l.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// The pre-fix code recorded the full computed delay (~1s); the
+	// histogram must hold only the actually elapsed 10ms.
+	if sum := hist.Sum(); sum > 0.05 {
+		t.Errorf("recorded wait %.3fs, want ~0.01s (cancelled sleep overstated)", sum)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"2", 2 * time.Second, true},
+		{"0.25", 250 * time.Millisecond, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+		{"999999999", 0, false}, // nonsense horizon
+	}
+	for _, c := range cases {
+		got, ok := ParseRetryAfter(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	var delays []time.Duration
+	cfg := RetryConfig{
+		Attempts:  3,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  10 * time.Second,
+		Sleep:     func(ctx context.Context, d time.Duration) error { delays = append(delays, d); return nil },
+	}
+	calls := 0
+	err := Retry(context.Background(), cfg, func() error {
+		calls++
+		if calls < 3 {
+			return RetryAfter(errors.New("429"), 1234*time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range delays {
+		if d != 1234*time.Millisecond {
+			t.Errorf("delay %d = %v, want 1234ms (hint ignored)", i, d)
+		}
+	}
+}
+
+func TestRetryCapsRetryAfterHintAtMaxDelay(t *testing.T) {
+	var delays []time.Duration
+	cfg := RetryConfig{
+		Attempts:  2,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  50 * time.Millisecond,
+		Sleep:     func(ctx context.Context, d time.Duration) error { delays = append(delays, d); return nil },
+	}
+	calls := 0
+	Retry(context.Background(), cfg, func() error {
+		calls++
+		if calls == 1 {
+			return RetryAfter(errors.New("429"), time.Hour)
+		}
+		return nil
+	})
+	if len(delays) != 1 || delays[0] != 50*time.Millisecond {
+		t.Errorf("delays = %v, want [50ms]", delays)
+	}
+}
+
+func TestForEachPolicyContinueCollectsAllErrors(t *testing.T) {
+	withTestMetrics(t)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	var processed sync.Map
+	err := ForEachPolicy(context.Background(), 4, items, FailurePolicy{ContinueOnError: true},
+		func(ctx context.Context, i int) error {
+			processed.Store(i, true)
+			if i%10 == 0 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("want joined errors")
+	}
+	var itemErrs int
+	for _, e := range err.(interface{ Unwrap() []error }).Unwrap() {
+		var ie *ItemError
+		if !errors.As(e, &ie) {
+			t.Errorf("error %v is not an *ItemError", e)
+			continue
+		}
+		if ie.Index%10 != 0 {
+			t.Errorf("unexpected failing index %d", ie.Index)
+		}
+		itemErrs++
+	}
+	if itemErrs != 10 {
+		t.Errorf("collected %d item errors, want 10", itemErrs)
+	}
+	// Every item ran despite the failures.
+	for _, i := range items {
+		if _, ok := processed.Load(i); !ok {
+			t.Errorf("item %d never processed", i)
+		}
+	}
+}
+
+func TestForEachPolicyErrorBudgetAborts(t *testing.T) {
+	withTestMetrics(t)
+	items := make([]int, 10000)
+	for i := range items {
+		items[i] = i
+	}
+	boom := errors.New("boom")
+	err := ForEachPolicy(context.Background(), 4, items, FailurePolicy{ContinueOnError: true, ErrorBudget: 5},
+		func(ctx context.Context, i int) error { return boom })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted joined in", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("item errors missing from %v", err)
+	}
+	joined := err.(interface{ Unwrap() []error }).Unwrap()
+	// Budget 5 aborts on the 6th failure; concurrency can add at most
+	// workers-1 stragglers before the cancel lands.
+	if len(joined) > 5+4+1 {
+		t.Errorf("%d errors collected, budget did not abort early", len(joined))
+	}
+}
+
+func TestForEachPolicyZeroValueFailsFast(t *testing.T) {
+	withTestMetrics(t)
+	items := make([]int, 10000)
+	boom := errors.New("boom")
+	var calls sync.Map
+	n := 0
+	err := ForEachPolicy(context.Background(), 4, items, FailurePolicy{},
+		func(ctx context.Context, i int) error {
+			calls.Store(i, true)
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	calls.Range(func(_, _ any) bool { n++; return true })
+	if n > 1000 {
+		t.Errorf("fail-fast processed %d items", n)
+	}
+}
+
+func TestCheckpointWithSyncPersists(t *testing.T) {
+	withTestMetrics(t)
+	path := filepath.Join(t.TempDir(), "cp.sync")
+	cp, err := OpenCheckpoint(path, WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := cp.Mark(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if !cp2.Done("a") || !cp2.Done("b") || cp2.Count() != 2 {
+		t.Errorf("synced checkpoint lost state: count=%d", cp2.Count())
+	}
+}
+
+// TestForEachConcurrentCheckpointMark drives ForEach workers into a
+// shared checkpoint, the exact shape of the resumable crawl's hot path;
+// run under -race it guards the Mark/Done locking.
+func TestForEachConcurrentCheckpointMark(t *testing.T) {
+	withTestMetrics(t)
+	path := filepath.Join(t.TempDir(), "cp.race")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	err = ForEach(context.Background(), 8, items, func(ctx context.Context, i int) error {
+		id := fmt.Sprintf("id-%d", i)
+		if cp.Done(id) {
+			return fmt.Errorf("id %s done before mark", id)
+		}
+		if err := cp.Mark(id); err != nil {
+			return err
+		}
+		cp.Count()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Count() != len(items) {
+		t.Errorf("reloaded %d marks, want %d", cp2.Count(), len(items))
+	}
+}

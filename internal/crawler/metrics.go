@@ -16,6 +16,9 @@ type metricSet struct {
 	itemsDone       *obs.Counter
 	itemErrors      *obs.Counter
 	checkpointMarks *obs.Counter
+	breakerState    *obs.GaugeVec
+	breakerOpens    *obs.CounterVec
+	breakerRejects  *obs.CounterVec
 }
 
 var metrics atomic.Pointer[metricSet]
@@ -47,6 +50,12 @@ func InitMetrics(reg *obs.Registry) {
 			"Items whose ForEach callback returned an error."),
 		checkpointMarks: reg.Counter("crawler_checkpoint_marks_total",
 			"New ids marked complete in checkpoints."),
+		breakerState: reg.GaugeVec("crawler_breaker_state",
+			"Circuit breaker position per source (0 closed, 1 half-open, 2 open).", "source"),
+		breakerOpens: reg.CounterVec("crawler_breaker_opens_total",
+			"Times each source's circuit breaker tripped open.", "source"),
+		breakerRejects: reg.CounterVec("crawler_breaker_rejections_total",
+			"Requests rejected while each source's circuit was open.", "source"),
 	})
 }
 

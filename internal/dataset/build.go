@@ -49,6 +49,10 @@ type BuildOptions struct {
 	// spool to this directory and completed addresses are checkpointed,
 	// so an interrupted crawl restarts where it stopped.
 	ResumeDir string
+	// FsyncCheckpoint syncs the spool and checkpoint to disk at every
+	// completed address, making resume state survive power loss rather
+	// than just process death. Opt-in: it costs two fsyncs per address.
+	FsyncCheckpoint bool
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
 	// Obs receives stage timers, item counters, and crawl-progress
@@ -148,12 +152,16 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 		if err != nil {
 			return nil, fmt.Errorf("dataset: subdomain parent: %w", err)
 		}
+		created, err := integer(row, "createdAt")
+		if err != nil {
+			return nil, fmt.Errorf("dataset: subdomain %q: %w", row.ID(), err)
+		}
 		ds.Subdomains = append(ds.Subdomains, Subdomain{
 			Node:    node,
 			Parent:  parent,
 			Name:    str(row, "name"),
 			Owner:   str(row, "owner"),
-			Created: integer(row, "createdAt"),
+			Created: created,
 		})
 	}
 	bm.stage(opts.Logger, "subdomains", len(subRows), stageStart)
@@ -206,7 +214,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 
 	var mu sync.Mutex
 	if opts.ResumeDir != "" {
-		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone)
+		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone, opts.FsyncCheckpoint)
 	} else {
 		seen := map[ethtypes.Hash]bool{}
 		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {
@@ -372,6 +380,10 @@ func (ds *Dataset) addEventRow(row subgraph.Entity) error {
 	default:
 		return fmt.Errorf("unknown event type %q", ev.Type)
 	}
+	// Rows may carry both fields: registrant is the authoritative holder
+	// for attribution, newOwner only a fallback (e.g. transfer rows that
+	// never name a registrant). Overwriting with newOwner would misattribute
+	// who dropcatches.
 	if s := str(row, "registrant"); s != "" {
 		a, err := ethtypes.ParseAddress(s)
 		if err != nil {
@@ -379,18 +391,26 @@ func (ds *Dataset) addEventRow(row subgraph.Entity) error {
 		}
 		ev.Registrant = a
 	}
-	if s := str(row, "newOwner"); s != "" {
+	if s := str(row, "newOwner"); s != "" && ev.Registrant.IsZero() {
 		a, err := ethtypes.ParseAddress(s)
 		if err != nil {
 			return fmt.Errorf("bad newOwner: %w", err)
 		}
 		ev.Registrant = a
 	}
-	ev.Expiry = integer(row, "expiryDate")
+	if ev.Expiry, err = integer(row, "expiryDate"); err != nil {
+		return err
+	}
 	ev.CostWei = str(row, "costWei")
 	ev.PremiumWei = str(row, "premiumWei")
-	ev.Timestamp = integer(row, "timestamp")
-	ev.Block = uint64(integer(row, "blockNumber"))
+	if ev.Timestamp, err = integer(row, "timestamp"); err != nil {
+		return err
+	}
+	block, err := integer(row, "blockNumber")
+	if err != nil {
+		return err
+	}
+	ev.Block = uint64(block)
 	if s := str(row, "txHash"); s != "" {
 		h, err := ethtypes.ParseHash(s)
 		if err != nil {
@@ -407,17 +427,32 @@ func str(row subgraph.Entity, key string) string {
 	return s
 }
 
-func integer(row subgraph.Entity, key string) int64 {
+// integer reads a numeric entity field. Absent fields and empty strings
+// read as 0 (events legitimately omit fields like expiryDate); anything
+// present but unparseable is a hard error — the old behavior of
+// swallowing it turned malformed expiry/timestamp/block values into
+// silent zeros that corrupted expiry and dropcatch detection downstream.
+func integer(row subgraph.Entity, key string) (int64, error) {
 	switch v := row[key].(type) {
+	case nil:
+		return 0, nil
 	case int64:
-		return v
+		return v, nil
 	case float64: // JSON round trip turns numbers into float64
-		return int64(v)
+		return int64(v), nil
 	case string:
-		n, _ := strconv.ParseInt(v, 10, 64)
-		return n
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			pm().parseErrors.Inc()
+			return 0, fmt.Errorf("bad %s %q: %w", key, v, err)
+		}
+		return n, nil
 	default:
-		return 0
+		pm().parseErrors.Inc()
+		return 0, fmt.Errorf("bad %s: unsupported type %T", key, v)
 	}
 }
 
@@ -434,8 +469,16 @@ func fromRecord(r *etherscan.TxRecord) (*Tx, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad to: %w", err)
 	}
-	block, _ := strconv.ParseUint(r.BlockNumber, 10, 64)
-	ts, _ := strconv.ParseInt(r.TimeStamp, 10, 64)
+	block, err := strconv.ParseUint(r.BlockNumber, 10, 64)
+	if err != nil {
+		pm().parseErrors.Inc()
+		return nil, fmt.Errorf("bad block number %q in tx %s: %w", r.BlockNumber, r.Hash, err)
+	}
+	ts, err := strconv.ParseInt(r.TimeStamp, 10, 64)
+	if err != nil {
+		pm().parseErrors.Inc()
+		return nil, fmt.Errorf("bad timestamp %q in tx %s: %w", r.TimeStamp, r.Hash, err)
+	}
 	return &Tx{
 		Hash:      h,
 		Block:     block,

@@ -1,0 +1,298 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ensdropcatch/internal/etherscan"
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/world"
+)
+
+// crashFixture runs one clean resumable Build and hands back everything a
+// crash test needs to damage and re-run it: the spool/checkpoint bytes,
+// the final entry's boundaries, and the ground-truth transaction set.
+type crashFixture struct {
+	store     *subgraph.Store
+	chainSrc  *ChainSource
+	market    *MarketEventsSource
+	opts      BuildOptions
+	spool     []byte
+	cp        []byte
+	lastStart int    // byte offset where the final spool line begins
+	lastAddr  string // address of the final spool entry
+	wantTxs   map[ethtypes.Hash]bool
+}
+
+func newCrashFixture(t *testing.T) *crashFixture {
+	t.Helper()
+	res, err := world.Generate(world.DefaultConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &crashFixture{
+		store:    subgraph.BuildIndex(res.Chain),
+		chainSrc: &ChainSource{Chain: res.Chain, Labels: LabelsFromWorld(res)},
+		market:   NewMarketEventsSource(res.OpenSea),
+	}
+	dir := t.TempDir()
+	fx.opts = BuildOptions{Start: res.Config.Start, End: res.Config.End, TxWorkers: 2, ResumeDir: dir}
+	ds, err := Build(context.Background(), &StoreSource{Store: fx.store}, fx.chainSrc, fx.market, fx.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.wantTxs = map[ethtypes.Hash]bool{}
+	for _, tx := range ds.Txs {
+		fx.wantTxs[tx.Hash] = true
+	}
+
+	fx.spool, err = os.ReadFile(filepath.Join(dir, spoolFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.cp, err = os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spool line order is irrelevant to recovery, and any entry can be the
+	// one a crash tears. Move the shortest entry to the end so the
+	// every-byte tear sweep stays fast while still crossing every boundary
+	// class (inside the address, after it, mid-JSON, missing newline).
+	lines := bytes.Split(bytes.TrimRight(fx.spool, "\n"), []byte("\n"))
+	shortest := 0
+	for i, l := range lines {
+		if len(l) < len(lines[shortest]) {
+			shortest = i
+		}
+	}
+	last := append(append([]byte(nil), lines[shortest]...), '\n')
+	lines = append(lines[:shortest], lines[shortest+1:]...)
+	fx.spool = append(bytes.Join(lines, []byte("\n")), '\n')
+	fx.lastStart = len(fx.spool)
+	fx.spool = append(fx.spool, last...)
+	var entry spoolEntry
+	if err := json.Unmarshal(last, &entry); err != nil {
+		t.Fatalf("decode final spool line: %v", err)
+	}
+	fx.lastAddr = entry.Address
+	return fx
+}
+
+// restore writes damaged spool/checkpoint bytes into a fresh resume dir
+// and returns BuildOptions pointed at it.
+func (fx *crashFixture) restore(t *testing.T, spool, cp []byte) BuildOptions {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, spoolFile), spool, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointFile), cp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := fx.opts
+	opts.ResumeDir = dir
+	return opts
+}
+
+// cpWithout returns the checkpoint bytes with addr's line removed — the
+// on-disk state after a crash that tore the spool write before Mark ran.
+func (fx *crashFixture) cpWithout(t *testing.T, addr string) []byte {
+	t.Helper()
+	var out []byte
+	found := false
+	for _, line := range strings.Split(strings.TrimRight(string(fx.cp), "\n"), "\n") {
+		if line == addr {
+			found = true
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	if !found {
+		t.Fatalf("address %s not in checkpoint", addr)
+	}
+	return out
+}
+
+func (fx *crashFixture) build(t *testing.T, opts BuildOptions) (*Dataset, error) {
+	t.Helper()
+	return Build(context.Background(), &StoreSource{Store: fx.store}, fx.chainSrc, fx.market, opts)
+}
+
+// TestResumeConvergesFromSpoolTornAtEveryByte simulates the real crash
+// footprint — the final spool write torn at an arbitrary byte, Mark never
+// reached — at every possible tear position in the last entry, and
+// asserts the resumed Build recovers and converges to the clean dataset.
+// On pre-fix code every one of these tears hard-failed the resume.
+func TestResumeConvergesFromSpoolTornAtEveryByte(t *testing.T) {
+	fx := newCrashFixture(t)
+	cp := fx.cpWithout(t, fx.lastAddr)
+	lastLen := len(fx.spool) - fx.lastStart
+	t.Logf("final entry %s: %d bytes at offset %d", fx.lastAddr, lastLen, fx.lastStart)
+
+	// cut == lastStart drops the entry cleanly; every larger cut leaves a
+	// torn prefix (including len(spool)-1: the full line minus only its
+	// newline, which still decodes but must be treated as torn).
+	for cut := fx.lastStart; cut < len(fx.spool); cut++ {
+		opts := fx.restore(t, fx.spool[:cut], cp)
+		ds, err := fx.build(t, opts)
+		if err != nil {
+			t.Fatalf("cut at byte %d of %d: resume failed: %v", cut-fx.lastStart, lastLen, err)
+		}
+		if len(ds.Txs) != len(fx.wantTxs) {
+			t.Fatalf("cut at byte %d: %d txs, want %d", cut-fx.lastStart, len(ds.Txs), len(fx.wantTxs))
+		}
+		for _, tx := range ds.Txs {
+			if !fx.wantTxs[tx.Hash] {
+				t.Fatalf("cut at byte %d: unexpected tx %s", cut-fx.lastStart, tx.Hash)
+			}
+		}
+	}
+}
+
+// A torn final line whose address the checkpoint claims durable is not a
+// crash tail — it is lost data, and resume must refuse to paper over it.
+func TestResumeRefusesTornCheckpointedEntry(t *testing.T) {
+	fx := newCrashFixture(t)
+	// Tear the line but keep enough prefix that the address is readable.
+	cut := fx.lastStart + len(`{"address":"`) + len(fx.lastAddr) + 2
+	opts := fx.restore(t, fx.spool[:cut], fx.cp)
+	_, err := fx.build(t, opts)
+	if !errors.Is(err, ErrSpoolCorrupt) {
+		t.Fatalf("err = %v, want ErrSpoolCorrupt", err)
+	}
+}
+
+// Corruption on a non-final line can never be a mid-write crash tail;
+// resume must hard-fail rather than silently drop checkpointed data.
+func TestResumeRefusesCorruptMiddleLine(t *testing.T) {
+	fx := newCrashFixture(t)
+	spool := append([]byte(nil), fx.spool...)
+	// Smash the first line's JSON without touching its newline.
+	end := bytes.IndexByte(spool, '\n')
+	if end < 8 {
+		t.Fatal("first spool line implausibly short")
+	}
+	copy(spool[1:5], "!!!!")
+	opts := fx.restore(t, spool, fx.cp)
+	_, err := fx.build(t, opts)
+	if !errors.Is(err, ErrSpoolCorrupt) {
+		t.Fatalf("err = %v, want ErrSpoolCorrupt", err)
+	}
+}
+
+func validLabelRow(typ string) subgraph.Entity {
+	return subgraph.Entity{
+		"label": "0x" + strings.Repeat("ab", 32),
+		"type":  typ,
+	}
+}
+
+// Regression: rows carrying both registrant and newOwner must attribute
+// the event to the registrant. The old code unconditionally overwrote it
+// with newOwner, misattributing who dropcatches.
+func TestAddEventRowPrefersRegistrant(t *testing.T) {
+	registrant := "0x" + strings.Repeat("11", 20)
+	newOwner := "0x" + strings.Repeat("22", 20)
+
+	ds := &Dataset{Domains: map[ethtypes.Hash]*Domain{}}
+	row := validLabelRow(string(EvRegistered))
+	row["registrant"] = registrant
+	row["newOwner"] = newOwner
+	if err := ds.addEventRow(row); err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	for _, d := range ds.Domains {
+		got = d.Events[0]
+	}
+	want, _ := ethtypes.ParseAddress(registrant)
+	if got.Registrant != want {
+		t.Errorf("Registrant = %s, want registrant %s (newOwner won)", got.Registrant, registrant)
+	}
+
+	// newOwner still fills in when no registrant is named.
+	ds = &Dataset{Domains: map[ethtypes.Hash]*Domain{}}
+	row = validLabelRow(string(EvTransferred))
+	row["newOwner"] = newOwner
+	if err := ds.addEventRow(row); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds.Domains {
+		got = d.Events[0]
+	}
+	want, _ = ethtypes.ParseAddress(newOwner)
+	if got.Registrant != want {
+		t.Errorf("Registrant = %s, want newOwner fallback %s", got.Registrant, newOwner)
+	}
+}
+
+// Regression: unparseable numeric fields must surface as errors, not
+// silent zeros that corrupt expiry and dropcatch detection.
+func TestIntegerRejectsMalformedValues(t *testing.T) {
+	cases := []struct {
+		val     any
+		want    int64
+		wantErr bool
+	}{
+		{nil, 0, false},
+		{"", 0, false},
+		{"12345", 12345, false},
+		{int64(7), 7, false},
+		{float64(9), 9, false},
+		{"not-a-number", 0, true},
+		{"12x", 0, true},
+		{[]string{"1"}, 0, true},
+	}
+	for _, c := range cases {
+		row := subgraph.Entity{"expiryDate": c.val}
+		got, err := integer(row, "expiryDate")
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("integer(%#v) = (%d, %v), want (%d, err=%v)", c.val, got, err, c.want, c.wantErr)
+		}
+	}
+
+	// addEventRow propagates the failure.
+	ds := &Dataset{Domains: map[ethtypes.Hash]*Domain{}}
+	row := validLabelRow(string(EvRegistered))
+	row["expiryDate"] = "garbage"
+	if err := ds.addEventRow(row); err == nil {
+		t.Error("addEventRow swallowed a malformed expiryDate")
+	}
+}
+
+func TestFromRecordRejectsMalformedNumbers(t *testing.T) {
+	rec := validTxRecord()
+	rec.BlockNumber = "0xdeadbeef" // hex, not the decimal etherscan emits
+	if _, err := fromRecord(&rec); err == nil {
+		t.Error("bad block number accepted")
+	}
+	rec = validTxRecord()
+	rec.TimeStamp = "yesterday"
+	if _, err := fromRecord(&rec); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	rec = validTxRecord()
+	if _, err := fromRecord(&rec); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+}
+
+func validTxRecord() etherscan.TxRecord {
+	return etherscan.TxRecord{
+		BlockNumber: "123456",
+		TimeStamp:   "1600000000",
+		Hash:        "0x" + strings.Repeat("cd", 32),
+		From:        "0x" + strings.Repeat("33", 20),
+		To:          "0x" + strings.Repeat("44", 20),
+		Value:       "1000000000000000000",
+		IsError:     "0",
+	}
+}

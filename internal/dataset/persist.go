@@ -57,7 +57,20 @@ func (ds *Dataset) Save(dir string) error {
 	if err := writeJSONL(filepath.Join(dir, domainsFile), domains); err != nil {
 		return err
 	}
-	if err := writeJSONL(filepath.Join(dir, txsFile), ds.Txs); err != nil {
+	// Sort a copy into a total order so the files are byte-identical
+	// across runs: crawl concurrency leaves ds.Txs ordered only up to
+	// equal timestamps.
+	txs := append([]*Tx(nil), ds.Txs...)
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].Timestamp != txs[j].Timestamp {
+			return txs[i].Timestamp < txs[j].Timestamp
+		}
+		if txs[i].Block != txs[j].Block {
+			return txs[i].Block < txs[j].Block
+		}
+		return txs[i].Hash.Hex() < txs[j].Hash.Hex()
+	})
+	if err := writeJSONL(filepath.Join(dir, txsFile), txs); err != nil {
 		return err
 	}
 	subs := append([]Subdomain(nil), ds.Subdomains...)
@@ -69,11 +82,20 @@ func (ds *Dataset) Save(dir string) error {
 	for _, evs := range ds.Market {
 		market = append(market, evs...)
 	}
-	sort.Slice(market, func(i, j int) bool {
+	// Stable + per-token sequence tiebreak: events are collected from a
+	// map, so without a total order equal-timestamp rows would land in
+	// random positions run to run.
+	sort.SliceStable(market, func(i, j int) bool {
 		if market[i].Timestamp != market[j].Timestamp {
 			return market[i].Timestamp < market[j].Timestamp
 		}
-		return market[i].TokenID.Hex() < market[j].TokenID.Hex()
+		if market[i].TokenID != market[j].TokenID {
+			return market[i].TokenID.Hex() < market[j].TokenID.Hex()
+		}
+		if market[i].Kind != market[j].Kind {
+			return market[i].Kind < market[j].Kind
+		}
+		return market[i].PriceUSD < market[j].PriceUSD
 	})
 	return writeJSONL(filepath.Join(dir, marketFile), market)
 }

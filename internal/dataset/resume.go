@@ -2,9 +2,12 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,11 +23,22 @@ import (
 // JSONL spool and a checkpoint records completed addresses, so an
 // interrupted crawl restarts where it stopped instead of re-paying hours
 // of rate-limited requests.
+//
+// Crash-consistency contract: an address's result is spooled first and
+// checkpointed second, so a crash between the two re-crawls the address
+// (safe) and never loses data. The converse also holds on recovery: a
+// torn *final* spool line — the footprint of dying mid-write — is only
+// tolerable while its address is absent from the checkpoint; a corrupt
+// line for a checkpointed address (or any corrupt non-final line) means
+// data that was promised durable is gone, which is a hard error.
 
 const (
 	spoolFile      = "txspool.jsonl"
 	checkpointFile = "txcrawl.checkpoint"
 )
+
+// ErrSpoolCorrupt marks spool damage that resume cannot safely repair.
+var ErrSpoolCorrupt = errors.New("dataset: corrupt spool")
 
 // spoolEntry is one spooled per-address result.
 type spoolEntry struct {
@@ -37,15 +51,20 @@ type spoolEntry struct {
 // the checkpoint are skipped and their transactions recovered from the
 // spool. onAddressDone is invoked once per covered address — including
 // addresses recovered from the checkpoint — so progress reporting sees
-// the full total.
-func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func()) error {
+// the full total. fsync additionally syncs the spool and checkpoint to
+// disk at every completed address.
+func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func(), fsync bool) error {
 	if onAddressDone == nil {
 		onAddressDone = func() {}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: resume dir: %w", err)
 	}
-	cp, err := crawler.OpenCheckpoint(filepath.Join(dir, checkpointFile))
+	var cpOpts []crawler.CheckpointOption
+	if fsync {
+		cpOpts = append(cpOpts, crawler.WithSync())
+	}
+	cp, err := crawler.OpenCheckpoint(filepath.Join(dir, checkpointFile), cpOpts...)
 	if err != nil {
 		return err
 	}
@@ -62,32 +81,9 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		}
 	}
 
-	// Recover prior progress from the spool. Entries whose address is
-	// not checkpointed were partially written and are re-crawled.
 	spoolPath := filepath.Join(dir, spoolFile)
-	if f, err := os.Open(spoolPath); err == nil {
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-		for sc.Scan() {
-			if len(sc.Bytes()) == 0 {
-				continue
-			}
-			var entry spoolEntry
-			if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
-				f.Close()
-				return fmt.Errorf("dataset: corrupt spool: %w", err)
-			}
-			if cp.Done(entry.Address) {
-				absorb(entry.Txs)
-			}
-		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return fmt.Errorf("dataset: read spool: %w", err)
-		}
-		f.Close()
-	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("dataset: open spool: %w", err)
+	if err := recoverSpool(spoolPath, cp, absorb); err != nil {
+		return err
 	}
 
 	spool, err := os.OpenFile(spoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -129,6 +125,11 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		if err := spoolEnc.Encode(spoolEntry{Address: strings0x(addr), Txs: rows}); err != nil {
 			return fmt.Errorf("spool %s: %w", addr, err)
 		}
+		if fsync {
+			if err := spool.Sync(); err != nil {
+				return fmt.Errorf("sync spool %s: %w", addr, err)
+			}
+		}
 		if err := cp.Mark(strings0x(addr)); err != nil {
 			return err
 		}
@@ -140,6 +141,94 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		return err
 	}
 	return nil
+}
+
+// recoverSpool replays the spool at path, absorbing entries whose
+// address the checkpoint confirms complete. A torn or unparseable
+// *final* line whose address is not checkpointed is the footprint of a
+// crash mid-write: the line is truncated away (so appends start on a
+// clean boundary) and its address will simply be re-crawled. Corruption
+// anywhere else — a bad non-final line, or a bad final line for an
+// address the checkpoint claims durable — is unrecoverable data loss
+// and fails with ErrSpoolCorrupt.
+func recoverSpool(path string, cp *crawler.Checkpoint, absorb func([]*Tx)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dataset: open spool: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	var offset int64 // start of the line being read
+	var bad []byte   // first undecodable line seen
+	badOffset := int64(-1)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			if bad != nil {
+				// The damage was not on the final line: entries written
+				// after it prove this is not a mid-write crash tail.
+				return fmt.Errorf("%w: undecodable entry at byte %d followed by more data", ErrSpoolCorrupt, badOffset)
+			}
+			lineStart := offset
+			offset += int64(len(line))
+			trimmed := bytes.TrimRight(line, "\n")
+			if len(trimmed) == 0 {
+				continue
+			}
+			var entry spoolEntry
+			// A line missing its trailing newline is torn even if its
+			// prefix happens to decode: the crash landed mid-write, and
+			// appending to it would corrupt the next entry too.
+			if json.Unmarshal(trimmed, &entry) != nil || err != nil {
+				bad = trimmed
+				badOffset = lineStart
+				continue
+			}
+			if cp.Done(entry.Address) {
+				absorb(entry.Txs)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: read spool: %w", err)
+		}
+	}
+	if bad == nil {
+		return nil
+	}
+	if addr := partialSpoolAddress(bad); addr != "" && cp.Done(addr) {
+		return fmt.Errorf("%w: checkpointed entry for %s is undecodable", ErrSpoolCorrupt, addr)
+	}
+	// Drop the torn tail so the next append starts on a line boundary.
+	if err := os.Truncate(path, badOffset); err != nil {
+		return fmt.Errorf("dataset: truncate torn spool tail: %w", err)
+	}
+	pm().spoolRecoveries.Inc()
+	return nil
+}
+
+// partialSpoolAddress pulls the address field out of a possibly
+// truncated spool line. The encoder always writes address first, so any
+// tear long enough to matter still yields it; an empty result means the
+// tear landed inside the address itself.
+func partialSpoolAddress(line []byte) string {
+	const key = `"address":"`
+	i := bytes.Index(line, []byte(key))
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(key):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return string(rest[:j])
 }
 
 func strings0x(a ethtypes.Address) string {

@@ -38,6 +38,10 @@ type Client struct {
 	MaxRetries int
 	// Sleep is indirected for tests; defaults to a context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Breaker, when set, circuit-breaks requests to this source: a run
+	// of transport failures opens it and requests fail fast (with a
+	// retryable cooldown hint) until a probe succeeds.
+	Breaker *crawler.Breaker
 
 	mu          sync.Mutex
 	lim         *crawler.Limiter
@@ -109,6 +113,11 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 	}
 	var result json.RawMessage
 	err := crawler.Retry(ctx, cfg, func() error {
+		if b := c.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				return err
+			}
+		}
 		if lim := c.limiter(); lim != nil {
 			if err := lim.Wait(ctx); err != nil {
 				return crawler.Permanent(err)
@@ -116,6 +125,9 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 		}
 		m().clientRequests.Inc()
 		env, err := c.doOnce(ctx, endpoint)
+		if b := c.Breaker; b != nil {
+			b.Record(err)
+		}
 		if err != nil {
 			m().clientErrors.Inc()
 			return err
@@ -158,7 +170,11 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*envelope, error)
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("etherscan: HTTP %d", resp.StatusCode)
+		err := fmt.Errorf("etherscan: HTTP %d", resp.StatusCode)
+		if d, ok := crawler.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return nil, crawler.RetryAfter(err, d)
+		}
+		return nil, err
 	}
 	var env envelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -230,12 +246,42 @@ func (c *Client) TxList(ctx context.Context, addr ethtypes.Address) ([]TxRecord,
 	}
 }
 
-// FetchLabels retrieves the custodial label lists.
+// FetchLabels retrieves the custodial label lists, with the same retry
+// and breaker treatment as API calls — a transient failure on this one
+// request must not abort a crawl.
 func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	cfg := crawler.RetryConfig{
+		Attempts:  attempts,
+		BaseDelay: 200 * time.Millisecond,
+		MaxDelay:  10 * time.Second,
+		Sleep:     c.Sleep,
+	}
+	var labels Labels
+	err := crawler.Retry(ctx, cfg, func() error {
+		if b := c.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				return err
+			}
+		}
+		var err error
+		labels, err = c.fetchLabelsOnce(ctx)
+		if b := c.Breaker; b != nil {
+			b.Record(err)
+		}
+		return err
+	})
+	return labels, err
+}
+
+func (c *Client) fetchLabelsOnce(ctx context.Context) (Labels, error) {
 	endpoint := strings.TrimSuffix(c.BaseURL, "/") + "/labels"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
 	if err != nil {
-		return Labels{}, err
+		return Labels{}, crawler.Permanent(err)
 	}
 	httpClient := c.HTTPClient
 	if httpClient == nil {
@@ -247,10 +293,18 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Labels{}, fmt.Errorf("etherscan: labels HTTP %d", resp.StatusCode)
+		err := fmt.Errorf("etherscan: labels HTTP %d", resp.StatusCode)
+		if d, ok := crawler.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return Labels{}, crawler.RetryAfter(err, d)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return Labels{}, crawler.Permanent(err)
+		}
+		return Labels{}, err
 	}
 	var labels Labels
 	if err := json.NewDecoder(resp.Body).Decode(&labels); err != nil {
+		// Truncated or garbled payloads are transient: re-fetch.
 		return Labels{}, fmt.Errorf("etherscan: labels decode: %w", err)
 	}
 	return labels, nil

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/world"
 )
@@ -127,16 +128,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// Client pages through the events API.
+// Client pages through the events API. Transport failures, 5xx answers,
+// and truncated responses are retried with backoff, honoring Retry-After
+// on 429s; 4xx answers are permanent.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
 	Limit      int
+	// MaxRetries per page fetch on transient failures.
+	MaxRetries int
+	// Sleep is indirected for tests; nil uses a context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Breaker, when set, circuit-breaks requests to this source.
+	Breaker *crawler.Breaker
 }
 
 // NewClient returns a client with defaults.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 30 * time.Second}, Limit: 200}
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 30 * time.Second}, Limit: 200, MaxRetries: 5}
 }
 
 // EventsForToken retrieves all events for one ENS token (label hash).
@@ -167,34 +176,9 @@ func (c *Client) page(ctx context.Context, params url.Values) ([]Event, error) {
 			params.Set("cursor", cursor)
 		}
 		endpoint := c.BaseURL + "/events?" + params.Encode()
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+		page, err := c.fetchPage(ctx, endpoint)
 		if err != nil {
 			return nil, err
-		}
-		httpClient := c.HTTPClient
-		if httpClient == nil {
-			httpClient = &http.Client{Timeout: 30 * time.Second}
-		}
-		m().requests.Inc()
-		resp, err := httpClient.Do(req)
-		if err != nil {
-			m().errors.Inc()
-			return nil, fmt.Errorf("opensea: %w", err)
-		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-		resp.Body.Close()
-		if err != nil {
-			m().errors.Inc()
-			return nil, fmt.Errorf("opensea: read: %w", err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			m().errors.Inc()
-			return nil, fmt.Errorf("opensea: HTTP %d: %s", resp.StatusCode, body)
-		}
-		var page eventsResponse
-		if err := json.Unmarshal(body, &page); err != nil {
-			m().errors.Inc()
-			return nil, fmt.Errorf("opensea: decode: %w", err)
 		}
 		m().pages.Inc()
 		m().events.Add(uint64(len(page.AssetEvents)))
@@ -204,4 +188,79 @@ func (c *Client) page(ctx context.Context, params url.Values) ([]Event, error) {
 		}
 		cursor = page.Next
 	}
+}
+
+// fetchPage retrieves one page with retries and breaker accounting.
+func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsResponse, error) {
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	cfg := crawler.RetryConfig{
+		Attempts:  attempts,
+		BaseDelay: 200 * time.Millisecond,
+		MaxDelay:  10 * time.Second,
+		Jitter:    0.2,
+		Sleep:     c.Sleep,
+	}
+	var page *eventsResponse
+	err := crawler.Retry(ctx, cfg, func() error {
+		if b := c.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				return err
+			}
+		}
+		var err error
+		page, err = c.doOnce(ctx, endpoint)
+		if b := c.Breaker; b != nil {
+			b.Record(err)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return page, nil
+}
+
+// doOnce performs one page request. Errors it returns are transient
+// (retryable) unless wrapped with crawler.Permanent.
+func (c *Client) doOnce(ctx context.Context, endpoint string) (*eventsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return nil, crawler.Permanent(err)
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	m().requests.Inc()
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		m().errors.Inc()
+		return nil, fmt.Errorf("opensea: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	resp.Body.Close()
+	if err != nil {
+		m().errors.Inc()
+		return nil, fmt.Errorf("opensea: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		m().errors.Inc()
+		statusErr := fmt.Errorf("opensea: HTTP %d: %s", resp.StatusCode, body)
+		if d, ok := crawler.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return nil, crawler.RetryAfter(statusErr, d)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, crawler.Permanent(statusErr)
+		}
+		return nil, statusErr
+	}
+	var page eventsResponse
+	if err := json.Unmarshal(body, &page); err != nil {
+		m().errors.Inc()
+		return nil, fmt.Errorf("opensea: decode: %w", err)
+	}
+	return &page, nil
 }

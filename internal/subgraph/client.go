@@ -9,11 +9,16 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"ensdropcatch/internal/crawler"
 )
 
 // Client queries a subgraph endpoint and pages through collections with
 // id_gt cursors, the strategy that gives the paper's crawl its ~100%
-// completeness under the 1000-row cap.
+// completeness under the 1000-row cap. Transport failures, 5xx answers,
+// and truncated responses are retried with backoff (honoring Retry-After
+// on 429s); GraphQL-level errors are permanent, since re-sending the
+// same query buys nothing.
 type Client struct {
 	// Endpoint is the subgraph URL.
 	Endpoint string
@@ -21,6 +26,12 @@ type Client struct {
 	HTTPClient *http.Client
 	// PageSize defaults to MaxPageSize.
 	PageSize int
+	// MaxRetries per query on transient failures.
+	MaxRetries int
+	// Sleep is indirected for tests; nil uses a context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Breaker, when set, circuit-breaks requests to this source.
+	Breaker *crawler.Breaker
 }
 
 // NewClient returns a client for the given endpoint.
@@ -29,19 +40,54 @@ func NewClient(endpoint string) *Client {
 		Endpoint:   endpoint,
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
 		PageSize:   MaxPageSize,
+		MaxRetries: 5,
 	}
 }
 
 // Query executes one raw query and returns the data map.
 func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, error) {
-	m().requests.Inc()
 	body, err := json.Marshal(gqlRequest{Query: query})
 	if err != nil {
 		return nil, fmt.Errorf("subgraph client: marshal: %w", err)
 	}
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	cfg := crawler.RetryConfig{
+		Attempts:  attempts,
+		BaseDelay: 200 * time.Millisecond,
+		MaxDelay:  10 * time.Second,
+		Jitter:    0.2,
+		Sleep:     c.Sleep,
+	}
+	var data map[string][]Entity
+	err = crawler.Retry(ctx, cfg, func() error {
+		if b := c.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				return err
+			}
+		}
+		m().requests.Inc()
+		var err error
+		data, err = c.doOnce(ctx, body)
+		if b := c.Breaker; b != nil {
+			b.Record(err)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// doOnce performs one HTTP round trip. Errors it returns are transient
+// (retryable) unless wrapped with crawler.Permanent.
+func (c *Client) doOnce(ctx context.Context, body []byte) (map[string][]Entity, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("subgraph client: request: %w", err)
+		return nil, crawler.Permanent(fmt.Errorf("subgraph client: request: %w", err))
 	}
 	req.Header.Set("Content-Type", "application/json")
 	httpClient := c.HTTPClient
@@ -61,7 +107,14 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 	}
 	if resp.StatusCode != http.StatusOK {
 		m().errors.Inc()
-		return nil, fmt.Errorf("subgraph client: status %d: %s", resp.StatusCode, truncate(string(raw), 200))
+		statusErr := fmt.Errorf("subgraph client: status %d: %s", resp.StatusCode, truncate(string(raw), 200))
+		if d, ok := crawler.ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return nil, crawler.RetryAfter(statusErr, d)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, crawler.Permanent(statusErr)
+		}
+		return nil, statusErr
 	}
 	var envelope gqlResponse
 	if err := json.Unmarshal(raw, &envelope); err != nil {
@@ -70,7 +123,7 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 	}
 	if len(envelope.Errors) > 0 {
 		m().errors.Inc()
-		return nil, fmt.Errorf("subgraph client: server error: %s", envelope.Errors[0].Message)
+		return nil, crawler.Permanent(fmt.Errorf("subgraph client: server error: %s", envelope.Errors[0].Message))
 	}
 	return envelope.Data, nil
 }
