@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-all bench fuzz clean tools report
+.PHONY: all build vet test race race-all bench bench-smoke fuzz clean tools report
 
 all: build vet test race
 
@@ -14,16 +14,29 @@ test:
 	$(GO) test ./...
 
 # Race-checks the concurrency-heavy packages (metrics hot paths, the
-# crawl machinery, the resumable build); race-all covers the whole module.
+# crawl machinery, the resumable build, the parallel analysis engine —
+# including the workers=1-vs-8 golden tests); race-all covers the module.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/dataset/...
+	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/dataset/... ./internal/par/... ./internal/core/... ./internal/world/...
 
 race-all:
 	$(GO) test -race -short ./...
 
-# Regenerates every table and figure of the paper's evaluation.
+# Regenerates every table and figure of the paper's evaluation and archives
+# the machine-readable results (name -> ns/op, allocs, custom metrics).
+# The second pass re-runs the two hottest analyses at 100k domains (the
+# PR 3 acceptance scale); its entries overwrite the 20k ones for those two
+# names, and every entry carries a world_domains metric saying which world
+# produced it.
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+	ENSBENCH_DOMAINS=100000 $(GO) test -bench='Figure8MisdirectedAmounts|Table1FeatureComparison' -benchmem . | tee -a bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json bench_output.txt
+
+# One-iteration smoke pass: exercises every benchmark body without the
+# timing loop, cheap enough for CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/subgraph/

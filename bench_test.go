@@ -44,6 +44,7 @@ var benchState struct {
 	res  *world.Result
 	ds   *dataset.Dataset
 	an   *core.Analyzer
+	fp   uint64 // dataset fingerprint at build time
 	err  error
 }
 
@@ -73,6 +74,7 @@ func benchWorld(b *testing.B) (*world.Result, *dataset.Dataset, *core.Analyzer) 
 		benchState.res = res
 		benchState.ds = ds
 		benchState.an = core.NewAnalyzer(ds, res.Oracle)
+		benchState.fp = ds.Fingerprint()
 		fmt.Fprintf(os.Stderr, "bench world: %d domains (scale 1/%.0f of paper), %d txs, %d re-registered\n",
 			cfg.NumDomains, float64(PaperDomains)/float64(cfg.NumDomains),
 			len(ds.Txs), len(benchState.an.Pop.Reregistered))
@@ -80,6 +82,17 @@ func benchWorld(b *testing.B) (*world.Result, *dataset.Dataset, *core.Analyzer) 
 	if benchState.err != nil {
 		b.Fatalf("bench world: %v", benchState.err)
 	}
+	// The world is shared across every benchmark; a benchmark that mutated
+	// it would silently skew everything running after it.
+	if fp := benchState.ds.Fingerprint(); fp != benchState.fp {
+		b.Fatalf("bench world mutated: fingerprint %x, was %x at build", fp, benchState.fp)
+	}
+	// Stamp every result with the world size so archived runs at different
+	// ENSBENCH_DOMAINS stay distinguishable in BENCH_PR3.json. Via Cleanup
+	// because it runs after the benchmark body: callers invoke b.ResetTimer
+	// to exclude the world build, and since Go 1.24 that clears metrics
+	// reported before it.
+	b.Cleanup(func() { b.ReportMetric(float64(benchDomains()), "world_domains") })
 	return benchState.res, benchState.ds, benchState.an
 }
 
@@ -218,9 +231,11 @@ func BenchmarkFigure3ExpiryToReregDelay(b *testing.B) {
 func BenchmarkFigure3SurvivalAnalysis(b *testing.B) {
 	_, _, an := benchWorld(b)
 	b.ResetTimer()
+	// Compute* bypasses the analyzer's memo so every iteration measures a
+	// real run.
 	var rep *core.SurvivalReport
 	for i := 0; i < b.N; i++ {
-		rep = an.CatchSurvival()
+		rep = an.ComputeCatchSurvival()
 	}
 	b.ReportMetric(float64(rep.Released), "released")
 	b.ReportMetric(float64(rep.Caught), "caught")
@@ -270,10 +285,12 @@ func BenchmarkFigure5ReregistrantCDF(b *testing.B) {
 func BenchmarkTable1FeatureComparison(b *testing.B) {
 	_, _, an := benchWorld(b)
 	b.ResetTimer()
+	// Compute* bypasses the analyzer's memo so every iteration measures a
+	// real run.
 	var tbl *core.Table1
 	var err error
 	for i := 0; i < b.N; i++ {
-		tbl, err = an.FeatureComparison()
+		tbl, err = an.ComputeFeatureComparison()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -328,9 +345,11 @@ func BenchmarkFigure7HijackableFunds(b *testing.B) {
 func BenchmarkFigure8MisdirectedAmounts(b *testing.B) {
 	_, _, an := benchWorld(b)
 	b.ResetTimer()
+	// Compute* bypasses the analyzer's memo so every iteration measures a
+	// real run.
 	var rep *core.LossReport
 	for i := 0; i < b.N; i++ {
-		rep = an.FinancialLosses()
+		rep = an.ComputeFinancialLosses(core.DefaultLossOptions())
 	}
 	b.ReportMetric(float64(rep.DomainsWithCoinbase), "domains_all")
 	b.ReportMetric(float64(rep.DomainsNonCustodial), "domains_noncust")
@@ -453,7 +472,7 @@ func BenchmarkAblationLossHeuristic(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var rep *core.LossReport
 			for i := 0; i < b.N; i++ {
-				rep = an.FinancialLossesOpts(v.opts)
+				rep = an.ComputeFinancialLosses(v.opts)
 			}
 			tp, total := 0, 0
 			for _, f := range rep.Findings {
@@ -494,7 +513,7 @@ func BenchmarkAblationCustodialFilter(b *testing.B) {
 			opts.FilterCustodial = filter
 			var rep *core.LossReport
 			for i := 0; i < b.N; i++ {
-				rep = an.FinancialLossesOpts(opts)
+				rep = an.ComputeFinancialLosses(opts)
 			}
 			b.ReportMetric(float64(rep.TxsAll), "flagged_txs")
 			b.ReportMetric(float64(rep.DomainsWithCoinbase), "domains")

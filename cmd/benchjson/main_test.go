@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ensdropcatch
+BenchmarkFigure8MisdirectedAmounts-8   	       2	 666109732 ns/op	       940 domains_all	      1877 paper_avg_usd_all	  123456 B/op	    1234 allocs/op
+BenchmarkTable1FeatureComparison-8     	      12	  91714715 ns/op	      3.27 paper_income_ratio
+BenchmarkMapOverhead
+BenchmarkMapOverhead-8                 	 1000000	      1042 ns/op
+PASS
+ok  	ensdropcatch	42.1s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	fig8 := entries["BenchmarkFigure8MisdirectedAmounts"]
+	if fig8.NsPerOp != 666109732 || fig8.Iterations != 2 {
+		t.Errorf("fig8 = %+v", fig8)
+	}
+	if fig8.BytesPerOp != 123456 || fig8.AllocsPerOp != 1234 {
+		t.Errorf("fig8 mem stats = %+v", fig8)
+	}
+	if fig8.Metrics["domains_all"] != 940 || fig8.Metrics["paper_avg_usd_all"] != 1877 {
+		t.Errorf("fig8 metrics = %v", fig8.Metrics)
+	}
+	t1 := entries["BenchmarkTable1FeatureComparison"]
+	if t1.NsPerOp != 91714715 || t1.Metrics["paper_income_ratio"] != 3.27 {
+		t.Errorf("table1 = %+v", t1)
+	}
+	if e := entries["BenchmarkMapOverhead"]; e.NsPerOp != 1042 {
+		t.Errorf("overhead = %+v (status-only line must not clobber the result)", e)
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-16":       "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub_case": "BenchmarkFoo/sub_case",
+		"BenchmarkFoo/sub-8":    "BenchmarkFoo/sub",
+	} {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generation seed for -domains")
 		csvDir      = flag.String("csv", "", "also write figure series as CSV into this directory")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof during the analysis (empty = disabled)")
+		workers     = flag.Int("workers", 0, "worker count for parallel generation and analysis (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -50,13 +51,14 @@ func main() {
 		defer dbg.Close()
 	}
 
-	ds, svc, err := loadDataset(*dataDir, *domains, *seed, logger)
+	ds, svc, err := loadDataset(*dataDir, *domains, *seed, *workers, logger)
 	if err != nil {
 		logger.Error("load", "err", err)
 		os.Exit(1)
 	}
 
 	an := core.NewAnalyzer(ds, pricing.NewOracle())
+	an.Workers = *workers
 	r := &renderer{an: an, csvDir: *csvDir}
 
 	if err := ds.Validate(); err != nil {
@@ -84,7 +86,7 @@ func main() {
 
 // loadDataset loads from disk or generates a world. When generated, the
 // live ENS service is returned too so Table 2's wallet survey can run.
-func loadDataset(dir string, domains int, seed int64, logger *slog.Logger) (*dataset.Dataset, *world.Result, error) {
+func loadDataset(dir string, domains int, seed int64, workers int, logger *slog.Logger) (*dataset.Dataset, *world.Result, error) {
 	switch {
 	case dir != "":
 		start := time.Now()
@@ -98,6 +100,7 @@ func loadDataset(dir string, domains int, seed int64, logger *slog.Logger) (*dat
 	case domains > 0:
 		cfg := world.DefaultConfig(domains)
 		cfg.Seed = seed
+		cfg.Workers = workers
 		start := time.Now()
 		res, err := world.Generate(cfg)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"ensdropcatch/internal/ens"
 	"ensdropcatch/internal/obs"
+	"ensdropcatch/internal/par"
 	"ensdropcatch/internal/pricing"
 	"ensdropcatch/internal/report"
 )
@@ -30,6 +31,7 @@ func main() {
 		label       = flag.String("label", "example", "label, for the base-rent tier")
 		stepHours   = flag.Int("step", 24, "schedule step in hours")
 		metricsAddr = flag.String("metrics-addr", "", "after printing, keep serving /metrics and /debug/pprof on this address until interrupted (for profiling)")
+		workers     = flag.Int("workers", 0, "worker count for computing the schedule rows (0 = GOMAXPROCS); output is identical for every value")
 	)
 	flag.Parse()
 	if *expiryStr == "" {
@@ -55,18 +57,22 @@ func main() {
 	fmt.Printf("grace ends:      %s (owner-only renewal until then)\n", time.Unix(release, 0).UTC().Format("2006-01-02"))
 	fmt.Printf("premium reaches zero: %s\n\n", time.Unix(end, 0).UTC().Format("2006-01-02"))
 
-	var rows [][]string
-	for ts := release; ts <= end; ts += int64(*stepHours) * 3600 {
+	step := int64(*stepHours) * 3600
+	n := int((end-release)/step) + 1
+	// par.Map writes row i to slot i, so the printed schedule is in time
+	// order regardless of worker count.
+	rows := par.Map(par.New("premium_schedule", *workers), n, func(i int) []string {
+		ts := release + int64(i)*step
 		premium := ens.PremiumUSDAt(expiry, ts)
 		total := premium + ens.BaseRentUSDPerYear(*label)
-		rows = append(rows, []string{
+		return []string{
 			time.Unix(ts, 0).UTC().Format("2006-01-02 15:04"),
 			fmt.Sprintf("%.1f", float64(ts-release)/86400),
 			report.USD(premium),
 			report.USD(total),
 			fmt.Sprintf("%.4f ETH", oracle.ETH(total, ts)),
-		})
-	}
+		}
+	})
 	fmt.Print(report.Table([]string{"time (UTC)", "auction day", "premium", "total (1yr)", "total in ETH"}, rows))
 
 	if *metricsAddr != "" {

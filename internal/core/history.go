@@ -8,6 +8,7 @@
 package core
 
 import (
+	"bytes"
 	"math/big"
 	"sort"
 
@@ -141,6 +142,9 @@ func (h *History) TenureEnd(i int, cutoff int64) int64 {
 type Population struct {
 	// Histories of every domain, keyed by label hash.
 	Histories map[ethtypes.Hash]*History
+	// All holds every history sorted by label hash, giving the parallel
+	// analyses a fixed iteration order independent of map randomization.
+	All []*History
 	// Reregistered domains (>= 1 owner-changing re-registration).
 	Reregistered []*History
 	// ExpiredNotRereg domains expired (first tenure) but never taken by
@@ -163,6 +167,7 @@ func Classify(ds *dataset.Dataset) *Population {
 	for lh, d := range ds.Domains {
 		h := BuildHistory(d)
 		pop.Histories[lh] = h
+		pop.All = append(pop.All, h)
 		if d.Label == "" {
 			pop.Unrecovered++
 		}
@@ -177,10 +182,12 @@ func Classify(ds *dataset.Dataset) *Population {
 			pop.ActiveAtEnd = append(pop.ActiveAtEnd, h)
 		}
 	}
-	// Deterministic ordering for downstream sampling.
-	for _, list := range [][]*History{pop.Reregistered, pop.ExpiredNotRereg, pop.ActiveAtEnd, pop.SameOwnerRereg} {
+	// Deterministic ordering for downstream sampling. Byte comparison
+	// orders identically to the former Hex() comparison without
+	// allocating two strings per probe.
+	for _, list := range [][]*History{pop.All, pop.Reregistered, pop.ExpiredNotRereg, pop.ActiveAtEnd, pop.SameOwnerRereg} {
 		sort.Slice(list, func(i, j int) bool {
-			return list[i].Domain.LabelHash.Hex() < list[j].Domain.LabelHash.Hex()
+			return bytes.Compare(list[i].Domain.LabelHash[:], list[j].Domain.LabelHash[:]) < 0
 		})
 	}
 	return pop

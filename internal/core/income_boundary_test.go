@@ -1,0 +1,52 @@
+package core
+
+// Regression test for the incomeOf window: the paper's income profile
+// covers [registration, min(expiry, window end)) half-open. An earlier
+// implementation extended the window one second past the boundary (end+1),
+// letting a transaction at exactly the expiry instant count as tenure
+// income.
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/pricing"
+)
+
+func TestIncomeOfWindowBoundaries(t *testing.T) {
+	f := newLossFixture()
+	c := sender("income-c")
+	f.tx(c, f.a1, regA1, 1)      // at registration: included
+	f.tx(c, f.a1, expiryA1-1, 1) // last included second
+	f.tx(c, f.a1, expiryA1, 1)   // at expiry: excluded (half-open)
+	f.tx(c, f.a1, expiryA1+1, 1) // after expiry: excluded
+
+	// A second domain whose expiry outlives the window: the cutoff is the
+	// window end instead.
+	owner := sender("income-owner2")
+	d := &dataset.Domain{LabelHash: ens.LabelHash("survivor"), Label: "survivor"}
+	d.Events = []dataset.Event{
+		{Type: dataset.EvRegistered, Registrant: owner, Timestamp: regA1, Expiry: fixtureEnd + 10000, CostWei: "1000000000000000000"},
+	}
+	f.ds.Domains[d.LabelHash] = d
+	f.tx(c, owner, fixtureEnd-1, 1) // last included second
+	f.tx(c, owner, fixtureEnd, 1)   // at window end: excluded
+
+	f.ds.Reindex()
+	an := NewAnalyzer(f.ds, pricing.NewOracleNoise(0))
+
+	usd, senders, txs := an.incomeOf(an.Pop.Histories[ens.LabelHash("victim")], 0)
+	if txs != 2 || senders != 1 {
+		t.Errorf("victim income = %d txs from %d senders, want 2 txs from 1 sender", txs, senders)
+	}
+	perTx := an.Oracle.USD(1, regA1)
+	if want := 2 * perTx; usd != want {
+		t.Errorf("victim income USD = %v, want %v", usd, want)
+	}
+
+	_, _, txs = an.incomeOf(an.Pop.Histories[ens.LabelHash("survivor")], 0)
+	if txs != 1 {
+		t.Errorf("survivor income = %d txs, want 1 (tx at window end excluded)", txs)
+	}
+}

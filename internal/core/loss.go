@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"sort"
+	"time"
 
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/par"
 )
 
 // SenderKind classifies a common sender c in the loss scenario.
@@ -133,43 +136,99 @@ func (a *Analyzer) FinancialLosses() *LossReport {
 	return a.FinancialLossesOpts(DefaultLossOptions())
 }
 
-// FinancialLossesOpts runs the heuristic with explicit clause selection.
+// FinancialLossesOpts runs the heuristic with explicit clause selection,
+// memoized per options: Figures 8-11 and the §4.4 scalars all read the
+// same report, so each configuration is computed once per analyzer.
+// Callers must treat the returned report as read-only.
 func (a *Analyzer) FinancialLossesOpts(opts LossOptions) *LossReport {
+	a.memo.mu.Lock()
+	if rep, ok := a.memo.losses[opts]; ok {
+		a.memo.mu.Unlock()
+		return rep
+	}
+	a.memo.mu.Unlock()
+
+	rep := a.ComputeFinancialLosses(opts)
+
+	a.memo.mu.Lock()
+	if a.memo.losses == nil {
+		a.memo.losses = make(map[LossOptions]*LossReport)
+	}
+	// A concurrent caller may have raced the computation; keep the first
+	// stored report so every caller shares one pointer. Both runs are
+	// deterministic and identical, so either is correct.
+	if prior, ok := a.memo.losses[opts]; ok {
+		rep = prior
+	} else {
+		a.memo.losses[opts] = rep
+	}
+	a.memo.mu.Unlock()
+	return rep
+}
+
+// ComputeFinancialLosses runs the heuristic uncached. The per-pair
+// analyses fan out over the analyzer's worker pool; the reduction below
+// folds the gathered findings sequentially in input order, so totals and
+// ordering are bit-identical to a single-threaded run at any worker count.
+func (a *Analyzer) ComputeFinancialLosses(opts LossOptions) *LossReport {
+	defer obsDuration("financial_losses")()
+	type pair struct {
+		h *History
+		j int
+	}
+	var pairs []pair
+	for _, h := range a.Pop.Reregistered {
+		for _, j := range h.Reregistrations() {
+			pairs = append(pairs, pair{h, j})
+		}
+	}
+
+	findings := par.Map(a.pool("core_losses"), len(pairs), func(i int) *DomainFinding {
+		f := a.analyzePair(pairs[i].h, pairs[i].j, opts)
+		if f == nil || len(f.Senders) == 0 {
+			return nil
+		}
+		return f
+	})
+
 	report := &LossReport{}
 	uniqAll := map[ethtypes.Address]bool{}
 	uniqNonC := map[ethtypes.Address]bool{}
-
-	for _, h := range a.Pop.Reregistered {
-		for _, j := range h.Reregistrations() {
-			f := a.analyzePair(h, j, opts)
-			if f == nil || len(f.Senders) == 0 {
-				continue
+	for _, f := range findings {
+		if f == nil {
+			continue
+		}
+		report.Findings = append(report.Findings, f)
+		hasNonC := false
+		for _, s := range f.Senders {
+			uniqAll[s.Sender] = true
+			report.TxsAll += s.TxsToA2
+			report.USDAll += s.USDToA2
+			if s.Kind == SenderNonCustodial {
+				hasNonC = true
+				uniqNonC[s.Sender] = true
+				report.TxsNonCustodial += s.TxsToA2
+				report.USDNonCustodial += s.USDToA2
 			}
-			report.Findings = append(report.Findings, f)
-			hasNonC := false
-			for _, s := range f.Senders {
-				uniqAll[s.Sender] = true
-				report.TxsAll += s.TxsToA2
-				report.USDAll += s.USDToA2
-				if s.Kind == SenderNonCustodial {
-					hasNonC = true
-					uniqNonC[s.Sender] = true
-					report.TxsNonCustodial += s.TxsToA2
-					report.USDNonCustodial += s.USDToA2
-				}
-			}
-			report.DomainsWithCoinbase++
-			if hasNonC {
-				report.DomainsNonCustodial++
-			}
+		}
+		report.DomainsWithCoinbase++
+		if hasNonC {
+			report.DomainsNonCustodial++
 		}
 	}
 	report.UniqueSendersAll = len(uniqAll)
 	report.UniqueSendersNonC = len(uniqNonC)
 	sort.Slice(report.Findings, func(i, j int) bool {
-		return report.Findings[i].LabelHash.Hex() < report.Findings[j].LabelHash.Hex()
+		return bytes.Compare(report.Findings[i].LabelHash[:], report.Findings[j].LabelHash[:]) < 0
 	})
 	return report
+}
+
+// obsDuration starts a timer against the core_analysis_seconds histogram.
+func obsDuration(analysis string) func() {
+	h := analysisSeconds.With(analysis)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
 }
 
 // analyzePair applies the scenario to the re-registration at tenure j.
@@ -199,10 +258,7 @@ func (a *Analyzer) analyzePair(h *History, j int, opts LossOptions) *DomainFindi
 		toA1PreTenure         bool
 	}
 	cands := map[ethtypes.Address]*senderStats{}
-	for _, tx := range a.DS.TxsOf(a1) {
-		if tx.To != a1 || tx.Failed {
-			continue
-		}
+	for _, tx := range a.DS.IncomingAll(a1) {
 		c := tx.From
 		if c == a1 || c == a2 {
 			continue
@@ -247,10 +303,7 @@ func (a *Analyzer) analyzePair(h *History, j int, opts LossOptions) *DomainFindi
 		// c's payments to a2: all must fall inside a2's tenure of d.
 		var toA2 []*dataset.Tx
 		valid := true
-		for _, tx := range a.DS.TxsOf(c) {
-			if tx.To != a2 || tx.Failed {
-				continue
-			}
+		for _, tx := range a.DS.OutgoingTo(c, a2) {
 			if tx.Timestamp < catchAt || tx.Timestamp >= a2End {
 				if opts.RequireAllToA2InTenure {
 					valid = false // c knows a2 outside the domain
@@ -282,12 +335,7 @@ func (a *Analyzer) analyzePair(h *History, j int, opts LossOptions) *DomainFindi
 }
 
 func lessAddr(a, b ethtypes.Address) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
+	return bytes.Compare(a[:], b[:]) < 0
 }
 
 // HijackableFunds computes Figure 7: for every domain whose original
@@ -298,19 +346,26 @@ func lessAddr(a, b ethtypes.Address) bool {
 // belong to catcher wallets that pool income across many names, which
 // would conflate per-domain attribution.
 func (a *Analyzer) HijackableFunds() []float64 {
-	var out []float64
-	for _, h := range a.Pop.Histories {
+	defer obsDuration("hijackable_funds")()
+	// Pop.All is sorted by labelhash, so the fan-out order (and therefore
+	// the pre-sort slice) is fixed regardless of worker count.
+	usds := par.Map(a.pool("core_hijackable"), len(a.Pop.All), func(i int) float64 {
+		h := a.Pop.All[i]
 		if len(h.Tenures) == 0 {
-			continue
+			return 0
 		}
 		t := &h.Tenures[0]
 		if t.Expiry >= a.DS.End {
-			continue
+			return 0
 		}
 		var usd float64
 		for _, tx := range a.DS.IncomingOf(t.LastOwner, t.Expiry+1, h.TenureEnd(0, a.DS.End)) {
 			usd += a.usdOf(tx)
 		}
+		return usd
+	})
+	var out []float64
+	for _, usd := range usds {
 		if usd > 0 {
 			out = append(out, usd)
 		}

@@ -1,0 +1,113 @@
+package core_test
+
+// Golden determinism tests: the parallel analyses must produce
+// byte-identical reports at every worker count. Each analyzer is built
+// fresh (the memoized entry points would otherwise hide a second run), the
+// reports are JSON-encoded, and the bytes compared. Run under -race via
+// the Makefile race target.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ensdropcatch/internal/core"
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/pricing"
+	"ensdropcatch/internal/world"
+)
+
+func goldenDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := world.DefaultConfig(1500)
+	cfg.Seed = 7
+	res, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromWorld(context.Background(), res, dataset.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParallelReportsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a full world")
+	}
+	ds := goldenDataset(t)
+	oracle := pricing.NewOracle()
+
+	reports := func(workers int) (losses, features, survival []byte) {
+		an := core.NewAnalyzer(ds, oracle)
+		an.Workers = workers
+		rep := an.ComputeFinancialLosses(core.DefaultLossOptions())
+		tbl, err := an.ComputeFeatureComparison()
+		if err != nil {
+			t.Fatalf("FeatureComparison(workers=%d): %v", workers, err)
+		}
+		surv := an.ComputeCatchSurvival()
+		return encode(t, rep), encode(t, tbl), encode(t, surv)
+	}
+
+	l1, f1, s1 := reports(1)
+	l8, f8, s8 := reports(8)
+	if !bytes.Equal(l1, l8) {
+		t.Errorf("FinancialLosses differs between workers=1 (%d bytes) and workers=8 (%d bytes)", len(l1), len(l8))
+	}
+	if !bytes.Equal(f1, f8) {
+		t.Errorf("FeatureComparison differs between workers=1 (%d bytes) and workers=8 (%d bytes)", len(f1), len(f8))
+	}
+	if !bytes.Equal(s1, s8) {
+		t.Errorf("CatchSurvival differs between workers=1 (%d bytes) and workers=8 (%d bytes)", len(s1), len(s8))
+	}
+
+	// HijackableFunds rides the same pool; keep it honest too.
+	an1 := core.NewAnalyzer(ds, oracle)
+	an1.Workers = 1
+	an8 := core.NewAnalyzer(ds, oracle)
+	an8.Workers = 8
+	if !bytes.Equal(encode(t, an1.HijackableFunds()), encode(t, an8.HijackableFunds())) {
+		t.Error("HijackableFunds differs across worker counts")
+	}
+}
+
+func TestMemoizedReportsReturnSamePointer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a full world")
+	}
+	an := core.NewAnalyzer(goldenDataset(t), pricing.NewOracle())
+	if an.FinancialLosses() != an.FinancialLosses() {
+		t.Error("FinancialLosses not memoized")
+	}
+	t1, err := an.FeatureComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := an.FeatureComparison()
+	if t1 != t2 {
+		t.Error("FeatureComparison not memoized")
+	}
+	an.Seed++ // a new seed must invalidate the feature memo
+	t3, err := an.FeatureComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("FeatureComparison memo survived a Seed change")
+	}
+	if an.CatchSurvival() != an.CatchSurvival() {
+		t.Error("CatchSurvival not memoized")
+	}
+}

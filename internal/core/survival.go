@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ensdropcatch/internal/ens"
+	"ensdropcatch/internal/par"
 	"ensdropcatch/internal/stats"
 )
 
@@ -30,46 +31,81 @@ type SurvivalReport struct {
 
 // CatchSurvival estimates the time-to-catch survival curves. Time zero is
 // the end of the grace period (when the name becomes purchasable); names
-// never caught are censored at the window end.
+// never caught are censored at the window end. The report is memoized;
+// callers must treat it as read-only. Use ComputeCatchSurvival for a
+// fresh run.
 func (a *Analyzer) CatchSurvival() *SurvivalReport {
+	a.memo.mu.Lock()
+	if a.memo.survival != nil {
+		rep := a.memo.survival
+		a.memo.mu.Unlock()
+		return rep
+	}
+	a.memo.mu.Unlock()
+
+	rep := a.ComputeCatchSurvival()
+
+	a.memo.mu.Lock()
+	if a.memo.survival != nil {
+		rep = a.memo.survival // keep the first stored copy; runs are identical
+	} else {
+		a.memo.survival = rep
+	}
+	a.memo.mu.Unlock()
+	return rep
+}
+
+// ComputeCatchSurvival estimates the curves uncached. Subjects fan out
+// over the worker pool in a fixed order (the three sorted population
+// slices concatenated), and the Kaplan-Meier assembly folds them back in
+// that order, so the curves are identical at any worker count.
+func (a *Analyzer) ComputeCatchSurvival() *SurvivalReport {
+	defer obsDuration("catch_survival")()
 	type subject struct {
 		obs    stats.Observation
 		income float64
+		ok     bool
 	}
-	var subjects []subject
 	cutoff := a.DS.End
 
-	consider := func(h *History) {
+	consider := func(h *History) subject {
 		// First tenure only: the original-owner expiry population.
 		if len(h.Tenures) == 0 {
-			return
+			return subject{}
 		}
 		t0 := &h.Tenures[0]
 		release := ens.ReleaseTime(t0.Expiry)
 		if t0.Expiry >= cutoff || release >= cutoff {
-			return // never became available inside the window
+			return subject{} // never became available inside the window
 		}
 		income, _, _ := a.incomeOf(h, 0)
-		s := subject{income: income}
+		s := subject{income: income, ok: true}
 		if len(h.Tenures) > 1 {
 			catch := h.Tenures[1].RegisteredAt
 			s.obs = stats.Observation{Time: float64(catch-release) / 86400, Event: true}
 			if s.obs.Time < 0 {
-				return // same-owner renewal edge; not a release
+				return subject{} // same-owner renewal edge; not a release
 			}
 		} else {
 			s.obs = stats.Observation{Time: float64(cutoff-release) / 86400, Event: false}
 		}
-		subjects = append(subjects, s)
+		return s
 	}
-	for _, h := range a.Pop.Reregistered {
-		consider(h)
-	}
-	for _, h := range a.Pop.ExpiredNotRereg {
-		consider(h)
-	}
-	for _, h := range a.Pop.SameOwnerRereg {
-		consider(h)
+
+	hs := make([]*History, 0,
+		len(a.Pop.Reregistered)+len(a.Pop.ExpiredNotRereg)+len(a.Pop.SameOwnerRereg))
+	hs = append(hs, a.Pop.Reregistered...)
+	hs = append(hs, a.Pop.ExpiredNotRereg...)
+	hs = append(hs, a.Pop.SameOwnerRereg...)
+
+	candidates := par.Map(a.pool("core_survival"), len(hs), func(i int) subject {
+		return consider(hs[i])
+	})
+	subjects := candidates[:0]
+	for _, s := range candidates {
+		if s.ok {
+			subjects = append(subjects, s)
+		}
 	}
 
 	rep := &SurvivalReport{Released: len(subjects)}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+
+	"ensdropcatch/internal/ethtypes"
+)
+
+// indexFixture builds a small dataset with deliberate transaction placement
+// for exercising the binary-searched accessors.
+func indexFixture(t *testing.T) (*Dataset, ethtypes.Address, ethtypes.Address, ethtypes.Address) {
+	t.Helper()
+	ds := New(0, 100_000)
+	a := ethtypes.DeriveAddress("idx-a")
+	b := ethtypes.DeriveAddress("idx-b")
+	c := ethtypes.DeriveAddress("idx-c")
+	add := func(from, to ethtypes.Address, ts int64, failed bool) {
+		h := ethtypes.HashData([]byte(fmt.Sprintf("idx-tx-%s-%s-%d-%v", from, to, ts, failed)))
+		ds.Txs = append(ds.Txs, &Tx{Hash: h, Timestamp: ts, From: from, To: to, ValueWei: "1000000000000000000", Failed: failed})
+	}
+	add(a, b, 100, false)
+	add(a, b, 200, false)
+	add(a, b, 300, true) // failed: excluded from in/out indexes
+	add(a, c, 150, false)
+	add(c, b, 200, false) // timestamp tie with a->b@200
+	add(b, a, 400, false)
+	ds.Reindex()
+	return ds, a, b, c
+}
+
+func TestIncomingOfWindowBoundaries(t *testing.T) {
+	ds, a, b, c := indexFixture(t)
+	_ = c
+	// [from, to) is half-open: a tx at exactly `to` is excluded, at `from`
+	// included.
+	if got := len(ds.IncomingOf(b, 100, 200)); got != 1 {
+		t.Errorf("[100,200) = %d txs, want 1", got)
+	}
+	if got := len(ds.IncomingOf(b, 100, 201)); got != 3 {
+		t.Errorf("[100,201) = %d txs, want 3 (failed tx excluded)", got)
+	}
+	if got := len(ds.IncomingOf(b, 0, 100_000)); got != 3 {
+		t.Errorf("full window = %d txs, want 3", got)
+	}
+	if got := len(ds.IncomingOf(b, 500, 600)); got != 0 {
+		t.Errorf("empty window = %d txs", got)
+	}
+	if got := len(ds.IncomingOf(a, 400, 401)); got != 1 {
+		t.Errorf("b->a at 400 = %d txs, want 1", got)
+	}
+	// Unknown address: no panic, empty result.
+	if got := len(ds.IncomingOf(ethtypes.DeriveAddress("idx-nobody"), 0, 100_000)); got != 0 {
+		t.Errorf("unknown addr = %d txs", got)
+	}
+}
+
+func TestIncomingOfMatchesLinearScan(t *testing.T) {
+	ds, _, b, _ := indexFixture(t)
+	for from := int64(0); from <= 500; from += 50 {
+		for to := from; to <= 500; to += 50 {
+			var want int
+			for _, tx := range ds.TxsOf(b) {
+				if tx.To == b && tx.Timestamp >= from && tx.Timestamp < to && !tx.Failed {
+					want++
+				}
+			}
+			if got := len(ds.IncomingOf(b, from, to)); got != want {
+				t.Fatalf("IncomingOf(b, %d, %d) = %d, linear scan says %d", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestOutgoingTo(t *testing.T) {
+	ds, a, b, c := indexFixture(t)
+	ab := ds.OutgoingTo(a, b)
+	if len(ab) != 2 {
+		t.Fatalf("a->b = %d txs, want 2 (failed excluded)", len(ab))
+	}
+	if ab[0].Timestamp != 100 || ab[1].Timestamp != 200 {
+		t.Errorf("a->b not in time order: %d, %d", ab[0].Timestamp, ab[1].Timestamp)
+	}
+	if got := len(ds.OutgoingTo(a, c)); got != 1 {
+		t.Errorf("a->c = %d txs, want 1", got)
+	}
+	if got := len(ds.OutgoingTo(c, a)); got != 0 {
+		t.Errorf("c->a = %d txs, want 0", got)
+	}
+}
+
+func TestTxByHash(t *testing.T) {
+	ds, _, _, _ := indexFixture(t)
+	for _, tx := range ds.Txs {
+		if got := ds.TxByHash(tx.Hash); got != tx {
+			t.Fatalf("TxByHash(%s) = %v, want %v", tx.Hash, got, tx)
+		}
+	}
+	if got := ds.TxByHash(ethtypes.HashData([]byte("missing"))); got != nil {
+		t.Errorf("missing hash = %v, want nil", got)
+	}
+}
+
+func TestValueEthCachedMatchesParse(t *testing.T) {
+	tx := &Tx{ValueWei: "1234500000000000000"}
+	uncached := tx.ValueEth() // no Reindex: parse path
+	ds := New(0, 1000)
+	ds.Txs = append(ds.Txs, tx)
+	ds.Reindex()
+	if cached := tx.ValueEth(); cached != uncached {
+		t.Errorf("cached %v != parsed %v", cached, uncached)
+	}
+	if tx.ValueEth() != 1.2345 {
+		t.Errorf("ValueEth = %v, want 1.2345", tx.ValueEth())
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	ds1, _, _, _ := indexFixture(t)
+	ds2, _, _, _ := indexFixture(t)
+	fp1 := ds1.Fingerprint()
+	if fp2 := ds2.Fingerprint(); fp2 != fp1 {
+		t.Fatalf("identical datasets fingerprint differently: %x vs %x", fp1, fp2)
+	}
+	if again := ds1.Fingerprint(); again != fp1 {
+		t.Fatalf("fingerprint not idempotent: %x vs %x", fp1, again)
+	}
+	// Reads must not perturb it.
+	for _, tx := range ds1.Txs {
+		_ = tx.ValueEth()
+	}
+	ds1.IncomingOf(ds1.Txs[0].To, 0, 100_000)
+	if got := ds1.Fingerprint(); got != fp1 {
+		t.Fatalf("read-only access changed fingerprint")
+	}
+	// A single mutated field must change it.
+	ds2.Txs[0].Timestamp++
+	if got := ds2.Fingerprint(); got == fp1 {
+		t.Fatal("mutation not detected")
+	}
+}

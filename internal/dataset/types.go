@@ -8,10 +8,14 @@
 package dataset
 
 import (
+	"bytes"
+	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/par"
 )
 
 // EventType enumerates registration event kinds.
@@ -89,14 +93,27 @@ type Tx struct {
 	ValueWei  string           `json:"valueWei"`
 	Failed    bool             `json:"failed,omitempty"`
 	Method    string           `json:"method,omitempty"`
+
+	// valueEth caches the parsed ValueWei (filled by Reindex); the USD
+	// conversion runs once per (tx, analysis) pair and the decimal parse
+	// dominated it.
+	valueEth    float64
+	valueCached bool
 }
 
 // ValueEth converts the wei string to a float64 amount of ether.
 func (t *Tx) ValueEth() float64 {
+	if t.valueCached {
+		return t.valueEth
+	}
+	return parseWeiEth(t.ValueWei)
+}
+
+func parseWeiEth(s string) float64 {
 	// Parse the decimal wei string without big.Int for speed; values fit
 	// comfortably in float64 precision needs of the analysis.
 	var v float64
-	for _, c := range t.ValueWei {
+	for _, c := range s {
 		if c < '0' || c > '9' {
 			return 0
 		}
@@ -155,6 +172,14 @@ type Dataset struct {
 	// Derived indexes (built by Reindex).
 	byLabel  map[string]ethtypes.Hash
 	txByAddr map[ethtypes.Address][]*Tx
+	// inByAddr holds each address's successful incoming transactions in
+	// timestamp order, so IncomingOf can binary-search its window.
+	inByAddr map[ethtypes.Address][]*Tx
+	// outByAddr holds each address's successful outgoing transactions
+	// sorted by (recipient, timestamp), so OutgoingTo can binary-search
+	// the contiguous per-recipient run.
+	outByAddr map[ethtypes.Address][]*Tx
+	txByHash  map[ethtypes.Hash]*Tx
 }
 
 // New returns an empty dataset for the given window.
@@ -170,23 +195,73 @@ func New(start, end int64) *Dataset {
 }
 
 // Reindex rebuilds derived indexes after Domains/Txs mutate. It sorts each
-// domain's events and the global transaction list by timestamp.
+// domain's events and the global transaction list by timestamp, builds the
+// per-address incoming/outgoing and by-hash indexes, and caches every
+// transaction's parsed ether value. All indexes are read-only afterwards
+// and safe for concurrent readers; the slices returned by the accessors
+// alias them and must not be mutated.
 func (ds *Dataset) Reindex() {
+	pool := par.New("dataset_reindex", 0)
+
 	ds.byLabel = make(map[string]ethtypes.Hash, len(ds.Domains))
+	domains := make([]*Domain, 0, len(ds.Domains))
 	for lh, d := range ds.Domains {
-		sort.SliceStable(d.Events, func(i, j int) bool { return d.Events[i].Timestamp < d.Events[j].Timestamp })
+		domains = append(domains, d)
 		if d.Label != "" {
 			ds.byLabel[strings.ToLower(d.Label)] = lh
 		}
 	}
-	sort.SliceStable(ds.Txs, func(i, j int) bool { return ds.Txs[i].Timestamp < ds.Txs[j].Timestamp })
+	par.ForEach(pool, len(domains), func(i int) {
+		d := domains[i]
+		sort.SliceStable(d.Events, func(x, y int) bool { return d.Events[x].Timestamp < d.Events[y].Timestamp })
+	})
+
+	// (Timestamp, Hash) is a strict total order over the deduplicated
+	// transaction list: the crawl appends per-address results in worker
+	// completion order, and a timestamp-only stable sort would preserve
+	// that arbitrary order among equal-timestamp transactions, making the
+	// dataset (and its fingerprint) vary run to run.
+	sort.Slice(ds.Txs, func(i, j int) bool {
+		if ds.Txs[i].Timestamp != ds.Txs[j].Timestamp {
+			return ds.Txs[i].Timestamp < ds.Txs[j].Timestamp
+		}
+		return bytes.Compare(ds.Txs[i].Hash[:], ds.Txs[j].Hash[:]) < 0
+	})
+	par.ForEach(pool, len(ds.Txs), func(i int) {
+		tx := ds.Txs[i]
+		tx.valueEth = parseWeiEth(tx.ValueWei)
+		tx.valueCached = true
+	})
+
 	ds.txByAddr = make(map[ethtypes.Address][]*Tx)
+	ds.inByAddr = make(map[ethtypes.Address][]*Tx)
+	ds.outByAddr = make(map[ethtypes.Address][]*Tx)
+	ds.txByHash = make(map[ethtypes.Hash]*Tx, len(ds.Txs))
 	for _, tx := range ds.Txs {
 		ds.txByAddr[tx.From] = append(ds.txByAddr[tx.From], tx)
 		if tx.To != tx.From {
 			ds.txByAddr[tx.To] = append(ds.txByAddr[tx.To], tx)
 		}
+		ds.txByHash[tx.Hash] = tx
+		if !tx.Failed {
+			ds.inByAddr[tx.To] = append(ds.inByAddr[tx.To], tx)
+			ds.outByAddr[tx.From] = append(ds.outByAddr[tx.From], tx)
+		}
 	}
+	// inByAddr inherits the global timestamp order from the append pass;
+	// outByAddr needs the (recipient, timestamp) order. The stable sort by
+	// recipient alone preserves the timestamp order within each run, and
+	// the per-address sorts are independent, so they fan out freely.
+	outAddrs := make([]ethtypes.Address, 0, len(ds.outByAddr))
+	for a := range ds.outByAddr {
+		outAddrs = append(outAddrs, a)
+	}
+	par.ForEach(pool, len(outAddrs), func(i int) {
+		list := ds.outByAddr[outAddrs[i]]
+		sort.SliceStable(list, func(x, y int) bool {
+			return bytes.Compare(list[x].To[:], list[y].To[:]) < 0
+		})
+	})
 }
 
 // ByLabel looks a domain up by its plaintext label.
@@ -203,15 +278,36 @@ func (ds *Dataset) TxsOf(addr ethtypes.Address) []*Tx {
 	return ds.txByAddr[addr]
 }
 
-// IncomingOf returns the transactions received by addr in [from, to).
+// IncomingAll returns every successful transaction received by addr, in
+// time order. The slice aliases the index; callers must not mutate it.
+func (ds *Dataset) IncomingAll(addr ethtypes.Address) []*Tx {
+	return ds.inByAddr[addr]
+}
+
+// IncomingOf returns the successful transactions received by addr in
+// [from, to), in time order, by binary-searching the per-address index —
+// O(log n + k) instead of a scan over the address's full history. The
+// slice aliases the index; callers must not mutate it.
 func (ds *Dataset) IncomingOf(addr ethtypes.Address, from, to int64) []*Tx {
-	var out []*Tx
-	for _, tx := range ds.txByAddr[addr] {
-		if tx.To == addr && tx.Timestamp >= from && tx.Timestamp < to && !tx.Failed {
-			out = append(out, tx)
-		}
-	}
-	return out
+	list := ds.inByAddr[addr]
+	lo := sort.Search(len(list), func(i int) bool { return list[i].Timestamp >= from })
+	hi := lo + sort.Search(len(list[lo:]), func(i int) bool { return list[lo+i].Timestamp >= to })
+	return list[lo:hi]
+}
+
+// OutgoingTo returns from's successful payments to to, in time order,
+// by binary-searching the (recipient, timestamp)-sorted outgoing index.
+// The slice aliases the index; callers must not mutate it.
+func (ds *Dataset) OutgoingTo(from, to ethtypes.Address) []*Tx {
+	list := ds.outByAddr[from]
+	lo := sort.Search(len(list), func(i int) bool { return bytes.Compare(list[i].To[:], to[:]) >= 0 })
+	hi := lo + sort.Search(len(list[lo:]), func(i int) bool { return list[lo+i].To != to })
+	return list[lo:hi]
+}
+
+// TxByHash returns the transaction with the given hash, or nil.
+func (ds *Dataset) TxByHash(h ethtypes.Hash) *Tx {
+	return ds.txByHash[h]
 }
 
 // IsCustodial reports whether addr belongs to a non-Coinbase custodial
@@ -223,4 +319,118 @@ func (ds *Dataset) IsCustodial(addr ethtypes.Address) bool {
 // IsCoinbase reports whether addr is a Coinbase hot wallet.
 func (ds *Dataset) IsCoinbase(addr ethtypes.Address) bool {
 	return ds.Coinbase[addr]
+}
+
+// Fingerprint returns a deterministic FNV-1a checksum of the dataset's
+// logical content: the window, every domain's events, every transaction,
+// the custodial labels, and the marketplace events. Map iteration is
+// normalized by sorting keys, so the value depends only on content — two
+// datasets with equal content fingerprint identically regardless of
+// construction order. Derived indexes and caches are excluded, so an
+// analysis that only reads cannot change the fingerprint; the benchmark
+// harness uses this to assert analyses never mutate the shared dataset.
+func (ds *Dataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	boolean := func(b bool) {
+		if b {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+
+	i64(ds.Start)
+	i64(ds.End)
+
+	labelHashes := make([]ethtypes.Hash, 0, len(ds.Domains))
+	for lh := range ds.Domains {
+		labelHashes = append(labelHashes, lh)
+	}
+	sort.Slice(labelHashes, func(i, j int) bool {
+		return bytes.Compare(labelHashes[i][:], labelHashes[j][:]) < 0
+	})
+	for _, lh := range labelHashes {
+		d := ds.Domains[lh]
+		h.Write(lh[:])
+		str(d.Label)
+		u64(uint64(len(d.Events)))
+		for i := range d.Events {
+			e := &d.Events[i]
+			str(string(e.Type))
+			h.Write(e.Registrant[:])
+			i64(e.Expiry)
+			str(e.CostWei)
+			str(e.PremiumWei)
+			i64(e.Timestamp)
+			u64(e.Block)
+			h.Write(e.TxHash[:])
+		}
+	}
+
+	u64(uint64(len(ds.Txs)))
+	for _, tx := range ds.Txs {
+		h.Write(tx.Hash[:])
+		u64(tx.Block)
+		i64(tx.Timestamp)
+		h.Write(tx.From[:])
+		h.Write(tx.To[:])
+		str(tx.ValueWei)
+		boolean(tx.Failed)
+		str(tx.Method)
+	}
+
+	for _, m := range []map[ethtypes.Address]bool{ds.Coinbase, ds.OtherCustodial} {
+		addrs := make([]ethtypes.Address, 0, len(m))
+		for a := range m {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return bytes.Compare(addrs[i][:], addrs[j][:]) < 0 })
+		u64(uint64(len(addrs)))
+		for _, a := range addrs {
+			h.Write(a[:])
+		}
+	}
+
+	u64(uint64(len(ds.Subdomains)))
+	for i := range ds.Subdomains {
+		s := &ds.Subdomains[i]
+		h.Write(s.Node[:])
+		h.Write(s.Parent[:])
+		str(s.Name)
+		str(s.Owner)
+		i64(s.Created)
+	}
+
+	tokens := make([]ethtypes.Hash, 0, len(ds.Market))
+	for tok := range ds.Market {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return bytes.Compare(tokens[i][:], tokens[j][:]) < 0 })
+	for _, tok := range tokens {
+		h.Write(tok[:])
+		evs := ds.Market[tok]
+		u64(uint64(len(evs)))
+		for i := range evs {
+			e := &evs[i]
+			str(string(e.Kind))
+			h.Write(e.TokenID[:])
+			str(e.Seller)
+			str(e.Buyer)
+			u64(math.Float64bits(e.PriceUSD))
+			i64(e.Timestamp)
+		}
+	}
+	return h.Sum64()
 }

@@ -1,0 +1,108 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		p := New("test_map", workers)
+		n := 10_000
+		out := Map(p, n, func(i int) int { return i * i })
+		if len(out) != n {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	p := New("test_foreach", 7)
+	n := 5_000
+	visits := make([]atomic.Int32, n)
+	ForEach(p, n, func(i int) { visits[i].Add(1) })
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachEmptyAndTiny(t *testing.T) {
+	p := New("test_tiny", 16)
+	ForEach(p, 0, func(int) { t.Fatal("called for n=0") })
+	ran := 0
+	// n smaller than workers: pool must clamp, not deadlock.
+	ForEach(New("test_tiny", 16), 3, func(i int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+	_ = p
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := New("test_default", 0).Workers(); got < 1 {
+		t.Fatalf("Workers() = %d", got)
+	}
+	if got := New("test_default", -3).Workers(); got < 1 {
+		t.Fatalf("Workers() = %d for negative input", got)
+	}
+	if got := New("test_default", 5).Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(mustString(r), "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	p := New("test_panic", 4)
+	ForEach(p, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func mustString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package-level statement of
+// the PR's guarantee: same inputs, same outputs, any worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := Map(New("test_det", 1), 2048, func(i int) float64 { return float64(i) * 1.7 })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(New("test_det", workers), 2048, func(i int) float64 { return float64(i) * 1.7 })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d diverged at %d: %v != %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	p := New("bench_map", 0)
+	for i := 0; i < b.N; i++ {
+		Map(p, 1024, func(i int) int { return i })
+	}
+}

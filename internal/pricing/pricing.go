@@ -52,6 +52,14 @@ type Oracle struct {
 	logs   []float64 // log-closes at anchors
 	noise  float64   // relative day-level noise amplitude (e.g. 0.03)
 	origin time.Time
+
+	// closes caches the per-day closing price over the anchor span plus a
+	// margin, computed once at construction. The daily deterministic noise
+	// costs a keccak per call, and USD conversion sits inside every hot
+	// analysis loop; days outside the cache fall back to computeClose,
+	// which returns bit-identical values.
+	closes    []float64
+	closeBase int64 // unix day of closes[0]
 }
 
 // NewOracle returns the standard oracle with ±3% deterministic daily noise.
@@ -72,6 +80,14 @@ func NewOracleNoise(noise float64) *Oracle {
 	if !sort.SliceIsSorted(o.days, func(i, j int) bool { return o.days[i] < o.days[j] }) {
 		panic("pricing: anchors out of order")
 	}
+	const margin = 400 // days beyond the anchors still worth caching
+	lo := o.days[0] - margin
+	hi := o.days[len(o.days)-1] + margin
+	o.closeBase = lo
+	o.closes = make([]float64, hi-lo+1)
+	for d := lo; d <= hi; d++ {
+		o.closes[d-lo] = o.computeClose(d)
+	}
 	return o
 }
 
@@ -84,6 +100,15 @@ func unixDay(unix int64) int64 {
 // after the last anchor, to the last.
 func (o *Oracle) Close(unix int64) float64 {
 	day := unixDay(unix)
+	if idx := day - o.closeBase; idx >= 0 && idx < int64(len(o.closes)) {
+		return o.closes[idx]
+	}
+	return o.computeClose(day)
+}
+
+// computeClose derives the close for a unix day from scratch: log-space
+// interpolation between anchors plus the deterministic daily jitter.
+func (o *Oracle) computeClose(day int64) float64 {
 	base := o.interp(day)
 	if o.noise == 0 {
 		return base

@@ -57,16 +57,15 @@ func KaplanMeier(obs []Observation) []SurvivalPoint {
 }
 
 // SurvivalAt evaluates a Kaplan-Meier curve at time t (1.0 before the
-// first event).
+// first event). The curve is sorted by time (KaplanMeier's postcondition),
+// so the step holding t is binary-searched.
 func SurvivalAt(curve []SurvivalPoint, t float64) float64 {
-	s := 1.0
-	for _, p := range curve {
-		if p.Time > t {
-			break
-		}
-		s = p.Survival
+	// First point strictly after t; the step in force is the one before.
+	i := sort.Search(len(curve), func(i int) bool { return curve[i].Time > t })
+	if i == 0 {
+		return 1.0
 	}
-	return s
+	return curve[i-1].Survival
 }
 
 // MedianSurvival returns the earliest time at which survival drops to 0.5

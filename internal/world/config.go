@@ -28,6 +28,10 @@ type Config struct {
 	Seed       int64
 	NumDomains int
 	Start, End int64
+	// Workers bounds the per-domain planning fan-out; 0 means GOMAXPROCS.
+	// The generated world is identical for every value (planning streams
+	// are derived per domain, not from a shared sequential rng).
+	Workers int
 	// MigrationDeadline is the forced expiry date of the legacy cohort.
 	MigrationDeadline int64
 

@@ -10,6 +10,7 @@ import (
 	"ensdropcatch/internal/ens"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/lexical"
+	"ensdropcatch/internal/par"
 )
 
 type evKind uint8
@@ -53,9 +54,11 @@ type senderRel struct {
 	preTenure bool
 }
 
+// planner holds the world-level state: the shared immutable inputs every
+// per-domain planner reads (pools, lexical analyzer, registration-time
+// curve) and the merged output script.
 type planner struct {
 	cfg      Config
-	rng      *rand.Rand
 	lexGen   *lexical.Generator
 	ana      *lexical.Analyzer
 	senders  *senderPool
@@ -70,15 +73,34 @@ type planner struct {
 	monthCum    []float64
 }
 
+// domainPlanner plans one domain in isolation. It owns a private rng
+// seeded from (world seed, domain index) and private Zipf samplers (a
+// rand.Zipf binds its rng at construction), so domains can be planned on
+// any worker in any order and still produce identical output. Everything
+// else it holds is shared and read-only.
+type domainPlanner struct {
+	cfg         Config
+	rng         *rand.Rand
+	ana         *lexical.Analyzer
+	senders     *senderPool
+	catchers    *catcherPool
+	monthStarts []int64
+	monthCum    []float64
+	nonCustZipf *rand.Zipf
+	proZipf     *rand.Zipf
+
+	events  []event
+	opensea []OpenSeaEvent
+	truth   *DomainTruth
+}
+
 func newPlanner(cfg Config) *planner {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	p := &planner{
 		cfg:      cfg,
-		rng:      rng,
 		lexGen:   lexical.NewGenerator(cfg.Seed+1, nil),
 		ana:      lexical.NewAnalyzer(),
-		senders:  newSenderPool(rand.New(rand.NewSource(cfg.Seed+2)), cfg),
-		catchers: newCatcherPool(rand.New(rand.NewSource(cfg.Seed+3)), cfg.NumDomains),
+		senders:  newSenderPool(cfg),
+		catchers: newCatcherPool(cfg.NumDomains),
 		truth: &Truth{
 			MisdirectedTxHashes: make(map[ethtypes.Hash]bool),
 			IntentionalTxHashes: make(map[ethtypes.Hash]bool),
@@ -86,6 +108,32 @@ func newPlanner(cfg Config) *planner {
 	}
 	p.buildRegTimeDist()
 	return p
+}
+
+// domainPlanner builds the isolated planner for domain i.
+func (p *planner) domainPlanner(i int) *domainPlanner {
+	rng := rand.New(rand.NewSource(domainSeed(p.cfg.Seed, i)))
+	return &domainPlanner{
+		cfg:         p.cfg,
+		rng:         rng,
+		ana:         p.ana,
+		senders:     p.senders,
+		catchers:    p.catchers,
+		monthStarts: p.monthStarts,
+		monthCum:    p.monthCum,
+		nonCustZipf: p.senders.zipf(rng),
+		proZipf:     p.catchers.zipf(rng),
+	}
+}
+
+// domainSeed derives the per-domain RNG seed from the world seed via a
+// splitmix64-style mix, so adjacent domains get statistically unrelated
+// streams and each domain's plan depends only on (seed, i).
+func domainSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // buildRegTimeDist sets up the monthly registration-volume curve of
@@ -129,7 +177,7 @@ func regMonthWeight(m time.Time) float64 {
 	}
 }
 
-func (p *planner) sampleRegTime() int64 {
+func (p *domainPlanner) sampleRegTime() int64 {
 	u := p.rng.Float64()
 	i := sort.SearchFloat64s(p.monthCum, u)
 	if i >= len(p.monthCum) {
@@ -139,15 +187,15 @@ func (p *planner) sampleRegTime() int64 {
 	return lo + p.rng.Int63n(hi-lo)
 }
 
-func (p *planner) push(ev event) {
-	ev.seq = p.seq
-	p.seq++
+// push appends a planned event. The global seq tie-breaker is assigned
+// later, when the planner merges the per-domain scripts in domain order.
+func (p *domainPlanner) push(ev event) {
 	p.events = append(p.events, ev)
 }
 
 // Distribution helpers.
 
-func (p *planner) poisson(lambda float64) int {
+func (p *domainPlanner) poisson(lambda float64) int {
 	// Knuth's algorithm; fine for the small lambdas used here.
 	l := math.Exp(-lambda)
 	k := 0
@@ -164,13 +212,13 @@ func (p *planner) poisson(lambda float64) int {
 	}
 }
 
-func (p *planner) lognormal(median, sigma float64) float64 {
+func (p *domainPlanner) lognormal(median, sigma float64) float64 {
 	return median * math.Exp(p.rng.NormFloat64()*sigma)
 }
 
 // geometric returns a non-negative count with success probability q per
 // trial (mean (1-q)/q).
-func (p *planner) geometric(q float64) int {
+func (p *domainPlanner) geometric(q float64) int {
 	k := 0
 	for p.rng.Float64() > q && k < 50 {
 		k++
@@ -178,25 +226,48 @@ func (p *planner) geometric(q float64) int {
 	return k
 }
 
-func (p *planner) days(lo, hi float64) int64 {
+func (p *domainPlanner) days(lo, hi float64) int64 {
 	return int64((lo + p.rng.Float64()*(hi-lo)) * 86400)
 }
 
 // subdomainLabels are the delegation names owners typically create.
 var subdomainLabels = []string{"pay", "wallet", "vault", "app", "dao", "mail", "nft", "shop"}
 
-// plan generates the full event script and ground truth.
+// plan generates the full event script and ground truth. Labels are drawn
+// sequentially up front (the generator dedupes against a shared set), then
+// each domain is planned in isolation on the worker pool and the resulting
+// scripts are merged back in domain order, assigning the global seq
+// tie-breakers. The output is therefore identical for every worker count.
 func (p *planner) plan() {
-	for i := 0; i < p.cfg.NumDomains; i++ {
-		p.planDomain(i)
+	n := p.cfg.NumDomains
+	labels := make([]string, n)
+	cats := make([]lexical.Category, n)
+	for i := 0; i < n; i++ {
+		labels[i], cats[i] = p.lexGen.Next()
+	}
+
+	pool := par.New("world_plan", p.cfg.Workers)
+	plans := par.Map(pool, n, func(i int) *domainPlanner {
+		dp := p.domainPlanner(i)
+		dp.planDomain(i, labels[i], cats[i])
+		return dp
+	})
+
+	for _, dp := range plans {
+		p.truth.Domains = append(p.truth.Domains, dp.truth)
+		for _, ev := range dp.events {
+			ev.seq = p.seq
+			p.seq++
+			p.events = append(p.events, ev)
+		}
+		p.opensea = append(p.opensea, dp.opensea...)
 	}
 }
 
-func (p *planner) planDomain(i int) {
+func (p *domainPlanner) planDomain(i int, label string, cat lexical.Category) {
 	cfg := p.cfg
-	label, cat := p.lexGen.Next()
 	truth := &DomainTruth{Label: label, Category: cat}
-	p.truth.Domains = append(p.truth.Domains, truth)
+	p.truth = truth
 
 	owner := ethtypes.DeriveAddress(fmt.Sprintf("owner-%07d", i))
 	migration := p.rng.Float64() < cfg.MigrationFraction
@@ -332,7 +403,7 @@ func (p *planner) planDomain(i int) {
 	p.planCatchCycles(i, truth, label, rels, owner, expiry, catchAt, v)
 }
 
-func (p *planner) sampleDuration() time.Duration {
+func (p *domainPlanner) sampleDuration() time.Duration {
 	r := p.rng.Float64()
 	switch {
 	case r < 0.68:
@@ -349,7 +420,7 @@ func (p *planner) sampleDuration() time.Duration {
 
 // planIncome creates the first-cycle income transactions and returns the
 // sender relationships, total USD income, and transaction count.
-func (p *planner) planIncome(truth *DomainTruth, label string, wallet ethtypes.Address, from, to int64) ([]senderRel, float64, int) {
+func (p *domainPlanner) planIncome(truth *DomainTruth, label string, wallet ethtypes.Address, from, to int64) ([]senderRel, float64, int) {
 	cfg := p.cfg
 	income := p.lognormal(cfg.IncomeMedianUSD, cfg.IncomeSigma)
 	factor := math.Log10(1+income) / 3.5
@@ -373,7 +444,7 @@ func (p *planner) planIncome(truth *DomainTruth, label string, wallet ethtypes.A
 		span = 86400
 	}
 	for s := 0; s < n; s++ {
-		addr, kind := p.senders.pick()
+		addr, kind := p.senders.pick(p.rng, p.nonCustZipf)
 		rel := senderRel{
 			addr:       addr,
 			kind:       kind,
@@ -416,7 +487,7 @@ func (p *planner) planIncome(truth *DomainTruth, label string, wallet ethtypes.A
 // planStaleSends models senders who keep paying an expired name's wallet
 // before any re-registration (Figure 7's hijackable funds). The window is
 // [expiry, until).
-func (p *planner) planStaleSends(truth *DomainTruth, label string, rels []senderRel, wallet ethtypes.Address, expiry, until int64, income float64, txCount int) {
+func (p *domainPlanner) planStaleSends(truth *DomainTruth, label string, rels []senderRel, wallet ethtypes.Address, expiry, until int64, income float64, txCount int) {
 	if until <= expiry+3600 || txCount == 0 {
 		return
 	}
@@ -442,7 +513,7 @@ func (p *planner) planStaleSends(truth *DomainTruth, label string, rels []sender
 // planCatchTime picks the re-registration instant, reproducing Figure 3's
 // clustering: premium payers inside the auction, a spike on the day the
 // premium ends, a bump shortly after, and a long exponential tail.
-func (p *planner) planCatchTime(expiry int64, v float64) (int64, float64) {
+func (p *domainPlanner) planCatchTime(expiry int64, v float64) (int64, float64) {
 	cfg := p.cfg
 	release := ens.ReleaseTime(expiry)
 	premiumEnd := ens.PremiumEndTime(expiry)
@@ -493,11 +564,11 @@ func (p *planner) planCatchTime(expiry int64, v float64) (int64, float64) {
 // planCatchCycles emits the dropcatch registration, subsequent renewals or
 // re-drops (Figure 4's multi-cycle names), the misdirected payments of the
 // paper's loss scenario, catcher-side noise income, and OpenSea resales.
-func (p *planner) planCatchCycles(i int, truth *DomainTruth, label string, rels []senderRel, a1 ethtypes.Address, prevExpiry, catchAt int64, v float64) {
+func (p *domainPlanner) planCatchCycles(i int, truth *DomainTruth, label string, rels []senderRel, a1 ethtypes.Address, prevExpiry, catchAt int64, v float64) {
 	cfg := p.cfg
 	truth.Dropcaught = true
 
-	catcher := p.catchers.pick()
+	catcher := p.catchers.pick(p.rng, p.proZipf)
 	if catcher == a1 {
 		catcher = ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-extra-%07d", i))
 	}

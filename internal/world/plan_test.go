@@ -13,10 +13,10 @@ import (
 // shape the population must actually have the moments the calibration
 // assumes.
 
-func newTestPlanner(seed int64) *planner {
+func newTestPlanner(seed int64) *domainPlanner {
 	cfg := DefaultConfig(10)
 	cfg.Seed = seed
-	return newPlanner(cfg)
+	return newPlanner(cfg).domainPlanner(0)
 }
 
 func TestPoissonMean(t *testing.T) {

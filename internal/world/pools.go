@@ -40,19 +40,20 @@ func (k SenderKind) String() string {
 // senderPool hands out sending addresses. Custodial pools are small and
 // heavily reused (many users behind few addresses); the non-custodial pool
 // is large with Zipf-distributed reuse (a few businesses pay many names).
+//
+// The pool itself is immutable after construction and shared by every
+// per-domain planner; randomness comes in through the caller's rng so
+// picks stay on the caller's deterministic stream.
 type senderPool struct {
-	rng            *rand.Rand
 	coinbase       []ethtypes.Address
 	otherCustodial []ethtypes.Address
 	nonCustodial   []ethtypes.Address
-	nonCustZipf    *rand.Zipf
 	coinbaseShare  float64
 	otherShare     float64
 }
 
-func newSenderPool(rng *rand.Rand, cfg Config) *senderPool {
+func newSenderPool(cfg Config) *senderPool {
 	sp := &senderPool{
-		rng:           rng,
 		coinbaseShare: cfg.CoinbaseShare,
 		otherShare:    cfg.OtherCustodialShare,
 	}
@@ -69,26 +70,26 @@ func newSenderPool(rng *rand.Rand, cfg Config) *senderPool {
 	for i := 0; i < n; i++ {
 		sp.nonCustodial = append(sp.nonCustodial, ethtypes.DeriveAddress(fmt.Sprintf("user-wallet-%07d", i)))
 	}
-	sp.nonCustZipf = rand.NewZipf(rng, 2.0, 20, uint64(n-1))
 	return sp
 }
 
-// pick returns a sender address and its kind.
-func (sp *senderPool) pick() (ethtypes.Address, SenderKind) {
-	r := sp.rng.Float64()
-	switch {
-	case r < sp.coinbaseShare:
-		return sp.coinbase[sp.rng.Intn(len(sp.coinbase))], Coinbase
-	case r < sp.coinbaseShare+sp.otherShare:
-		return sp.otherCustodial[sp.rng.Intn(len(sp.otherCustodial))], OtherCustodial
-	default:
-		return sp.nonCustodial[sp.nonCustZipf.Uint64()], NonCustodial
-	}
+// zipf builds the non-custodial reuse distribution over the caller's rng
+// (rand.Zipf binds an rng at construction, so each planner needs its own).
+func (sp *senderPool) zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 2.0, 20, uint64(len(sp.nonCustodial)-1))
 }
 
-// pickNonCustodial returns a fresh-ish non-custodial sender.
-func (sp *senderPool) pickNonCustodial() ethtypes.Address {
-	return sp.nonCustodial[sp.nonCustZipf.Uint64()]
+// pick returns a sender address and its kind.
+func (sp *senderPool) pick(rng *rand.Rand, zipf *rand.Zipf) (ethtypes.Address, SenderKind) {
+	r := rng.Float64()
+	switch {
+	case r < sp.coinbaseShare:
+		return sp.coinbase[rng.Intn(len(sp.coinbase))], Coinbase
+	case r < sp.coinbaseShare+sp.otherShare:
+		return sp.otherCustodial[rng.Intn(len(sp.otherCustodial))], OtherCustodial
+	default:
+		return sp.nonCustodial[zipf.Uint64()], NonCustodial
+	}
 }
 
 // catcherPool models the dropcatcher population as two tiers, matching
@@ -96,16 +97,14 @@ func (sp *senderPool) pickNonCustodial() ethtypes.Address {
 // thousands of names at full scale (5,070 / 3,165 / 2,421), and a large
 // amateur tier of mostly one-off catchers.
 type catcherPool struct {
-	rng      *rand.Rand
 	pros     []ethtypes.Address
 	amateurs []ethtypes.Address
-	proZipf  *rand.Zipf
 	// proShare of catches go to the professional tier.
 	proShare float64
 }
 
-func newCatcherPool(rng *rand.Rand, numDomains int) *catcherPool {
-	cp := &catcherPool{rng: rng, proShare: 0.12}
+func newCatcherPool(numDomains int) *catcherPool {
+	cp := &catcherPool{proShare: 0.12}
 	for i := 0; i < 20; i++ {
 		cp.pros = append(cp.pros, ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-pro-%02d", i)))
 	}
@@ -113,15 +112,20 @@ func newCatcherPool(rng *rand.Rand, numDomains int) *catcherPool {
 	for i := 0; i < n; i++ {
 		cp.amateurs = append(cp.amateurs, ethtypes.DeriveAddress(fmt.Sprintf("dropcatcher-%06d", i)))
 	}
-	cp.proZipf = rand.NewZipf(rng, 1.2, 3, uint64(len(cp.pros)-1))
 	return cp
 }
 
-func (cp *catcherPool) pick() ethtypes.Address {
-	if cp.rng.Float64() < cp.proShare {
-		return cp.pros[cp.proZipf.Uint64()]
+// zipf builds the professional-tier concentration distribution over the
+// caller's rng.
+func (cp *catcherPool) zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.2, 3, uint64(len(cp.pros)-1))
+}
+
+func (cp *catcherPool) pick(rng *rand.Rand, zipf *rand.Zipf) ethtypes.Address {
+	if rng.Float64() < cp.proShare {
+		return cp.pros[zipf.Uint64()]
 	}
-	return cp.amateurs[cp.rng.Intn(len(cp.amateurs))]
+	return cp.amateurs[rng.Intn(len(cp.amateurs))]
 }
 
 // lexScore scores how attractive a label's lexical shape is to a
