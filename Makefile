@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: all build vet test race race-all bench bench-smoke fuzz clean tools report
+.PHONY: all build vet lint test race race-all bench bench-smoke fuzz fuzz-smoke clean tools report
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Runs the project's custom go/analysis suite (internal/lint) on top of
+# go vet: detrand, maporder, iodiscipline, floatfold, droppederr. The
+# binary re-executes `go vet -vettool=<self>`, so it needs no build-graph
+# machinery of its own and works offline against the vendored
+# golang.org/x/tools (see go.mod).
+lint:
+	$(GO) build -o bin/enslint ./cmd/enslint
+	./bin/enslint ./...
 
 test:
 	$(GO) test ./...
@@ -41,6 +50,12 @@ bench-smoke:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/subgraph/
 	$(GO) test -fuzz=FuzzStreamingEqualsOneShot -fuzztime=30s ./internal/keccak/
+
+# Short fuzz pass for CI: 10s per target is enough to catch shallow
+# regressions in the parsers without stalling the pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/subgraph/
+	$(GO) test -fuzz=FuzzStreamingEqualsOneShot -fuzztime=10s ./internal/keccak/
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

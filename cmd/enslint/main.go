@@ -1,0 +1,65 @@
+// Command enslint runs the project's custom go/analysis suite
+// (internal/lint): detrand, maporder, iodiscipline, floatfold, and
+// droppederr — the mechanical form of the determinism and
+// fault-tolerance rules PR 2 and PR 3 established.
+//
+// It works in two modes:
+//
+//	enslint ./...           # multichecker mode: analyzes packages
+//	go vet -vettool=enslint # unitchecker mode (what mode 1 uses inside)
+//
+// Multichecker mode re-executes `go vet -vettool=<self>` so the go
+// command does the package loading; that keeps the binary free of any
+// build-graph machinery and works offline. Exit status is non-zero iff
+// a diagnostic was reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ensdropcatch/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: enslint <packages>  (e.g. enslint ./...)")
+		os.Exit(2)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enslint:", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "enslint:", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the arguments look like the go vet
+// unitchecker protocol (a *.cfg file per package, or -V=full / flag
+// queries) rather than a package pattern typed by a human.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-V") || a == "-flags" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"ensdropcatch/internal/lint"
+)
+
+func TestVetProtocol(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"./..."}, false},
+		{[]string{"./internal/world/", "./internal/core/"}, false},
+		{[]string{}, false},
+		{[]string{"/tmp/vet073/pkg.cfg"}, true},
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+	} {
+		if got := vetProtocol(tc.args); got != tc.want {
+			t.Errorf("vetProtocol(%v) = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestAnalyzerRoster(t *testing.T) {
+	want := []string{"detrand", "maporder", "iodiscipline", "floatfold", "droppederr"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: got %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestEndToEnd builds enslint and runs it over a deterministic package
+// of the real tree (must pass) and over a scratch module seeded with a
+// violation (must fail). Skipped in -short mode: it shells out to the
+// go tool twice.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-tool round-trips in -short mode")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "enslint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/enslint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building enslint: %v\n%s", err, out)
+	}
+
+	clean := exec.Command(bin, "./internal/world/")
+	clean.Dir = repoRoot
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("enslint on clean package failed: %v\n%s", err, out)
+	}
+
+	// A scratch module with a time.Now in a deterministic package path.
+	scratch := t.TempDir()
+	pkgDir := filepath.Join(scratch, "internal", "world")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(scratch, "go.mod"), []byte("module scratch\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package world\n\nimport \"time\"\n\nfunc Bad() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(pkgDir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirty := exec.Command(bin, "./...")
+	dirty.Dir = scratch
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("enslint passed a seeded time.Now violation:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("enslint did not run: %v\n%s", err, out)
+	}
+	if ee.ExitCode() == 0 {
+		t.Fatalf("expected non-zero exit, got 0:\n%s", out)
+	}
+}

@@ -27,7 +27,8 @@ type healthStatus struct {
 func newHealthHandler(start time.Time, seed int64, summary world.Summary, store *subgraph.Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(healthStatus{
+		// A failed response write means the client is gone; nothing to repair.
+		_ = json.NewEncoder(w).Encode(healthStatus{
 			Status:        "ok",
 			UptimeSeconds: time.Since(start).Seconds(),
 			Seed:          seed,

@@ -1,3 +1,9 @@
 module ensdropcatch
 
 go 1.23
+
+// golang.org/x/tools powers cmd/enslint (the go/analysis-based custom
+// linter suite in internal/lint). It is vendored under vendor/ from the
+// copy the Go 1.24 distribution ships for its own vet passes, so builds
+// need no network access. It is the module's only external dependency.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

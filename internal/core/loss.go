@@ -3,10 +3,10 @@ package core
 import (
 	"bytes"
 	"sort"
-	"time"
 
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/par"
 )
 
@@ -225,10 +225,12 @@ func (a *Analyzer) ComputeFinancialLosses(opts LossOptions) *LossReport {
 }
 
 // obsDuration starts a timer against the core_analysis_seconds histogram.
+// Wall-clock reads go through obs so the detrand analyzer can hold the
+// rest of this package to seed-purity.
 func obsDuration(analysis string) func() {
 	h := analysisSeconds.With(analysis)
-	start := time.Now()
-	return func() { h.Observe(time.Since(start).Seconds()) }
+	start := obs.NowWall()
+	return func() { h.Observe(obs.WallSince(start).Seconds()) }
 }
 
 // analyzePair applies the scenario to the re-registration at tenure j.
@@ -439,18 +441,22 @@ func (r *LossReport) CatcherProfits() *ProfitReport {
 		p.IncomeUSD += f.MisdirectedUSD()
 	}
 	rep := &ProfitReport{}
-	profitable := 0
-	var totalProfit float64
 	for _, p := range byAddr {
 		rep.Catchers = append(rep.Catchers, *p)
-		if p.Profit() > 0 {
-			profitable++
-		}
-		totalProfit += p.Profit()
 	}
 	sort.Slice(rep.Catchers, func(i, j int) bool {
 		return lessAddr(rep.Catchers[i].Address, rep.Catchers[j].Address)
 	})
+	// Fold after sorting: a float sum in map-iteration order differs in
+	// the last bits run to run, which drifts AvgProfitUSD (maporder).
+	profitable := 0
+	var totalProfit float64
+	for i := range rep.Catchers {
+		if rep.Catchers[i].Profit() > 0 {
+			profitable++
+		}
+		totalProfit += rep.Catchers[i].Profit()
+	}
 	if n := len(rep.Catchers); n > 0 {
 		rep.ProfitableFraction = float64(profitable) / float64(n)
 		rep.AvgProfitUSD = totalProfit / float64(n)

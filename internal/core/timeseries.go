@@ -169,6 +169,7 @@ func (a *Analyzer) ReregistrantCDF() ReregistrantActivity {
 	counts := make([]float64, 0, len(act.PerAddress))
 	var all []int
 	for _, n := range act.PerAddress {
+		//lint:allow maporder stats.ECDF sorts its input and `all` is sorted below; MultipleCatchers is an order-free count
 		counts = append(counts, float64(n))
 		all = append(all, n)
 		if n > 1 {

@@ -380,11 +380,11 @@ func OpenCheckpoint(path string, opts ...CheckpointOption) (*Checkpoint, error) 
 		}
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
+		_ = f.Close() // the read error is the failure being reported
 		return nil, fmt.Errorf("crawler: read checkpoint: %w", err)
 	}
 	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
+		_ = f.Close() // the seek error is the failure being reported
 		return nil, fmt.Errorf("crawler: seek checkpoint: %w", err)
 	}
 	cp.w = bufio.NewWriter(f)
@@ -433,7 +433,7 @@ func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.w.Flush(); err != nil {
-		c.f.Close()
+		_ = c.f.Close() // the flush error is the failure being reported
 		return err
 	}
 	return c.f.Close()

@@ -105,7 +105,7 @@ func newBuildMetrics(reg *obs.Registry) *buildMetrics {
 
 // stage records a completed stage's duration and item count, and logs it.
 func (bm *buildMetrics) stage(logger *slog.Logger, name string, items int, start time.Time) {
-	elapsed := time.Since(start)
+	elapsed := obs.WallSince(start)
 	bm.stageSeconds.With(name).Set(elapsed.Seconds())
 	bm.stageItems.With(name).Add(uint64(items))
 	logger.Info("dataset: stage complete", "stage", name, "items", items,
@@ -125,7 +125,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	ds := New(opts.Start, opts.End)
 
 	// 1. Registration event history.
-	stageStart := time.Now()
+	stageStart := obs.NowWall()
 	rows, err := regs.PageAll(ctx, subgraph.ColEvents, eventFields)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl registration events: %w", err)
@@ -138,7 +138,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	bm.stage(opts.Logger, "events", len(rows), stageStart)
 
 	// 1b. Subdomain records.
-	stageStart = time.Now()
+	stageStart = obs.NowWall()
 	subRows, err := regs.PageAll(ctx, subgraph.ColSubdomains, []string{"parent", "name", "owner", "createdAt"})
 	if err != nil {
 		return nil, fmt.Errorf("dataset: crawl subdomains: %w", err)
@@ -167,7 +167,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	bm.stage(opts.Logger, "subdomains", len(subRows), stageStart)
 
 	// 2. Custodial labels.
-	stageStart = time.Now()
+	stageStart = obs.NowWall()
 	labels, err := txs.FetchLabels(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: fetch labels: %w", err)
@@ -189,7 +189,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	bm.stage(opts.Logger, "labels", len(labels.Coinbase)+len(labels.OtherCustodial), stageStart)
 
 	// 3. Transaction lists for every registrant address.
-	stageStart = time.Now()
+	stageStart = obs.NowWall()
 	addrSet := map[ethtypes.Address]bool{}
 	for _, d := range ds.Domains {
 		for _, e := range d.Events {
@@ -247,7 +247,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	bm.stage(opts.Logger, "transactions", len(ds.Txs), stageStart)
 
 	// 4. Marketplace events for names with more than one registration.
-	stageStart = time.Now()
+	stageStart = obs.NowWall()
 	var tokens []ethtypes.Hash
 	for lh, d := range ds.Domains {
 		if len(d.Registrations()) >= 2 {
@@ -307,7 +307,7 @@ func startProgressLoop(ctx context.Context, opts BuildOptions, done *atomic.Int6
 				return
 			case <-t.C:
 				d := done.Load()
-				elapsed := time.Since(start)
+				elapsed := obs.WallSince(start)
 				eta := "unknown"
 				if d > 0 {
 					eta = (time.Duration(float64(elapsed) * float64(int64(total)-d) / float64(d))).Round(time.Second).String()

@@ -174,7 +174,7 @@ func writeJSON(path string, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error is the failure being reported
 		return fmt.Errorf("dataset: encode %s: %w", path, err)
 	}
 	return f.Close()
@@ -201,12 +201,12 @@ func writeJSONL[T any](path string, items []T) error {
 	enc := json.NewEncoder(w)
 	for i := range items {
 		if err := enc.Encode(items[i]); err != nil {
-			f.Close()
+			_ = f.Close() // the encode error is the failure being reported
 			return fmt.Errorf("dataset: encode %s: %w", path, err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // the flush error is the failure being reported
 		return err
 	}
 	return f.Close()

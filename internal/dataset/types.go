@@ -206,6 +206,7 @@ func (ds *Dataset) Reindex() {
 	ds.byLabel = make(map[string]ethtypes.Hash, len(ds.Domains))
 	domains := make([]*Domain, 0, len(ds.Domains))
 	for lh, d := range ds.Domains {
+		//lint:allow maporder domains only fans out the per-domain event sorts below; each element is sorted independently and no order reaches output
 		domains = append(domains, d)
 		if d.Label != "" {
 			ds.byLabel[strings.ToLower(d.Label)] = lh
@@ -254,6 +255,7 @@ func (ds *Dataset) Reindex() {
 	// the per-address sorts are independent, so they fan out freely.
 	outAddrs := make([]ethtypes.Address, 0, len(ds.outByAddr))
 	for a := range ds.outByAddr {
+		//lint:allow maporder outAddrs only fans out the per-address sorts below; each list is sorted independently and no order reaches output
 		outAddrs = append(outAddrs, a)
 	}
 	par.ForEach(pool, len(outAddrs), func(i int) {

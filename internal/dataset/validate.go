@@ -1,8 +1,12 @@
 package dataset
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+
+	"ensdropcatch/internal/ethtypes"
 )
 
 // Validation errors.
@@ -27,7 +31,17 @@ func (ds *Dataset) Validate() error {
 		errs = append(errs, fmt.Errorf("%w: [%d, %d)", ErrBadWindow, ds.Start, ds.End))
 	}
 
-	for lh, d := range ds.Domains {
+	// Iterate domains in sorted label-hash order: the violations are
+	// joined into one error message (and truncated past 50), so map
+	// order would make both the text and the surviving subset differ
+	// run to run.
+	hashes := make([]ethtypes.Hash, 0, len(ds.Domains))
+	for lh := range ds.Domains {
+		hashes = append(hashes, lh)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return bytes.Compare(hashes[i][:], hashes[j][:]) < 0 })
+	for _, lh := range hashes {
+		d := ds.Domains[lh]
 		if d.LabelHash != lh {
 			errs = append(errs, fmt.Errorf("dataset: domain %s keyed under %s", d.LabelHash, lh))
 		}

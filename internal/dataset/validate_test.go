@@ -1,8 +1,11 @@
 package dataset
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"sort"
+	"strings"
 	"testing"
 
 	"ensdropcatch/internal/ens"
@@ -97,6 +100,50 @@ func TestValidateCatchesViolations(t *testing.T) {
 		Events: []Event{{Type: EvRegistered, Registrant: a1, Timestamp: 500, Expiry: 100}}}
 	if err := ds2.Validate(); err == nil {
 		t.Error("backwards expiry accepted")
+	}
+}
+
+// TestValidateDeterministicOrder seeds many violating domains and
+// checks that the joined message lists them in sorted label-hash order
+// and is byte-identical across calls — the truncation past 50
+// violations means map-order iteration would not just reword the error
+// but change which violations survive.
+func TestValidateDeterministicOrder(t *testing.T) {
+	ds := New(0, 1000)
+	labels := []string{"zulu", "alpha", "mike", "kilo", "echo", "tango", "whiskey", "november"}
+	for _, l := range labels {
+		lh := ens.LabelHash(l)
+		ds.Domains[lh] = &Domain{LabelHash: lh, Label: l,
+			Events: []Event{{Type: EvRenewed, Timestamp: 20, Expiry: 600}}}
+	}
+	first := ds.Validate()
+	if first == nil {
+		t.Fatal("violations not detected")
+	}
+	for i := 0; i < 5; i++ {
+		if err := ds.Validate(); err.Error() != first.Error() {
+			t.Fatalf("Validate message changed between calls:\n%s\nvs\n%s", first, err)
+		}
+	}
+
+	// The per-domain messages must appear in sorted label-hash order.
+	hashes := make([]ethtypes.Hash, 0, len(labels))
+	for _, l := range labels {
+		hashes = append(hashes, ens.LabelHash(l))
+	}
+	sort.Slice(hashes, func(i, j int) bool { return bytes.Compare(hashes[i][:], hashes[j][:]) < 0 })
+	msg := first.Error()
+	pos := -1
+	for _, lh := range hashes {
+		name := ds.Domains[lh].Name()
+		at := strings.Index(msg, name)
+		if at < 0 {
+			t.Fatalf("violation for %s missing from message:\n%s", name, msg)
+		}
+		if at < pos {
+			t.Fatalf("violation for %s out of sorted order in message:\n%s", name, msg)
+		}
+		pos = at
 	}
 }
 

@@ -1,8 +1,10 @@
 package ens
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -351,5 +353,10 @@ func (s *Service) Registrations() []*Registration {
 	for _, r := range s.regs {
 		out = append(out, r.Clone())
 	}
+	// Map order would leak into the returned slice; ground-truth
+	// comparisons need a stable order (maporder).
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].LabelHash[:], out[j].LabelHash[:]) < 0
+	})
 	return out
 }

@@ -112,7 +112,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/labels":
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.labels)
+		// A failed response write means the client is gone; nothing to repair.
+		_ = json.NewEncoder(w).Encode(s.labels)
 	case "/api":
 		s.serveAPI(w, r)
 	default:
@@ -237,11 +238,13 @@ func parseUint(s string, def uint64) uint64 {
 func writeEnvelope(w http.ResponseWriter, status, message, result string) {
 	w.Header().Set("Content-Type", "application/json")
 	raw, _ := json.Marshal(result)
-	json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+	// A failed response write means the client is gone; nothing to repair.
+	_ = json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
 }
 
 func writeResult(w http.ResponseWriter, status, message string, rows []TxRecord) {
 	w.Header().Set("Content-Type", "application/json")
 	raw, _ := json.Marshal(rows)
-	json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+	// A failed response write means the client is gone; nothing to repair.
+	_ = json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
 }

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/detrand"
+	"ensdropcatch/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer,
+		"ensdropcatch/internal/world",  // positive: deterministic package
+		"ensdropcatch/internal/notdet", // negative: free to use wall clock + global rand
+	)
+}

@@ -1,0 +1,15 @@
+// Negative fixture: not a deterministic package, so wall clocks and the
+// global generator are allowed (the crawler's retry jitter, for one,
+// depends on them).
+package notdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() int64 {
+	_ = rand.Intn(10)
+	_ = rand.Float64()
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,15 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/droppederr"
+	"ensdropcatch/internal/lint/linttest"
+)
+
+func TestDroppederr(t *testing.T) {
+	linttest.Run(t, droppederr.Analyzer,
+		"ensdropcatch/internal/crawler", // positive: spool/checkpoint path
+		"ensdropcatch/internal/stats",   // negative: pure computation
+	)
+}

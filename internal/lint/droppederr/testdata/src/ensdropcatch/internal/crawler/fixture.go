@@ -1,0 +1,75 @@
+// Positive fixture: the package path ends in internal/crawler, one of
+// the spool/checkpoint/report error paths where a dropped error becomes
+// corrupt data.
+package crawler
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var ErrSpoolCorrupt = errors.New("spool corrupt")
+
+// Discarding an already-bound error value is always flagged.
+func blankErr(f *os.File) {
+	_, err := f.Write([]byte("x"))
+	_ = err // want "error value discarded"
+}
+
+// A bare call statement whose error result vanishes is flagged; the
+// explicit `_ =` discard is the documented opt-out.
+func ignoredCalls(f *os.File, enc *json.Encoder, v any) {
+	f.Close()     // want "error result of Close ignored"
+	enc.Encode(v) // want "error result of Encode ignored"
+	f.Sync()      // want "error result of Sync ignored"
+	_ = f.Close() // explicit discard: the open error path is already being reported
+}
+
+// defer f.Close() on a read-only handle is the standard idiom.
+func deferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// Writers documented never to fail are carved out.
+func infallibleWriters() string {
+	var b strings.Builder
+	b.WriteString("spool ") // strings.Builder never errors
+	h := sha256.New()
+	h.Write([]byte("header")) // hash.Hash.Write never errors
+	b.WriteString(fmt.Sprintf("%x", h.Sum(nil)))
+	return b.String()
+}
+
+// fmt.Errorf over an error must keep the wrap chain intact.
+func wrapChain(err error) error {
+	if err != nil {
+		return fmt.Errorf("flush spool: %v", err) // want "without %w"
+	}
+	return nil
+}
+
+func wrappedOK(err error) error {
+	if err != nil {
+		return fmt.Errorf("flush spool: %w", err)
+	}
+	return nil
+}
+
+// Checking the error is, of course, the real fix.
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close spool: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Negative fixture: internal/stats is pure computation, not a durable
+// I/O path, so droppederr does not police it.
+package stats
+
+import (
+	"fmt"
+	"os"
+)
+
+func outOfScope(f *os.File, err error) error {
+	f.Close()
+	_ = err
+	return fmt.Errorf("stats: %v", err)
+}

@@ -1,0 +1,12 @@
+package floatfold_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/floatfold"
+	"ensdropcatch/internal/lint/linttest"
+)
+
+func TestFloatfold(t *testing.T) {
+	linttest.Run(t, floatfold.Analyzer, "floatfold/fix")
+}

@@ -1,0 +1,101 @@
+// Fixtures for floatfold: shared float accumulation from concurrent
+// closures. Imports the real par and crawler packages so the worker-pool
+// entry points are matched against their true signatures.
+package fix
+
+import (
+	"context"
+	"sync"
+
+	"ensdropcatch/internal/crawler"
+	"ensdropcatch/internal/par"
+)
+
+// Accumulating a captured float inside a par.ForEach body races AND
+// folds in scheduler order; float addition does not associate.
+func forEachFold(p *par.Pool, xs []float64) float64 {
+	var sum float64
+	par.ForEach(p, len(xs), func(i int) {
+		sum += xs[i] // want "float accumulation .* captured sum"
+	})
+	return sum
+}
+
+// The sanctioned pattern: par.Map into per-index slots, then a single
+// sequential fold outside the closure.
+func mapThenFold(p *par.Pool, xs []float64) float64 {
+	parts := par.Map(p, len(xs), func(i int) float64 {
+		return xs[i] * xs[i]
+	})
+	var sum float64
+	for _, v := range parts {
+		sum += v
+	}
+	return sum
+}
+
+// A float local to the closure is private per call and fine.
+func localAccumulator(p *par.Pool, xs [][]float64, out []float64) {
+	par.ForEach(p, len(xs), func(i int) {
+		var rowSum float64
+		for _, v := range xs[i] {
+			rowSum += v
+		}
+		out[i] = rowSum
+	})
+}
+
+// Integer accumulation commutes exactly; it may still race, but that is
+// the race detector's job, not this analyzer's.
+func intFold(p *par.Pool, xs []int) int {
+	var n int
+	par.ForEach(p, len(xs), func(i int) {
+		n += xs[i]
+	})
+	return n
+}
+
+// The spelled-out form x = x + v is the same fold.
+func spelledOut(p *par.Pool, xs []float64) float64 {
+	var total float64
+	par.ForEach(p, len(xs), func(i int) {
+		total = total + xs[i] // want "float accumulation .* captured total"
+	})
+	return total
+}
+
+// Plain goroutines get the same treatment.
+func goStmt(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += x // want "float accumulation .* captured sum"
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// crawler.ForEach worker bodies are concurrent too.
+func crawlerFold(ctx context.Context, items []float64) (float64, error) {
+	var sum float64
+	err := crawler.ForEach(ctx, 4, items, func(ctx context.Context, v float64) error {
+		sum += v // want "float accumulation .* captured sum"
+		return nil
+	})
+	return sum, err
+}
+
+// Sequential closures (not passed to a pool, not a go statement) fold in
+// program order and are fine.
+func sequentialClosure(xs []float64) float64 {
+	var sum float64
+	add := func(v float64) { sum += v }
+	for _, x := range xs {
+		add(x)
+	}
+	return sum
+}

@@ -1,0 +1,15 @@
+package iodiscipline_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/iodiscipline"
+	"ensdropcatch/internal/lint/linttest"
+)
+
+func TestIodiscipline(t *testing.T) {
+	linttest.Run(t, iodiscipline.Analyzer,
+		"ensdropcatch/internal/etherscan", // positive: client package
+		"ensdropcatch/internal/ethrpc",    // negative: discipline does not apply
+	)
+}

@@ -1,0 +1,11 @@
+// Negative fixture: internal/ethrpc is not one of the crawl-client
+// packages, so the discipline does not apply (its in-process test
+// doubles talk to local listeners).
+package ethrpc
+
+import "net/http"
+
+func Free(c *http.Client, req *http.Request) {
+	c.Do(req)
+	http.Get("http://localhost")
+}

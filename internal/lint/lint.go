@@ -1,0 +1,35 @@
+// Package lint assembles the enslint analyzer suite: project-specific
+// go/analysis checkers that mechanically enforce the pipeline's
+// determinism, I/O-discipline, and dropped-error invariants. The rules
+// were won empirically — PR 2 (fault tolerance) and PR 3 (parallel
+// determinism) each shipped regressions that golden tests caught only
+// after the fact; these analyzers reject the same bug classes at
+// compile review time.
+//
+// Every analyzer is wrapped with lintutil.Wrap, which implements the
+// //lint:allow <analyzer> <reason> escape hatch (see lintutil).
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"ensdropcatch/internal/lint/detrand"
+	"ensdropcatch/internal/lint/droppederr"
+	"ensdropcatch/internal/lint/floatfold"
+	"ensdropcatch/internal/lint/iodiscipline"
+	"ensdropcatch/internal/lint/lintutil"
+	"ensdropcatch/internal/lint/maporder"
+)
+
+// Analyzers returns the full suite, escape hatch included, in a stable
+// order. cmd/enslint and the driver tests share this list so the CI
+// binary and the tests can never disagree about what is enforced.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lintutil.Wrap(detrand.Analyzer),
+		lintutil.Wrap(maporder.Analyzer),
+		lintutil.Wrap(iodiscipline.Analyzer),
+		lintutil.Wrap(floatfold.Analyzer),
+		lintutil.Wrap(droppederr.Analyzer),
+	}
+}

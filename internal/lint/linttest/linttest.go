@@ -1,0 +1,283 @@
+// Package linttest is a self-contained analysistest replacement for the
+// enslint suite. golang.org/x/tools/go/analysis/analysistest needs
+// go/packages (not vendored, and its `go list` round-trip needs more
+// machinery than these tests do), so this harness does the small part
+// analysistest we actually use:
+//
+//   - fixture packages live under testdata/src/<import/path>/*.go;
+//   - every fixture file line may carry `// want "regexp"` (repeatable)
+//     naming the diagnostics the analyzer must report on that line;
+//   - Run type-checks the fixture, runs the analyzer, and fails the
+//     test on any missing or unexpected diagnostic.
+//
+// Imports inside fixtures resolve against the real world: paths under
+// this module (ensdropcatch/...) type-check the actual repository
+// source, so a fixture can exercise crawler.Retry or par.Map against
+// the real signatures; everything else goes through the stdlib source
+// importer. Both work offline.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run checks the analyzer against each fixture package in turn.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkg := range pkgPaths {
+		pkg := pkg
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			diags, fset, files := analyze(t, a, pkg)
+			check(t, fset, files, diags)
+		})
+	}
+}
+
+// Diagnostics runs the analyzer over one fixture package and returns
+// the raw diagnostics; lintutil's driver tests use this to assert
+// suppression behavior directly.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
+	diags, _, _ := analyze(t, a, pkgPath)
+	return diags
+}
+
+// DiagnosticsPos is Diagnostics plus the FileSet, so callers can turn
+// diagnostic positions back into fixture line numbers.
+func DiagnosticsPos(t *testing.T, a *analysis.Analyzer, pkgPath string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	diags, fset, _ := analyze(t, a, pkgPath)
+	return diags, fset
+}
+
+func analyze(t *testing.T, a *analysis.Analyzer, pkgPath string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, dir)
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	imp := newImporter(t, fset)
+	conf := types.Config{Importer: imp, Error: func(err error) { t.Errorf("fixture type error: %v", err) }}
+	info := newInfo()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:     a,
+		Fset:         fset,
+		Files:        files,
+		Pkg:          pkg,
+		TypesInfo:    info,
+		TypesSizes:   types.SizesFor("gc", "amd64"),
+		ResultOf:     map[*analysis.Analyzer]interface{}{},
+		Report:       func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:     os.ReadFile,
+		TypeErrors:   nil,
+		OtherFiles:   nil,
+		IgnoredFiles: nil,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	return diags, fset, files
+}
+
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "re"` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// moduleImporter resolves this module's import paths against the
+// repository source tree and everything else against the stdlib source
+// importer. Both paths work without network or pre-built export data.
+type moduleImporter struct {
+	t       *testing.T
+	fset    *token.FileSet
+	std     types.Importer
+	modPath string
+	modDir  string
+	cache   map[string]*types.Package
+}
+
+func newImporter(t *testing.T, fset *token.FileSet) *moduleImporter {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above the test directory")
+		}
+		dir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		t.Fatal("linttest: no module line in go.mod")
+	}
+	return &moduleImporter{
+		t:       t,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		modPath: modPath,
+		modDir:  dir,
+		cache:   map[string]*types.Package{},
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.modPath), "/")
+		dir := filepath.Join(m.modDir, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: resolving %s: %w", path, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(m.fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: m}
+		pkg, err := conf.Check(path, m.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: type-checking %s: %w", path, err)
+		}
+		m.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err == nil {
+		m.cache[path] = pkg
+	}
+	return pkg, err
+}

@@ -1,0 +1,126 @@
+package lintutil_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ensdropcatch/internal/lint/detrand"
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/lintutil"
+	"ensdropcatch/internal/lint/maporder"
+)
+
+func TestIsDeterministicPkg(t *testing.T) {
+	for path, want := range map[string]bool{
+		"ensdropcatch/internal/world":   true,
+		"ensdropcatch/internal/core":    true,
+		"ensdropcatch/internal/ens":     true,
+		"internal/stats":                true,
+		"ensdropcatch/internal/ensfoo":  false, // segment match, not prefix match
+		"ensdropcatch/internal/crawler": false,
+		"ensdropcatch/internal/obs":     false,
+	} {
+		if got := lintutil.IsDeterministicPkg(path); got != want {
+			t.Errorf("IsDeterministicPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// markLine returns the 1-based line of the fixture file containing the
+// marker, so the assertions survive fixture edits.
+func markLine(t *testing.T, file, marker string) int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, file)
+	return 0
+}
+
+type diagAt struct {
+	line    int
+	message string // substring the diagnostic must contain
+}
+
+func assertDiags(t *testing.T, a *analysis.Analyzer, pkgPath string, fset func(analysis.Diagnostic) int, diags []analysis.Diagnostic, want []diagAt) {
+	t.Helper()
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got diagnostic at line %d: %s", fset(d), d.Message)
+		}
+		t.Fatalf("%s on %s: got %d diagnostics, want %d", a.Name, pkgPath, len(diags), len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if fset(d) == w.line && strings.Contains(d.Message, w.message) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, d := range diags {
+				t.Logf("got diagnostic at line %d: %s", fset(d), d.Message)
+			}
+			t.Errorf("missing diagnostic at line %d containing %q", w.line, w.message)
+		}
+	}
+}
+
+// TestWrapSuppression drives the wrapped detrand analyzer over a fixture
+// that violates it six times, with directives arranged so that exactly
+// two violations are legally suppressed. The reason-less directive is
+// itself reported, and the original diagnostic it failed to suppress
+// survives.
+func TestWrapSuppression(t *testing.T) {
+	fixture := filepath.Join("testdata", "src", "ensdropcatch", "internal", "world", "fixture.go")
+	wrapped := lintutil.Wrap(detrand.Analyzer)
+	diags, fset := linttest.DiagnosticsPos(t, wrapped, "ensdropcatch/internal/world")
+	line := func(d analysis.Diagnostic) int { return fset.Position(d.Pos).Line }
+
+	reasonless := markLine(t, fixture, "MARK:reasonless-violation") - 1
+	want := []diagAt{
+		{markLine(t, fixture, "MARK:wrong-name-violation"), "time.Now"},
+		{reasonless, "needs a reason"},
+		{markLine(t, fixture, "MARK:reasonless-violation"), "time.Now"},
+		{markLine(t, fixture, "MARK:plain-violation"), "time.Now"},
+		{markLine(t, fixture, "MARK:too-far-violation"), "time.Now"},
+	}
+	assertDiags(t, wrapped, "ensdropcatch/internal/world", line, diags, want)
+
+	// And the two suppressed sites really are absent.
+	for _, marker := range []string{"MARK:same-line", "MARK:line-above"} {
+		l := markLine(t, fixture, marker)
+		for _, d := range diags {
+			if dl := line(d); dl == l || dl == l+1 {
+				t.Errorf("diagnostic at line %d should be suppressed by %s directive: %s", dl, marker, d.Message)
+			}
+		}
+	}
+}
+
+// TestWrapCrossAnalyzer proves a directive suppresses exactly the
+// analyzer it names: two identical maporder violations, one annotated
+// //lint:allow detrand (wrong name — still reported), one annotated
+// //lint:allow maporder (suppressed).
+func TestWrapCrossAnalyzer(t *testing.T) {
+	fixture := filepath.Join("testdata", "src", "maporder", "fix", "fixture.go")
+	wrapped := lintutil.Wrap(maporder.Analyzer)
+	diags, fset := linttest.DiagnosticsPos(t, wrapped, "maporder/fix")
+	line := func(d analysis.Diagnostic) int { return fset.Position(d.Pos).Line }
+
+	want := []diagAt{
+		{markLine(t, fixture, "MARK:cross-name"), "append to keys"},
+	}
+	assertDiags(t, wrapped, "maporder/fix", line, diags, want)
+}

@@ -1,0 +1,46 @@
+// Driver fixture for the //lint:allow escape hatch, checked by
+// TestWrapSuppression with exact line assertions (no // want comments
+// here: the reason-less-directive case reports on the directive's own
+// line, which cannot also carry a want annotation without the
+// annotation becoming part of the directive's reason text). The test
+// locates lines by the MARK: tokens in the directive reasons and
+// trailing comments.
+package world
+
+import "time"
+
+// Suppressed by a same-line directive with a reason.
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:allow detrand MARK:same-line suppression fixture
+}
+
+// Suppressed by a directive on the line directly above.
+func suppressedLineAbove() time.Time {
+	//lint:allow detrand MARK:line-above suppression fixture
+	return time.Now()
+}
+
+// A directive naming a different analyzer must not suppress detrand.
+func wrongAnalyzerName() time.Time {
+	//lint:allow maporder MARK:wrong-name directive, detrand must still fire
+	return time.Now() // MARK:wrong-name-violation
+}
+
+// A reason-less directive is itself reported and does not suppress the
+// original diagnostic.
+func reasonlessDirective() time.Time {
+	//lint:allow detrand
+	return time.Now() // MARK:reasonless-violation
+}
+
+// Plain violation, no directive anywhere near it.
+func plainViolation() time.Time {
+	return time.Now() // MARK:plain-violation
+}
+
+// A directive two lines up is out of range and must not suppress.
+func directiveTooFar() time.Time {
+	//lint:allow detrand MARK:too-far directive two lines up is out of range
+
+	return time.Now() // MARK:too-far-violation
+}

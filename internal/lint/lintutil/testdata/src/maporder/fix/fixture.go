@@ -1,0 +1,34 @@
+// Cross-analyzer fixture: proves a //lint:allow directive suppresses
+// exactly the analyzer it names. Both functions violate maporder; only
+// the directive that says "maporder" silences it.
+package fix
+
+import "sort"
+
+// A detrand-named allow on a maporder violation changes nothing.
+func allowNamesOtherAnalyzer(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow detrand MARK:cross-name this names the wrong analyzer
+	}
+	return keys
+}
+
+// The correctly named allow suppresses it.
+func allowNamesThisAnalyzer(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder MARK:cross-ok order consumed as a set downstream
+	}
+	return keys
+}
+
+// Unrelated clean code so the fixture is not all violations.
+func sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,258 @@
+// Package maporder defines an analyzer that flags `range` over a map
+// when the loop body does something iteration-order-dependent. Go
+// randomizes map iteration order on purpose, so any of the following
+// inside a map range makes output differ run to run:
+//
+//   - appending to a slice declared outside the loop — unless that
+//     slice is handed to sort/slices sorting later in the same
+//     function (the collect-keys-then-sort idiom);
+//   - writing to an encoder, writer, or printer (Encode, Write,
+//     Fprintf, …) — serialized bytes inherit the random order;
+//   - emitting metrics (Inc/Add/Observe/Set on internal/obs types) —
+//     exposition and first-registration order become nondeterministic;
+//   - accumulating floats with += or -= — float addition does not
+//     commute in rounding, so even a commutative-looking fold drifts.
+//
+// Ranges over maps.Keys/maps.Values/maps.All iterators are treated as
+// map ranges: the iterator inherits the map's random order. This is
+// exactly the bug class behind PR 3's fingerprint drift, where crawl
+// completion order leaked into the dataset's serialized byte stream.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+// Analyzer flags order-dependent work inside range-over-map loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent effects (appends feeding output, encoding, metrics, float folds) inside range over a map",
+	Run:  run,
+}
+
+var emissionMethods = map[string]bool{
+	"Encode":      true,
+	"EncodeToken": true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+var fmtEmitters = map[string]bool{
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+}
+
+var metricMethods = map[string]bool{
+	"Inc":     true,
+	"Add":     true,
+	"Observe": true,
+	"Set":     true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range lintutil.NonTestFiles(pass) {
+		// Walk function by function so the sort-rescue check can scan
+		// the statements that follow a loop in the same body.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody inspects the direct statements of one function body; nested
+// function literals get their own checkBody via the outer Inspect.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // handled as its own function
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rng) {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+// isMapRange reports whether the range expression is a map or one of the
+// maps package's unordered iterators.
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if t := pass.TypesInfo.TypeOf(rng.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if call, ok := rng.X.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "maps" {
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkMapRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.RangeStmt:
+			if stmt != rng && isMapRange(pass, stmt) {
+				return false // the nested map range reports for itself
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, fnBody, rng, stmt)
+		case *ast.CallExpr:
+			checkCall(pass, stmt)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	// Float accumulation: sum += v does not commute in rounding.
+	if (as.Tok.String() == "+=" || as.Tok.String() == "-=") && len(as.Lhs) == 1 {
+		if obj := outerObj(pass, as.Lhs[0], rng); obj != nil && isFloat(obj.Type()) {
+			pass.Reportf(as.Pos(), "float accumulation into %s inside range over map: float folds are order-dependent and map order is random; collect into a keyed structure and fold over sorted keys", obj.Name())
+			return
+		}
+	}
+	// s = append(s, …) into an outer slice.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := outerObj(pass, as.Lhs[i], rng)
+		if obj == nil {
+			continue
+		}
+		if sortedAfter(pass, fnBody, rng, obj) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append to %s inside range over map: iteration order is random, so the slice's element order differs run to run; sort the map's keys first or sort %s before it is used", obj.Name(), obj.Name())
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtEmitters[fn.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside range over map: emitted order is random; iterate sorted keys instead", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recvPkg := fn.Pkg()
+	if emissionMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "%s inside range over map: serialized output inherits the random iteration order; iterate sorted keys instead", sel.Sel.Name)
+		return
+	}
+	if metricMethods[sel.Sel.Name] && recvPkg != nil && lintutil.IsObsPkg(recvPkg.Path()) {
+		pass.Reportf(call.Pos(), "metric %s inside range over map: emission/registration order becomes nondeterministic; iterate sorted keys instead", sel.Sel.Name)
+	}
+}
+
+// outerObj resolves expr to a variable declared outside the range body,
+// or nil if it is not a plain identifier or is loop-local.
+func outerObj(pass *analysis.Pass, expr ast.Expr, rng *ast.RangeStmt) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // declared by the loop itself
+	}
+	return obj
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function calls a sort/slices function with obj among its arguments —
+// the collect-then-sort idiom that restores a total order.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

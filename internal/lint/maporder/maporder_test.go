@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "maporder/fix")
+}

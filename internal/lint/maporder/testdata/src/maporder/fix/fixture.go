@@ -1,0 +1,95 @@
+// Fixtures for maporder: order-dependent effects inside range-over-map.
+package fix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"sort"
+
+	"ensdropcatch/internal/obs"
+)
+
+// Appending to an outer slice with no later sort leaks map order.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+// The collect-keys-then-sort idiom restores a total order and is legal.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with the collected values also counts as a rescue.
+func appendThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Serializing from inside the loop bakes the random order into bytes.
+func encodeInLoop(m map[string]int, enc *json.Encoder, w io.Writer) {
+	for k, v := range m {
+		enc.Encode(v)                 // want "Encode inside range over map"
+		w.Write([]byte(k))            // want "Write inside range over map"
+		fmt.Fprintf(w, "%s=%d", k, v) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+// Metric emission from map iteration makes exposition order random.
+func metricsInLoop(m map[string]int, c *obs.Counter) {
+	for range m {
+		c.Inc() // want "metric Inc inside range over map"
+	}
+}
+
+// Float folds are order-dependent; ints commute exactly and are fine.
+func folds(m map[string]float64, n map[string]int) (float64, int) {
+	var fsum float64
+	var isum int
+	for _, v := range m {
+		fsum += v // want "float accumulation into fsum"
+	}
+	for _, v := range n {
+		isum += v
+	}
+	return fsum, isum
+}
+
+// maps.Keys is an unordered iterator over the map; same rules apply.
+func iterKeys(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+// Ranging over a slice is always fine, whatever the body does.
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		w.Write([]byte(x))
+	}
+}
+
+// Filling another map from a map range is order-free and legal.
+func mapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

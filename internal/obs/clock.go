@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// Wall-clock access for metric timing.
+//
+// The deterministic packages (internal/world, internal/core,
+// internal/dataset, …) must be pure functions of the seed: the detrand
+// analyzer (internal/lint/detrand) rejects any direct time.Now or
+// time.Since there. Stage-duration histograms and progress ETAs still
+// legitimately need wall time, so those reads are routed through these
+// two helpers. The contract — enforced by convention and review, and
+// made greppable by the names — is that a NowWall/WallSince value may
+// only ever flow into metrics or logs, never into a dataset, world, or
+// report byte.
+
+// NowWall returns the host wall-clock time, for metric timing only.
+func NowWall() time.Time { return time.Now() }
+
+// WallSince returns the wall-clock time elapsed since t0, for metric
+// timing only.
+func WallSince(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -125,7 +125,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	// A failed response write means the client is gone; nothing to repair.
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // Client pages through the events API. Transport failures, 5xx answers,
@@ -241,7 +242,7 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*eventsResponse, 
 		return nil, fmt.Errorf("opensea: %w", err)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	resp.Body.Close()
+	_ = resp.Body.Close() // read side; the read error above is what matters
 	if err != nil {
 		m().errors.Inc()
 		return nil, fmt.Errorf("opensea: read: %w", err)
