@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-all bench bench-smoke fuzz fuzz-smoke clean tools report
+.PHONY: all build vet lint test race race-all soak-smoke bench bench-smoke fuzz fuzz-smoke clean tools report
 
 all: build vet lint test race
 
@@ -30,6 +30,13 @@ race:
 
 race-all:
 	$(GO) test -race -short ./...
+
+# Overload soak drill under the race detector: 8 concurrent crawlers
+# against the admission gate + quotas + chaos, byte-identical
+# convergence, bounded /healthz latency, adaptive-vs-fixed 429
+# comparison, goroutine-leak checks.
+soak-smoke:
+	$(GO) test -race -count=1 -run 'TestSoak' -v .
 
 # Regenerates every table and figure of the paper's evaluation and archives
 # the machine-readable results (name -> ns/op, allocs, custom metrics).

@@ -22,6 +22,7 @@ import (
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/leakcheck"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
 	"ensdropcatch/internal/world"
@@ -69,6 +70,7 @@ func TestChaosCrawlConvergesToCleanDataset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline under fault injection")
 	}
+	leakcheck.Check(t)
 	cfg := world.DefaultConfig(400)
 	cfg.Seed = 23
 	res, err := world.Generate(cfg)

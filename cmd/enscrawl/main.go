@@ -45,6 +45,8 @@ func main() {
 		cooldown    = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open circuit waits before probing the source again")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/pprof on this address while crawling (empty = disabled)")
 		progress    = flag.Duration("progress", 10*time.Second, "interval between crawl-progress summaries (done/total, ETA)")
+		adaptive    = flag.Bool("adaptive", false, "tune request rate and concurrency with AIMD from server 429/503 + Retry-After feedback instead of fixed -rps pacing")
+		clientID    = flag.String("client-id", "", "identity sent as X-Client-ID for server-side per-client quotas (defaults to -apikey)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -73,6 +75,26 @@ func main() {
 		esClient.Breaker = crawler.NewBreaker("etherscan", *breaker, *cooldown)
 		sgClient.Breaker = crawler.NewBreaker("subgraph", *breaker, *cooldown)
 		osClient.Breaker = crawler.NewBreaker("opensea", *breaker, *cooldown)
+	}
+	id := *clientID
+	if id == "" {
+		id = *apiKey
+	}
+	esClient.ClientID, sgClient.ClientID, osClient.ClientID = id, id, id
+	if *adaptive {
+		// AIMD owns pacing: start from -rps and let server feedback
+		// steer; the fixed MinInterval limiter would fight it.
+		esClient.MinInterval = 0
+		initial := *rps
+		if initial <= 0 {
+			initial = float64(etherscan.DefaultRatePerSecond)
+		}
+		esClient.Adaptive = crawler.NewAdaptive(crawler.AdaptiveConfig{
+			Source: "etherscan", InitialRate: initial, MaxWorkers: *workers})
+		sgClient.Adaptive = crawler.NewAdaptive(crawler.AdaptiveConfig{
+			Source: "subgraph", InitialRate: initial, MaxWorkers: *workers})
+		osClient.Adaptive = crawler.NewAdaptive(crawler.AdaptiveConfig{
+			Source: "opensea", InitialRate: initial, MaxWorkers: *workers})
 	}
 
 	start := time.Now()

@@ -19,15 +19,24 @@
 // before exit.
 //
 // With -chaos-rate > 0, a seeded fault injector (internal/chaos) wraps
-// the three API routes, randomly answering with 429s, 500s, connection
-// resets, slow bodies, stalls, and truncated JSON — a repeatable
-// hostile-network drill for crawler hardening. Health and debug routes
-// stay clean.
+// the API routes (including /rpc), randomly answering with 429s, 500s,
+// connection resets, slow bodies, stalls, and truncated JSON — a
+// repeatable hostile-network drill for crawler hardening. Health and
+// debug routes stay clean.
+//
+// Data routes additionally run behind overload protection
+// (internal/overload): a bounded-concurrency admission gate with a
+// deadline-aware wait queue (-max-inflight, -queue-depth, -queue-wait),
+// optional per-client token-bucket quotas keyed by X-Client-ID
+// (-quota-rate), and per-route deadlines that X-Request-Deadline-Ms can
+// shorten (-route-timeout). Shed requests get 503/429 with a computed
+// Retry-After; health, metrics, and debug routes are never shed.
 //
 // Example:
 //
 //	ensworld -domains 30000 -seed 7 -listen :8080
 //	ensworld -domains 5000 -chaos-rate 0.2 -chaos-seed 42
+//	ensworld -domains 5000 -max-inflight 16 -queue-depth 32 -quota-rate 50
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"ensdropcatch/internal/ethrpc"
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
+	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/subgraph"
 	"ensdropcatch/internal/world"
 )
@@ -57,8 +67,15 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
 		rate      = flag.Int("etherscan-rate", etherscan.DefaultRatePerSecond, "etherscan requests/second/key (0 = default)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
-		chaosRate = flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1] on the three API routes (0 = off)")
+		chaosRate = flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1] on the API routes (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "deterministic fault schedule seed")
+
+		maxInflight  = flag.Int("max-inflight", 64, "data-route requests served concurrently before new arrivals queue")
+		queueDepth   = flag.Int("queue-depth", 128, "queued data-route requests beyond which arrivals are shed with 503 + Retry-After")
+		queueWait    = flag.Duration("queue-wait", 2*time.Second, "longest a data-route request may queue before being shed")
+		quotaRate    = flag.Float64("quota-rate", 0, "per-client requests/second quota on data routes, keyed by X-Client-ID (0 = off)")
+		quotaBurst   = flag.Float64("quota-burst", 0, "per-client quota burst size (0 = max(quota-rate, 1))")
+		routeTimeout = flag.Duration("route-timeout", 30*time.Second, "default handler deadline on data routes; X-Request-Deadline-Ms may shorten it (0 = none)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -94,20 +111,38 @@ func main() {
 	handle := func(route string, h http.Handler) {
 		mux.Handle(route, httpMetrics.Wrap(route, h))
 	}
-	// The three crawled APIs optionally run behind a seeded fault
-	// injector so clients' retry/breaker/resume paths can be exercised;
-	// health and debug routes stay clean.
+	// The crawled APIs optionally run behind a seeded fault injector so
+	// clients' retry/breaker/resume paths can be exercised; health and
+	// debug routes stay clean.
 	faulty := func(h http.Handler) http.Handler { return h }
 	if *chaosRate > 0 {
 		inj := chaos.New(chaos.Config{Seed: *chaosSeed, Rate: *chaosRate})
 		faulty = inj.Wrap
 		logger.Info("chaos enabled", "rate", *chaosRate, "seed", *chaosSeed)
 	}
-	handle("/subgraph", faulty(subgraph.NewServer(store, logger)))
-	handle("/etherscan/", http.StripPrefix("/etherscan",
+	// Data routes sit behind admission control: a deadline bound first
+	// (so queue estimates see the request's real budget), then per-client
+	// quotas (cheap rejection before a gate slot is consumed), then the
+	// bounded-concurrency gate, then chaos, then the handler. Health,
+	// metrics, and debug routes bypass all of it — they must answer
+	// precisely when the server is drowning.
+	gate := overload.NewGate(overload.GateConfig{
+		MaxInflight: *maxInflight, QueueDepth: *queueDepth, MaxWait: *queueWait})
+	quotas := overload.NewQuotas(overload.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst})
+	handleData := func(route string, h http.Handler) {
+		h = gate.Wrap(route, overload.Data, h)
+		h = quotas.Wrap(route, h)
+		h = overload.Deadline(*routeTimeout, *routeTimeout, h)
+		handle(route, h)
+	}
+	logger.Info("overload protection",
+		"max_inflight", *maxInflight, "queue_depth", *queueDepth, "queue_wait", *queueWait,
+		"quota_rate", *quotaRate, "route_timeout", *routeTimeout)
+	handleData("/subgraph", faulty(subgraph.NewServer(store, logger)))
+	handleData("/etherscan/", http.StripPrefix("/etherscan",
 		faulty(etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger))))
-	handle("/opensea/", http.StripPrefix("/opensea", faulty(opensea.NewServer(res.OpenSea))))
-	handle("/rpc", ethrpc.NewServer(res.Chain))
+	handleData("/opensea/", http.StripPrefix("/opensea", faulty(opensea.NewServer(res.OpenSea))))
+	handleData("/rpc", faulty(ethrpc.NewServer(res.Chain)))
 	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store))
 	obs.RegisterDebug(mux, obs.Default)
 
@@ -116,6 +151,12 @@ func main() {
 		Addr:              *listen,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Slow-loris floors: a request must arrive, and its response must
+		// drain, in bounded time even with chaos-injected stalls in play.
+		ReadTimeout:    30 * time.Second,
+		WriteTimeout:   90 * time.Second,
+		IdleTimeout:    2 * time.Minute,
+		MaxHeaderBytes: 1 << 20,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

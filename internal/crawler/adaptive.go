@@ -1,0 +1,279 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdaptiveConfig tunes an Adaptive controller. Zero values pick
+// defaults suited to crawling one rate-limited API.
+type AdaptiveConfig struct {
+	// Source names the controller in metrics (crawler_adaptive_*{source}).
+	Source string
+	// InitialRate is the starting pace in requests/second; <= 0 uses 5.
+	InitialRate float64
+	// MinRate floors multiplicative decrease; <= 0 uses 0.5.
+	MinRate float64
+	// MaxRate caps additive increase; <= 0 uses 20× InitialRate.
+	MaxRate float64
+	// Increase is the additive rate step per clean response; <= 0 uses 0.2.
+	Increase float64
+	// Decrease is the multiplicative rate factor on a shed signal,
+	// in (0, 1); out of range uses 0.5.
+	Decrease float64
+	// MinWorkers floors the concurrency cap; <= 0 uses 1.
+	MinWorkers int
+	// MaxWorkers caps the concurrency ramp; <= 0 uses 8.
+	MaxWorkers int
+	// RampSuccesses is how many consecutive clean responses buy one more
+	// worker slot; <= 0 uses 16.
+	RampSuccesses int
+	// LatencyTarget suppresses the additive increase for responses
+	// slower than it (latency is an early congestion signal); 0 disables
+	// the check.
+	LatencyTarget time.Duration
+	// Now is the injectable clock for tests; nil uses time.Now.
+	Now func() time.Time
+	// Sleep is indirected for tests; nil uses a context-aware sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Adaptive is an AIMD (additive-increase / multiplicative-decrease)
+// controller that tunes a crawl's request rate and effective concurrency
+// from server feedback: explicit shed signals (429/503 carrying
+// Retry-After, surfaced as *RetryAfterError by the clients) halve the
+// rate and the in-flight cap and pause until the server's hint expires,
+// while clean responses claw both back — additively for rate, and one
+// worker slot per RampSuccesses-long clean streak. Latency above
+// LatencyTarget withholds the increase, reacting to congestion before
+// the server has to shed.
+//
+// It composes with, not replaces, the PR 2 machinery: the Breaker still
+// fail-fasts outages (breaker rejections are local and feed nothing
+// back), Retry still performs per-request backoff; Adaptive shifts the
+// steady-state operating point so those mechanisms fire rarely.
+//
+// Use Wait for pacing, Acquire/Release to bound in-flight requests
+// under the dynamic worker cap, and Observe to feed outcomes back.
+// Safe for concurrent use.
+type Adaptive struct {
+	cfg AdaptiveConfig
+	lim *Limiter
+
+	sheds     atomic.Uint64
+	successes atomic.Uint64
+
+	mu         sync.Mutex
+	rate       float64
+	workers    int
+	inflight   int
+	streak     int
+	pauseUntil time.Time
+	wake       chan struct{} // closed and replaced on release / worker ramp
+}
+
+// NewAdaptive returns a controller for cfg.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	if cfg.Source == "" {
+		cfg.Source = "default"
+	}
+	if cfg.InitialRate <= 0 {
+		cfg.InitialRate = 5
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = 0.5
+	}
+	if cfg.MaxRate <= 0 {
+		cfg.MaxRate = 20 * cfg.InitialRate
+	}
+	if cfg.Increase <= 0 {
+		cfg.Increase = 0.2
+	}
+	if cfg.Decrease <= 0 || cfg.Decrease >= 1 {
+		cfg.Decrease = 0.5
+	}
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MaxWorkers < cfg.MinWorkers {
+		cfg.MaxWorkers = 8
+		if cfg.MaxWorkers < cfg.MinWorkers {
+			cfg.MaxWorkers = cfg.MinWorkers
+		}
+	}
+	if cfg.RampSuccesses <= 0 {
+		cfg.RampSuccesses = 16
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = defaultSleep
+	}
+	if cfg.InitialRate < cfg.MinRate {
+		cfg.InitialRate = cfg.MinRate
+	}
+	if cfg.InitialRate > cfg.MaxRate {
+		cfg.InitialRate = cfg.MaxRate
+	}
+	a := &Adaptive{
+		cfg:     cfg,
+		lim:     NewLimiter(cfg.InitialRate, 1),
+		rate:    cfg.InitialRate,
+		workers: cfg.MaxWorkers,
+		wake:    make(chan struct{}),
+	}
+	a.publishLocked()
+	return a
+}
+
+// publishLocked mirrors the controller state into gauges; callers hold
+// a.mu (or own the sole reference during construction).
+func (a *Adaptive) publishLocked() {
+	m().adaptiveRate.With(a.cfg.Source).Set(a.rate)
+	m().adaptiveWorkers.With(a.cfg.Source).Set(float64(a.workers))
+}
+
+// Rate returns the current target pace in requests/second.
+func (a *Adaptive) Rate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rate
+}
+
+// Workers returns the current in-flight request cap.
+func (a *Adaptive) Workers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.workers
+}
+
+// Sheds returns how many shed signals (429/503 + Retry-After) the
+// controller has absorbed.
+func (a *Adaptive) Sheds() uint64 { return a.sheds.Load() }
+
+// Successes returns how many clean responses the controller has seen.
+func (a *Adaptive) Successes() uint64 { return a.successes.Load() }
+
+// Wait paces one request: it first sits out any server-directed pause
+// (Retry-After from the last shed), then waits for a rate token.
+func (a *Adaptive) Wait(ctx context.Context) error {
+	for {
+		a.mu.Lock()
+		pause := a.pauseUntil
+		a.mu.Unlock()
+		now := a.cfg.Now()
+		if !pause.After(now) {
+			break
+		}
+		if err := a.cfg.Sleep(ctx, pause.Sub(now)); err != nil {
+			return err
+		}
+	}
+	return a.lim.Wait(ctx)
+}
+
+// Acquire blocks until an in-flight slot is free under the current
+// worker cap or the context is cancelled. Pair with Release.
+func (a *Adaptive) Acquire(ctx context.Context) error {
+	for {
+		a.mu.Lock()
+		if a.inflight < a.workers {
+			a.inflight++
+			a.mu.Unlock()
+			return nil
+		}
+		wake := a.wake
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// Release frees an in-flight slot claimed by Acquire.
+func (a *Adaptive) Release() {
+	a.mu.Lock()
+	a.inflight--
+	a.wakeLocked()
+	a.mu.Unlock()
+}
+
+func (a *Adaptive) wakeLocked() {
+	close(a.wake)
+	a.wake = make(chan struct{})
+}
+
+// Observe feeds one request outcome back. Clean responses increase the
+// rate (unless slower than LatencyTarget) and ramp workers on a streak;
+// shed signals — *RetryAfterError from a real server answer, not a
+// local breaker rejection — multiplicatively decrease both and honor
+// the server's pause hint. Context cancellations and other transport
+// errors are neutral: they say nothing about server headroom, and the
+// Breaker owns outage handling.
+func (a *Adaptive) Observe(err error, latency time.Duration) {
+	switch {
+	case err == nil:
+		a.onSuccess(latency)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, ErrBreakerOpen):
+	default:
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			a.onShed(ra.After)
+		}
+	}
+}
+
+func (a *Adaptive) onSuccess(latency time.Duration) {
+	a.successes.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.LatencyTarget > 0 && latency > a.cfg.LatencyTarget {
+		// Served, but slowly: hold the line rather than push harder.
+		a.streak = 0
+		return
+	}
+	a.rate += a.cfg.Increase
+	if a.rate > a.cfg.MaxRate {
+		a.rate = a.cfg.MaxRate
+	}
+	a.lim.SetRate(a.rate)
+	a.streak++
+	if a.streak >= a.cfg.RampSuccesses && a.workers < a.cfg.MaxWorkers {
+		a.workers++
+		a.streak = 0
+		a.wakeLocked()
+	}
+	a.publishLocked()
+}
+
+func (a *Adaptive) onShed(after time.Duration) {
+	a.sheds.Add(1)
+	m().adaptiveSheds.With(a.cfg.Source).Inc()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rate *= a.cfg.Decrease
+	if a.rate < a.cfg.MinRate {
+		a.rate = a.cfg.MinRate
+	}
+	a.lim.SetRate(a.rate)
+	if w := a.workers / 2; w >= a.cfg.MinWorkers {
+		a.workers = w
+	} else {
+		a.workers = a.cfg.MinWorkers
+	}
+	a.streak = 0
+	if after > 0 {
+		until := a.cfg.Now().Add(after)
+		if until.After(a.pauseUntil) {
+			a.pauseUntil = until
+		}
+	}
+	a.publishLocked()
+}

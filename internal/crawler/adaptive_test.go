@@ -1,0 +1,192 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// newTestAdaptive builds a controller with an injectable clock whose
+// sleeps advance the clock instead of blocking.
+func newTestAdaptive(cfg AdaptiveConfig, now *time.Time) *Adaptive {
+	cfg.Now = func() time.Time { return *now }
+	cfg.Sleep = func(_ context.Context, d time.Duration) error {
+		*now = now.Add(d)
+		return nil
+	}
+	a := NewAdaptive(cfg)
+	a.lim.now = cfg.Now
+	a.lim.sleep = cfg.Sleep
+	a.lim.last = *now
+	return a
+}
+
+func TestAdaptiveIncreasesRateOnSuccess(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	a := newTestAdaptive(AdaptiveConfig{InitialRate: 2, Increase: 0.5, MaxRate: 3}, &now)
+
+	a.Observe(nil, 10*time.Millisecond)
+	if got := a.Rate(); got != 2.5 {
+		t.Fatalf("rate = %v after one success, want 2.5", got)
+	}
+	// Additive increase saturates at MaxRate.
+	for i := 0; i < 10; i++ {
+		a.Observe(nil, 10*time.Millisecond)
+	}
+	if got := a.Rate(); got != 3 {
+		t.Fatalf("rate = %v, want capped at MaxRate 3", got)
+	}
+}
+
+func TestAdaptiveDecreasesOnShedAndHonorsPause(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	a := newTestAdaptive(AdaptiveConfig{InitialRate: 8, MinRate: 1, MaxWorkers: 8}, &now)
+
+	shed := RetryAfter(errors.New("429"), 2*time.Second)
+	a.Observe(shed, 5*time.Millisecond)
+	if got := a.Rate(); got != 4 {
+		t.Fatalf("rate = %v after shed, want halved to 4", got)
+	}
+	if got := a.Workers(); got != 4 {
+		t.Fatalf("workers = %v after shed, want halved to 4", got)
+	}
+	if got := a.Sheds(); got != 1 {
+		t.Fatalf("Sheds() = %d, want 1", got)
+	}
+	// Wait must sit out the server's 2s Retry-After hint.
+	start := now
+	if err := a.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if waited := now.Sub(start); waited < 2*time.Second {
+		t.Fatalf("Wait advanced the clock %v, want >= 2s pause", waited)
+	}
+	// Repeated sheds floor at MinRate and MinWorkers.
+	for i := 0; i < 10; i++ {
+		a.Observe(shed, 0)
+	}
+	if got := a.Rate(); got != 1 {
+		t.Fatalf("rate = %v after repeated sheds, want MinRate 1", got)
+	}
+	if got := a.Workers(); got != 1 {
+		t.Fatalf("workers = %v after repeated sheds, want MinWorkers 1", got)
+	}
+}
+
+func TestAdaptiveNeutralErrorsDoNotShrink(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	a := newTestAdaptive(AdaptiveConfig{InitialRate: 8}, &now)
+
+	breakerErr := &RetryAfterError{Err: ErrBreakerOpen, After: time.Second}
+	a.Observe(breakerErr, 0)
+	a.Observe(context.Canceled, 0)
+	a.Observe(context.DeadlineExceeded, 0)
+	a.Observe(errors.New("connection reset"), 0)
+	if got := a.Rate(); got != 8 {
+		t.Fatalf("rate = %v after neutral errors, want unchanged 8", got)
+	}
+	if got := a.Sheds(); got != 0 {
+		t.Fatalf("Sheds() = %d after neutral errors, want 0", got)
+	}
+}
+
+func TestAdaptiveRampsWorkersOnCleanStreak(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	a := newTestAdaptive(AdaptiveConfig{InitialRate: 8, MaxWorkers: 4, RampSuccesses: 3}, &now)
+
+	// Halve down to 2 workers, then earn one back with a 3-long streak.
+	a.Observe(RetryAfter(errors.New("503"), 0), 0)
+	if got := a.Workers(); got != 2 {
+		t.Fatalf("workers = %v after shed, want 2", got)
+	}
+	for i := 0; i < 3; i++ {
+		a.Observe(nil, time.Millisecond)
+	}
+	if got := a.Workers(); got != 3 {
+		t.Fatalf("workers = %v after clean streak, want 3", got)
+	}
+	// A shed resets the streak: two successes, shed, two successes must
+	// not ramp.
+	a.Observe(nil, 0)
+	a.Observe(nil, 0)
+	a.Observe(RetryAfter(errors.New("503"), 0), 0)
+	a.Observe(nil, 0)
+	a.Observe(nil, 0)
+	if got := a.Workers(); got != 1 {
+		t.Fatalf("workers = %v, want 1 (streak must reset on shed)", got)
+	}
+}
+
+func TestAdaptiveLatencyAboveTargetHoldsRate(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	a := newTestAdaptive(AdaptiveConfig{InitialRate: 4, LatencyTarget: 100 * time.Millisecond}, &now)
+
+	a.Observe(nil, 300*time.Millisecond) // slow success: no increase
+	if got := a.Rate(); got != 4 {
+		t.Fatalf("rate = %v after slow success, want held at 4", got)
+	}
+	a.Observe(nil, 50*time.Millisecond) // fast success: increase resumes
+	if got := a.Rate(); got <= 4 {
+		t.Fatalf("rate = %v after fast success, want > 4", got)
+	}
+}
+
+func TestAdaptiveAcquireBlocksAtWorkerCap(t *testing.T) {
+	withTestMetrics(t)
+	a := NewAdaptive(AdaptiveConfig{MinWorkers: 1, MaxWorkers: 2})
+
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Third acquire blocks until a release.
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.Acquire(context.Background()) }()
+	select {
+	case <-acquired:
+		t.Fatal("third acquire did not block at a cap of 2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.Release()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked acquire never woke after release")
+	}
+	// Cancellation unblocks a waiter when the cap stays exhausted.
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() { blocked <- a.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-blocked; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+}
+
+func TestAdaptivePublishesGauges(t *testing.T) {
+	reg := withTestMetrics(t)
+	a := NewAdaptive(AdaptiveConfig{Source: "etherscan", InitialRate: 6, MaxWorkers: 4})
+	a.Observe(RetryAfter(errors.New("429"), 0), 0)
+
+	if got := reg.GaugeVec("crawler_adaptive_rate", "", "source").With("etherscan").Value(); got != 3 {
+		t.Errorf("crawler_adaptive_rate{etherscan} = %v, want 3", got)
+	}
+	if got := reg.GaugeVec("crawler_adaptive_workers", "", "source").With("etherscan").Value(); got != 2 {
+		t.Errorf("crawler_adaptive_workers{etherscan} = %v, want 2", got)
+	}
+	if got := reg.CounterVec("crawler_adaptive_sheds_total", "", "source").With("etherscan").Value(); got != 1 {
+		t.Errorf("crawler_adaptive_sheds_total{etherscan} = %v, want 1", got)
+	}
+}

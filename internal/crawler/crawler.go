@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"sync"
@@ -58,6 +59,32 @@ func defaultSleep(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// SetRate retunes the limiter to rate events/second without dropping
+// accrued tokens: the bucket is first refilled at the old rate up to
+// now, so pacing history is preserved across the change. Non-positive
+// rates are ignored. Safe to call while other goroutines Wait.
+func (l *Limiter) SetRate(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	l.rate = rate
+}
+
+// Rate returns the current token refill rate in events/second.
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
 }
 
 // Wait blocks until a token is available or the context is cancelled.
@@ -140,7 +167,9 @@ func (e *RetryAfterError) Error() string {
 func (e *RetryAfterError) Unwrap() error { return e.Err }
 
 // RetryAfter wraps err with a delay hint for Retry. A nil err returns
-// nil; a non-positive delay hints an immediate retry.
+// nil. A non-positive delay marks the error as a shed signal that
+// carries no stated delay: Retry keeps its computed backoff, and the
+// adaptive controller still treats it as congestion.
 func RetryAfter(err error, after time.Duration) error {
 	if err == nil {
 		return nil
@@ -151,19 +180,45 @@ func RetryAfter(err error, after time.Duration) error {
 	return &RetryAfterError{Err: err, After: after}
 }
 
-// ParseRetryAfter interprets a Retry-After header value as a delay.
-// Delay-seconds (integer per RFC 9110, fractional accepted for test
-// servers) are supported; anything else — including the HTTP-date form —
-// yields (0, false).
+// maxRetryAfter caps server-directed backoff hints: anything longer is
+// a nonsense horizon for a crawl (seconds form is rejected outright,
+// date form is clamped — a far-future date still means "much later").
+const maxRetryAfter = 24 * time.Hour
+
+// ParseRetryAfter interprets a Retry-After header value as a delay,
+// evaluating HTTP-dates against the wall clock. See ParseRetryAfterAt.
 func ParseRetryAfter(v string) (time.Duration, bool) {
+	return ParseRetryAfterAt(v, time.Now())
+}
+
+// ParseRetryAfterAt interprets a Retry-After header value as a delay
+// relative to now. Both RFC 9110 forms are accepted: delay-seconds
+// (integer per the RFC, fractional tolerated for test servers) and the
+// HTTP-date form (per http.ParseTime). A date in the past means "retry
+// now" (0, true); a date beyond the 24h sanity cap is clamped to it,
+// while delay-seconds beyond the cap are rejected as nonsense.
+func ParseRetryAfterAt(v string, now time.Time) (time.Duration, bool) {
 	if v == "" {
 		return 0, false
 	}
-	secs, err := strconv.ParseFloat(v, 64)
-	if err != nil || secs < 0 || secs > (time.Hour * 24).Seconds() {
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs < 0 || secs > maxRetryAfter.Seconds() {
+			return 0, false
+		}
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0, false
 	}
-	return time.Duration(secs * float64(time.Second)), true
+	d := t.Sub(now)
+	if d < 0 {
+		return 0, true
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // sharedRand is the jitter source used when RetryConfig.Rand is nil,
@@ -223,9 +278,11 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 			d = time.Duration(float64(d) * jitterFactor(cfg.Rand, cfg.Jitter))
 		}
 		// A server-directed hint (Retry-After, breaker cooldown)
-		// overrides the computed backoff, jitter included.
+		// overrides the computed backoff, jitter included. A zero
+		// hint marks a shed with no stated delay (Etherscan's NOTOK
+		// rate limit): the computed backoff stands.
 		var ra *RetryAfterError
-		if errors.As(err, &ra) {
+		if errors.As(err, &ra) && ra.After > 0 {
 			d = ra.After
 			if cfg.MaxDelay > 0 && d > cfg.MaxDelay {
 				d = cfg.MaxDelay

@@ -60,14 +60,78 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0.25", 250 * time.Millisecond, true},
 		{"0", 0, true},
 		{"-1", 0, false},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
-		{"999999999", 0, false}, // nonsense horizon
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, true}, // long past: retry immediately
+		{"999999999", 0, false},                    // nonsense horizon
 	}
 	for _, c := range cases {
 		got, ok := ParseRetryAfter(c.in)
 		if got != c.want || ok != c.ok {
 			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
 		}
+	}
+}
+
+func TestParseRetryAfterAtHTTPDate(t *testing.T) {
+	// RFC 9110 permits both delta-seconds and HTTP-date forms; dates are
+	// resolved relative to the supplied clock so tests stay deterministic.
+	now := time.Date(2015, 10, 21, 7, 28, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"imf-fixdate future", "Wed, 21 Oct 2015 07:28:30 GMT", 30 * time.Second, true},
+		{"imf-fixdate now", "Wed, 21 Oct 2015 07:28:00 GMT", 0, true},
+		{"imf-fixdate past", "Wed, 21 Oct 2015 07:00:00 GMT", 0, true},
+		{"rfc850 future", "Wednesday, 21-Oct-15 07:29:00 GMT", time.Minute, true},
+		{"asctime future", "Wed Oct 21 07:28:10 2015", 10 * time.Second, true},
+		{"far future clamped", "Sat, 24 Oct 2015 07:28:00 GMT", maxRetryAfter, true},
+		{"delta seconds still work", "90", 90 * time.Second, true},
+		{"garbage", "soonish", 0, false},
+		{"date without zone", "2015-10-21 07:28:30", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseRetryAfterAt(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("%s: ParseRetryAfterAt(%q) = (%v, %v), want (%v, %v)", c.name, c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestLimiterSetRate(t *testing.T) {
+	withTestMetrics(t)
+	now := time.Unix(0, 0)
+	l := NewLimiter(1, 4)
+	l.now = func() time.Time { return now }
+	l.last = now
+	l.tokens = 0
+
+	// Two seconds at 1 rps accrue 2 tokens; SetRate must bank them at
+	// the old rate before switching, not retroactively reprice them.
+	now = now.Add(2 * time.Second)
+	l.SetRate(10)
+	if got := l.Rate(); got != 10 {
+		t.Fatalf("Rate() = %v after SetRate(10)", got)
+	}
+	l.mu.Lock()
+	banked := l.tokens
+	l.mu.Unlock()
+	if banked != 2 {
+		t.Fatalf("tokens = %v after 2s at 1rps, want 2 (accrual repriced?)", banked)
+	}
+	// From here accrual runs at the new rate: 0.1s buys another token.
+	now = now.Add(100 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := l.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+	// Non-positive rates are ignored rather than dividing by zero later.
+	l.SetRate(0)
+	l.SetRate(-3)
+	if got := l.Rate(); got != 10 {
+		t.Fatalf("Rate() = %v after invalid SetRate calls, want 10", got)
 	}
 }
 

@@ -19,6 +19,9 @@ type metricSet struct {
 	breakerState    *obs.GaugeVec
 	breakerOpens    *obs.CounterVec
 	breakerRejects  *obs.CounterVec
+	adaptiveRate    *obs.GaugeVec
+	adaptiveWorkers *obs.GaugeVec
+	adaptiveSheds   *obs.CounterVec
 }
 
 var metrics atomic.Pointer[metricSet]
@@ -56,6 +59,12 @@ func InitMetrics(reg *obs.Registry) {
 			"Times each source's circuit breaker tripped open.", "source"),
 		breakerRejects: reg.CounterVec("crawler_breaker_rejections_total",
 			"Requests rejected while each source's circuit was open.", "source"),
+		adaptiveRate: reg.GaugeVec("crawler_adaptive_rate",
+			"Current AIMD target request rate per source, in requests/second.", "source"),
+		adaptiveWorkers: reg.GaugeVec("crawler_adaptive_workers",
+			"Current AIMD in-flight request cap per source.", "source"),
+		adaptiveSheds: reg.CounterVec("crawler_adaptive_sheds_total",
+			"Server shed signals (429/503 + Retry-After) absorbed per source.", "source"),
 	})
 }
 

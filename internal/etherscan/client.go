@@ -14,6 +14,7 @@ import (
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/overload"
 )
 
 // Client is a polite Etherscan API client: it paces requests under the
@@ -42,6 +43,13 @@ type Client struct {
 	// of transport failures opens it and requests fail fast (with a
 	// retryable cooldown hint) until a probe succeeds.
 	Breaker *crawler.Breaker
+	// Adaptive, when set, replaces MinInterval pacing with AIMD control:
+	// it paces and bounds in-flight requests from server feedback
+	// (429/503 + Retry-After, latency).
+	Adaptive *crawler.Adaptive
+	// ClientID, when non-empty, is sent as X-Client-ID so server-side
+	// per-client quotas key on a stable identity.
+	ClientID string
 
 	mu          sync.Mutex
 	lim         *crawler.Limiter
@@ -118,29 +126,46 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 				return err
 			}
 		}
-		if lim := c.limiter(); lim != nil {
+		if a := c.Adaptive; a != nil {
+			if err := a.Wait(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+			if err := a.Acquire(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+		} else if lim := c.limiter(); lim != nil {
 			if err := lim.Wait(ctx); err != nil {
 				return crawler.Permanent(err)
 			}
 		}
 		m().clientRequests.Inc()
+		start := time.Now()
 		env, err := c.doOnce(ctx, endpoint)
+		// Classify NOTOK envelopes before Observe/Record: an HTTP-200
+		// "Max rate limit reached" is Etherscan's 429, and the adaptive
+		// controller and breaker must see it as a shed, not a success.
+		if err == nil && env.Message == "NOTOK" {
+			var msg string
+			_ = json.Unmarshal(env.Result, &msg)
+			if strings.Contains(msg, "rate limit") {
+				m().clientRateLimited.Inc()
+				err = crawler.RetryAfter(fmt.Errorf("%w: %s", ErrRateLimited, msg), 0)
+			} else {
+				m().clientErrors.Inc()
+				err = crawler.Permanent(fmt.Errorf("etherscan: API error: %s", msg))
+			}
+		} else if err != nil {
+			m().clientErrors.Inc()
+		}
+		if a := c.Adaptive; a != nil {
+			a.Release()
+			a.Observe(err, time.Since(start))
+		}
 		if b := c.Breaker; b != nil {
 			b.Record(err)
 		}
 		if err != nil {
-			m().clientErrors.Inc()
 			return err
-		}
-		if env.Message == "NOTOK" {
-			var msg string
-			_ = json.Unmarshal(env.Result, &msg)
-			if !strings.Contains(msg, "rate limit") {
-				m().clientErrors.Inc()
-				return crawler.Permanent(fmt.Errorf("etherscan: API error: %s", msg))
-			}
-			m().clientRateLimited.Inc()
-			return fmt.Errorf("%w: %s", ErrRateLimited, msg)
 		}
 		result = env.Result
 		return nil
@@ -156,6 +181,7 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*envelope, error)
 	if err != nil {
 		return nil, err
 	}
+	overload.SetRequestHeaders(req, c.ClientID)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
@@ -267,8 +293,21 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 				return err
 			}
 		}
+		if a := c.Adaptive; a != nil {
+			if err := a.Wait(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+			if err := a.Acquire(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+		}
 		var err error
+		start := time.Now()
 		labels, err = c.fetchLabelsOnce(ctx)
+		if a := c.Adaptive; a != nil {
+			a.Release()
+			a.Observe(err, time.Since(start))
+		}
 		if b := c.Breaker; b != nil {
 			b.Record(err)
 		}
@@ -283,6 +322,7 @@ func (c *Client) fetchLabelsOnce(ctx context.Context) (Labels, error) {
 	if err != nil {
 		return Labels{}, crawler.Permanent(err)
 	}
+	overload.SetRequestHeaders(req, c.ClientID)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ensdropcatch/internal/chain"
+	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
 )
 
@@ -210,6 +211,39 @@ func TestClientGivesUpAfterRetries(t *testing.T) {
 	_, err := client.TxList(context.Background(), ethtypes.DeriveAddress("x"))
 	if !errors.Is(err, ErrRateLimited) {
 		t.Errorf("err = %v, want ErrRateLimited", err)
+	}
+}
+
+// TestNOTOKRateLimitFeedsAdaptive pins the classification order in the
+// retry closure: an HTTP-200 "Max rate limit reached" envelope must
+// reach the adaptive controller as a shed (halving its rate), not as a
+// clean response that speeds it up.
+func TestNOTOKRateLimitFeedsAdaptive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api", func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, "0", "NOTOK", "Max rate limit reached")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	client := NewClient(srv.URL, "k")
+	client.MinInterval = 0
+	client.MaxRetries = 2
+	client.Sleep = instantSleep
+	client.Adaptive = crawler.NewAdaptive(crawler.AdaptiveConfig{
+		Source:      "test",
+		InitialRate: 8,
+		Sleep:       instantSleep,
+	})
+	_, err := client.TxList(context.Background(), ethtypes.DeriveAddress("x"))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if sheds := client.Adaptive.Sheds(); sheds == 0 {
+		t.Error("adaptive controller saw no sheds from NOTOK rate limits")
+	}
+	if rate := client.Adaptive.Rate(); rate >= 8 {
+		t.Errorf("adaptive rate = %v after sustained rate limiting, want < 8", rate)
 	}
 }
 

@@ -134,7 +134,7 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	switch q.Get("action") {
 	case "txlist":
-		s.serveTxList(w, q)
+		s.serveTxList(w, r)
 	case "balance":
 		addr, err := ethtypes.ParseAddress(q.Get("address"))
 		if err != nil {
@@ -147,7 +147,8 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) serveTxList(w http.ResponseWriter, q map[string][]string) {
+func (s *Server) serveTxList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	get := func(k string) string {
 		if v, ok := q[k]; ok && len(v) > 0 {
 			return v[0]
@@ -176,7 +177,14 @@ func (s *Server) serveTxList(w http.ResponseWriter, q map[string][]string) {
 	sort.SliceStable(txs, func(i, j int) bool { return txs[i].BlockNumber < txs[j].BlockNumber })
 	var rows []TxRecord
 	skip := (page - 1) * offset
-	for _, tx := range txs {
+	ctx := r.Context()
+	for i, tx := range txs {
+		// The request context carries the route/client deadline; a scan
+		// whose requester has given up must not run to completion.
+		if i%1024 == 0 && ctx.Err() != nil {
+			http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
+			return
+		}
 		if tx.BlockNumber < startBlock || tx.BlockNumber > endBlock {
 			continue
 		}

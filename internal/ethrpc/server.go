@@ -8,6 +8,7 @@
 package ethrpc
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -88,7 +89,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := response{JSONRPC: "2.0", ID: req.ID}
-	result, err := s.dispatch(&req)
+	result, err := s.dispatch(r.Context(), &req)
 	if err != nil {
 		resp.Error = &rpcError{-32000, err.Error()}
 	} else {
@@ -102,7 +103,7 @@ func writeRPC(w http.ResponseWriter, resp response) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-func (s *Server) dispatch(req *request) (any, error) {
+func (s *Server) dispatch(ctx context.Context, req *request) (any, error) {
 	switch req.Method {
 	case "eth_blockNumber":
 		return hexUint(s.chain.HeadBlock()), nil
@@ -150,7 +151,12 @@ func (s *Server) dispatch(req *request) (any, error) {
 		}
 		logs := s.chain.FilterLogs(filter)
 		out := make([]RPCLog, 0, len(logs))
-		for _, l := range logs {
+		for i, l := range logs {
+			// Large log scans respect the request deadline propagated by
+			// the server's overload middleware.
+			if i%1024 == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			out = append(out, toRPCLog(l))
 		}
 		return out, nil

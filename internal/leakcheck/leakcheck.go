@@ -1,0 +1,42 @@
+// Package leakcheck provides a goroutine-leak assertion for tests: a
+// snapshot-and-diff of runtime.NumGoroutine with a retry grace period,
+// so goroutines that are merely slow to exit (http keep-alive closers,
+// timer callbacks, draining workers) don't produce false positives
+// while genuinely orphaned goroutines fail the test with full stacks.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long the cleanup keeps re-sampling before declaring a
+// leak. Soak tests spin up dozens of servers and hundreds of client
+// goroutines; their teardown is asynchronous but bounded.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutine count and registers a cleanup
+// that fails the test if more goroutines are still running once the
+// grace period expires. Call it BEFORE starting servers or workers —
+// t.Cleanup runs in LIFO order, so the leak check must be registered
+// first to run after the resources it audits have been torn down.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after <= before {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines before the test, %d after %v grace\n%s",
+			before, after, grace, buf[:n])
+	})
+}

@@ -1,0 +1,20 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCheckPassesWhenGoroutinesExit(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { <-done }()
+	close(done)
+}
+
+func TestCheckGraceAbsorbsSlowExits(t *testing.T) {
+	Check(t)
+	// Still running when the test body returns; the retry grace must
+	// wait it out instead of reporting a leak.
+	go func() { time.Sleep(300 * time.Millisecond) }()
+}

@@ -53,6 +53,7 @@ var errPathPkgs = []string{
 	"internal/etherscan",
 	"internal/subgraph",
 	"internal/opensea",
+	"internal/overload",
 }
 
 // mustCheckCallees are method/function names whose error results must

@@ -19,6 +19,7 @@ import (
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/world"
 )
 
@@ -142,6 +143,12 @@ type Client struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// Breaker, when set, circuit-breaks requests to this source.
 	Breaker *crawler.Breaker
+	// Adaptive, when set, paces and bounds in-flight requests with AIMD
+	// control fed by server feedback (429/503 + Retry-After, latency).
+	Adaptive *crawler.Adaptive
+	// ClientID, when non-empty, is sent as X-Client-ID so server-side
+	// per-client quotas key on a stable identity.
+	ClientID string
 }
 
 // NewClient returns a client with defaults.
@@ -211,8 +218,21 @@ func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsRespons
 				return err
 			}
 		}
+		if a := c.Adaptive; a != nil {
+			if err := a.Wait(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+			if err := a.Acquire(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+		}
 		var err error
+		start := time.Now()
 		page, err = c.doOnce(ctx, endpoint)
+		if a := c.Adaptive; a != nil {
+			a.Release()
+			a.Observe(err, time.Since(start))
+		}
 		if b := c.Breaker; b != nil {
 			b.Record(err)
 		}
@@ -231,6 +251,7 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*eventsResponse, 
 	if err != nil {
 		return nil, crawler.Permanent(err)
 	}
+	overload.SetRequestHeaders(req, c.ClientID)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

@@ -1,0 +1,57 @@
+package overload
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the client's remaining budget for one request
+// in whole milliseconds. The server bounds the handler's context by it
+// (clamped to the route's maximum), so work the client has already given
+// up on stops consuming CPU instead of running to completion for nobody.
+const DeadlineHeader = "X-Request-Deadline-Ms"
+
+// SetRequestHeaders stamps the overload-protocol headers onto an
+// outbound request: the client's identity (quota bucket key) when
+// non-empty, and the remaining context budget in whole milliseconds
+// when the request context carries a deadline. Crawl clients call this
+// so server-side quotas and deadline propagation see through connection
+// reuse and NAT.
+func SetRequestHeaders(req *http.Request, clientID string) {
+	if clientID != "" {
+		req.Header.Set(ClientIDHeader, clientID)
+	}
+	if dl, ok := req.Context().Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+}
+
+// Deadline bounds each request's context: def is the route's default
+// budget (<= 0 means none), and a valid X-Request-Deadline-Ms header
+// overrides it, clamped to max (<= 0 means uncapped). The gate, running
+// inside this middleware, sheds queued requests whose budget the
+// estimated wait would blow.
+func Deadline(def, max time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		budget := def
+		if v := r.Header.Get(DeadlineHeader); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+				budget = time.Duration(ms) * time.Millisecond
+			}
+		}
+		if max > 0 && budget > max {
+			budget = max
+		}
+		if budget <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,81 @@
+package overload
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// deadlineOf runs one request through Deadline(def, max) with the given
+// header value ("" omits it) and reports the handler context's budget
+// (0 when no deadline was set).
+func deadlineOf(t *testing.T, def, max time.Duration, header string) time.Duration {
+	t.Helper()
+	var budget time.Duration
+	h := Deadline(def, max, http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		if dl, ok := r.Context().Deadline(); ok {
+			budget = time.Until(dl)
+		}
+	}))
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	if header != "" {
+		r.Header.Set(DeadlineHeader, header)
+	}
+	h.ServeHTTP(httptest.NewRecorder(), r)
+	return budget
+}
+
+// near reports whether got is within 100ms below want (deadlines are
+// measured after some handler dispatch overhead).
+func near(got, want time.Duration) bool {
+	return got > want-100*time.Millisecond && got <= want
+}
+
+func TestDeadlineDefaultApplies(t *testing.T) {
+	if got := deadlineOf(t, 5*time.Second, 0, ""); !near(got, 5*time.Second) {
+		t.Errorf("budget = %v, want ~5s default", got)
+	}
+}
+
+func TestDeadlineHeaderOverridesDefault(t *testing.T) {
+	if got := deadlineOf(t, 30*time.Second, 0, "1500"); !near(got, 1500*time.Millisecond) {
+		t.Errorf("budget = %v, want ~1.5s from header", got)
+	}
+}
+
+func TestDeadlineHeaderClampedToMax(t *testing.T) {
+	if got := deadlineOf(t, 2*time.Second, 4*time.Second, "60000"); !near(got, 4*time.Second) {
+		t.Errorf("budget = %v, want clamped to 4s max", got)
+	}
+}
+
+func TestDeadlineInvalidHeaderIgnored(t *testing.T) {
+	for _, bad := range []string{"soon", "-5", "0", "1.5"} {
+		if got := deadlineOf(t, time.Second, 0, bad); !near(got, time.Second) {
+			t.Errorf("header %q: budget = %v, want ~1s default", bad, got)
+		}
+	}
+}
+
+func TestDeadlineAbsentLeavesContextUnbounded(t *testing.T) {
+	if got := deadlineOf(t, 0, 0, ""); got != 0 {
+		t.Errorf("budget = %v, want none", got)
+	}
+}
+
+func TestDeadlineCancelsSlowHandler(t *testing.T) {
+	done := make(chan error, 1)
+	h := Deadline(20*time.Millisecond, 0, http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			done <- r.Context().Err()
+		case <-time.After(5 * time.Second):
+			done <- nil
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if err := <-done; err == nil {
+		t.Fatal("handler context never expired under a 20ms budget")
+	}
+}

@@ -1,0 +1,145 @@
+package overload
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ClientIDHeader identifies the requesting crawler for quota accounting.
+// Clients that do not send it are keyed by remote address, so a quota
+// still binds anonymous callers.
+const ClientIDHeader = "X-Client-ID"
+
+// ClientID extracts the quota key for a request: the X-Client-ID header
+// when present, else the host part of the remote address.
+func ClientID(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// QuotaConfig tunes per-client token buckets.
+type QuotaConfig struct {
+	// Rate is the sustained request budget per client in requests/second.
+	// <= 0 disables quotas (Allow always admits).
+	Rate float64
+	// Burst is the bucket capacity; <= 0 uses max(Rate, 1).
+	Burst float64
+	// MaxClients bounds the tracked buckets; when exceeded the
+	// least-recently-seen client is evicted. <= 0 uses 4096.
+	MaxClients int
+	// Now is the injectable clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// Quotas enforces a deterministic token-bucket budget per client id.
+// Safe for concurrent use.
+type Quotas struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*qbucket
+}
+
+type qbucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas returns a quota set for cfg.
+func NewQuotas(cfg QuotaConfig) *Quotas {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Quotas{cfg: cfg, buckets: map[string]*qbucket{}}
+}
+
+// Enabled reports whether a positive rate was configured.
+func (q *Quotas) Enabled() bool { return q.cfg.Rate > 0 }
+
+// Allow consumes one token from client's bucket. A denial returns the
+// time until the next token accrues, the Retry-After hint the client
+// should honor.
+func (q *Quotas) Allow(client string) (bool, time.Duration) {
+	if !q.Enabled() {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Now()
+	b, ok := q.buckets[client]
+	if !ok {
+		q.evictLocked()
+		b = &qbucket{tokens: q.cfg.Burst, last: now}
+		q.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.cfg.Rate
+	if b.tokens > q.cfg.Burst {
+		b.tokens = q.cfg.Burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false, time.Duration((1 - b.tokens) / q.cfg.Rate * float64(time.Second))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// evictLocked drops the least-recently-seen bucket once the table is
+// full, bounding memory against client-id churn. Callers hold q.mu.
+func (q *Quotas) evictLocked() {
+	if len(q.buckets) < q.cfg.MaxClients {
+		return
+	}
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range q.buckets {
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	delete(q.buckets, oldestKey)
+}
+
+// Clients returns the number of tracked client buckets.
+func (q *Quotas) Clients() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// Wrap returns next behind the quota. Denied requests get 429 with the
+// computed Retry-After and are counted per client; quotas that are
+// disabled pass everything through.
+func (q *Quotas) Wrap(route string, next http.Handler) http.Handler {
+	if !q.Enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		client := ClientID(r)
+		ok, wait := q.Allow(client)
+		if !ok {
+			m().quotaDenied.With(client).Inc()
+			writeRetryAfter(w, wait)
+			http.Error(w, "quota exceeded for client "+client, http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ensdropcatch/internal/crawler"
+	"ensdropcatch/internal/overload"
 )
 
 // Client queries a subgraph endpoint and pages through collections with
@@ -32,6 +33,12 @@ type Client struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// Breaker, when set, circuit-breaks requests to this source.
 	Breaker *crawler.Breaker
+	// Adaptive, when set, paces and bounds in-flight requests with AIMD
+	// control fed by server feedback (429/503 + Retry-After, latency).
+	Adaptive *crawler.Adaptive
+	// ClientID, when non-empty, is sent as X-Client-ID so server-side
+	// per-client quotas key on a stable identity.
+	ClientID string
 }
 
 // NewClient returns a client for the given endpoint.
@@ -68,9 +75,22 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 				return err
 			}
 		}
+		if a := c.Adaptive; a != nil {
+			if err := a.Wait(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+			if err := a.Acquire(ctx); err != nil {
+				return crawler.Permanent(err)
+			}
+		}
 		m().requests.Inc()
 		var err error
+		start := time.Now()
 		data, err = c.doOnce(ctx, body)
+		if a := c.Adaptive; a != nil {
+			a.Release()
+			a.Observe(err, time.Since(start))
+		}
 		if b := c.Breaker; b != nil {
 			b.Record(err)
 		}
@@ -90,6 +110,7 @@ func (c *Client) doOnce(ctx context.Context, body []byte) (map[string][]Entity, 
 		return nil, crawler.Permanent(fmt.Errorf("subgraph client: request: %w", err))
 	}
 	req.Header.Set("Content-Type", "application/json")
+	overload.SetRequestHeaders(req, c.ClientID)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

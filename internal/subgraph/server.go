@@ -51,7 +51,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
 		return
 	}
-	data, err := s.store.Execute(q)
+	data, err := s.store.ExecuteContext(r.Context(), q)
 	if err != nil {
 		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
 		return

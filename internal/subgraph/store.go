@@ -1,6 +1,7 @@
 package subgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -264,15 +265,26 @@ func (s *Store) Len(col string) int {
 // Execute runs a parsed query against the store and returns one result
 // list per top-level selection, keyed by selection name.
 func (s *Store) Execute(q *Query) (map[string][]Entity, error) {
+	return s.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: scans abandon work as
+// soon as the request's deadline (propagated by the server's overload
+// middleware) expires, instead of filtering rows for a caller that has
+// already given up.
+func (s *Store) ExecuteContext(ctx context.Context, q *Query) (map[string][]Entity, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string][]Entity, len(q.Selections))
 	for _, sel := range q.Selections {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		list, ok := s.collections[sel.Name]
 		if !ok {
 			return nil, fmt.Errorf("subgraph: unknown collection %q", sel.Name)
 		}
-		rows, err := applySelection(list, sel)
+		rows, err := applySelection(ctx, list, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +293,7 @@ func (s *Store) Execute(q *Query) (map[string][]Entity, error) {
 	return out, nil
 }
 
-func applySelection(list []Entity, sel *Selection) ([]Entity, error) {
+func applySelection(ctx context.Context, list []Entity, sel *Selection) ([]Entity, error) {
 	if len(sel.Fields) == 0 {
 		return nil, fmt.Errorf("subgraph: selection %q needs a field set", sel.Name)
 	}
@@ -331,7 +343,10 @@ func applySelection(list []Entity, sel *Selection) ([]Entity, error) {
 	}
 
 	var rows []Entity
-	for _, e := range list[start:] {
+	for i, e := range list[start:] {
+		if i%4096 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if !matchWhere(e, where) {
 			continue
 		}
