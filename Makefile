@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-all soak-smoke bench bench-smoke fuzz fuzz-smoke clean tools report
+.PHONY: all build vet lint test race race-all soak-smoke trace-smoke bench bench-smoke fuzz fuzz-smoke clean tools report
 
 all: build vet lint test race
 
@@ -38,6 +38,15 @@ race-all:
 soak-smoke:
 	$(GO) test -race -count=1 -run 'TestSoak' -v .
 
+# Tracing attribution drill: every rejection class (gate shed, quota
+# denial, chaos fault, breaker-open) must yield a stored trace naming
+# the responsible layer, retrievable via /debug/traces/{id}; plus the
+# determinism contract (traced 8-worker crawl byte-identical to an
+# untraced serial one) and the zero-alloc disabled path.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestTraceAttribution|TestTracingDoesNotChangeFingerprint' -v .
+	$(GO) test -count=1 -run 'TestDisabledTracingAllocates' -v ./internal/trace/
+
 # Regenerates every table and figure of the paper's evaluation and archives
 # the machine-readable results (name -> ns/op, allocs, custom metrics).
 # The second pass re-runs the two hottest analyses at 100k domains (the
@@ -57,12 +66,14 @@ bench-smoke:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/subgraph/
 	$(GO) test -fuzz=FuzzStreamingEqualsOneShot -fuzztime=30s ./internal/keccak/
+	$(GO) test -fuzz=FuzzParseTraceparent -fuzztime=30s ./internal/trace/
 
 # Short fuzz pass for CI: 10s per target is enough to catch shallow
 # regressions in the parsers without stalling the pipeline.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/subgraph/
 	$(GO) test -fuzz=FuzzStreamingEqualsOneShot -fuzztime=10s ./internal/keccak/
+	$(GO) test -fuzz=FuzzParseTraceparent -fuzztime=10s ./internal/trace/
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceFlagsInHelp(t *testing.T) {
+	fs := flag.NewFlagSet("enscrawl", flag.ContinueOnError)
+	o := registerTraceFlags(fs, false)
+	var help bytes.Buffer
+	fs.SetOutput(&help)
+	fs.PrintDefaults()
+	for _, name := range []string{"trace", "trace-sample", "trace-store", "trace-slow", "trace-seed"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Errorf("flag -%s not registered", name)
+			continue
+		}
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage text", name)
+		}
+		if !strings.Contains(help.String(), "-"+name) {
+			t.Errorf("help output does not mention -%s", name)
+		}
+	}
+	if o.enabled {
+		t.Error("crawl tracing should default off (zero-allocation hot path)")
+	}
+}
+
+func TestTracerConstruction(t *testing.T) {
+	off := &traceOpts{}
+	if off.tracer() != nil {
+		t.Fatal("disabled opts built a tracer")
+	}
+	on := &traceOpts{enabled: true, sample: 0.5, capacity: 32, slow: 100 * time.Millisecond, seed: 7}
+	tr := on.tracer()
+	if tr == nil {
+		t.Fatal("enabled opts built no tracer")
+	}
+	if got := tr.Store().Capacity(); got != 32 {
+		t.Errorf("store capacity = %d, want 32", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
 )
 
 func main() {
@@ -48,14 +49,33 @@ func main() {
 		adaptive    = flag.Bool("adaptive", false, "tune request rate and concurrency with AIMD from server 429/503 + Retry-After feedback instead of fixed -rps pacing")
 		clientID    = flag.String("client-id", "", "identity sent as X-Client-ID for server-side per-client quotas (defaults to -apikey)")
 	)
+	traceFlags := registerTraceFlags(flag.CommandLine, false)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The clients pick the process-wide tracer up through trace.Start, so
+	// installing it is all the wiring the crawl needs; each page fetch,
+	// retry attempt, and backoff becomes a span in the local store and a
+	// traceparent header on the wire.
+	tracer := traceFlags.tracer()
+	if tracer != nil {
+		trace.SetDefault(tracer)
+		logger.Info("tracing enabled",
+			"sample", traceFlags.sample, "store", traceFlags.capacity, "slow", traceFlags.slow)
+	}
+
 	if *metricsAddr != "" {
-		dbg, err := obs.StartDebugServer(*metricsAddr, obs.Default, logger)
+		var mounts []obs.Mount
+		if tracer != nil {
+			th := trace.Handler(tracer.Store())
+			mounts = append(mounts,
+				obs.Mount{Pattern: "/debug/traces", Handler: th},
+				obs.Mount{Pattern: "/debug/traces/", Handler: th})
+		}
+		dbg, err := obs.StartDebugServer(*metricsAddr, obs.Default, logger, mounts...)
 		if err != nil {
 			logger.Error("metrics listener", "err", err)
 			os.Exit(1)
@@ -112,6 +132,10 @@ func main() {
 		"domains", len(ds.Domains),
 		"txs", len(ds.Txs),
 		"elapsed", time.Since(start).Round(time.Millisecond))
+	if st := tracer.Store(); st != nil {
+		logger.Info("trace store",
+			"stored", st.Len(), "dropped", st.Dropped(), "evicted", st.Evicted())
+	}
 	if err := ds.Validate(); err != nil {
 		logger.Warn("dataset validation", "err", err)
 	}

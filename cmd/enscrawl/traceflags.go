@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"ensdropcatch/internal/trace"
+)
+
+// traceOpts binds the tracing flag set shared by the ens commands.
+type traceOpts struct {
+	enabled  bool
+	sample   float64
+	capacity int
+	slow     time.Duration
+	seed     int64
+}
+
+// registerTraceFlags wires the tracing flags onto fs. The crawl traces
+// opt-in: a crawl's hot path stays zero-allocation unless the operator
+// asks for span attribution of slow or shed requests.
+func registerTraceFlags(fs *flag.FlagSet, defaultOn bool) *traceOpts {
+	o := &traceOpts{}
+	fs.BoolVar(&o.enabled, "trace", defaultOn, "trace crawl requests into an in-memory tail-sampled store; with -metrics-addr it is served at /debug/traces")
+	fs.Float64Var(&o.sample, "trace-sample", 0.01, "probability of keeping an ordinary trace; errored, shed, and slow traces are always kept")
+	fs.IntVar(&o.capacity, "trace-store", 512, "trace-store capacity; ordinary traces are evicted before errored/slow ones")
+	fs.DurationVar(&o.slow, "trace-slow", 250*time.Millisecond, "traces at least this slow are always kept")
+	fs.Int64Var(&o.seed, "trace-seed", 0, "seed for trace ids and the sampling coin (0 = random)")
+	return o
+}
+
+// tracer builds the configured tracer, or nil when tracing is disabled —
+// the nil tracer is the zero-allocation path.
+func (o *traceOpts) tracer() *trace.Tracer {
+	if !o.enabled {
+		return nil
+	}
+	return trace.New(trace.Config{
+		Seed: o.seed,
+		Store: trace.NewStore(trace.StoreConfig{
+			Capacity:      o.capacity,
+			SampleRate:    o.sample,
+			SlowThreshold: o.slow,
+			Seed:          o.seed,
+		}),
+	})
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceFlagNames is the flag set every ens command must expose for
+// tracing; the e2e harnesses and the README examples depend on them.
+var traceFlagNames = []string{"trace", "trace-sample", "trace-store", "trace-slow", "trace-seed"}
+
+func TestTraceFlagsInHelp(t *testing.T) {
+	fs := flag.NewFlagSet("ensworld", flag.ContinueOnError)
+	o := registerTraceFlags(fs, true)
+	var help bytes.Buffer
+	fs.SetOutput(&help)
+	fs.PrintDefaults()
+	for _, name := range traceFlagNames {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Errorf("flag -%s not registered", name)
+			continue
+		}
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage text", name)
+		}
+		if !strings.Contains(help.String(), "-"+name) {
+			t.Errorf("help output does not mention -%s", name)
+		}
+	}
+	if !o.enabled {
+		t.Error("server tracing should default on")
+	}
+	if o.capacity != 512 || o.sample != 0.01 {
+		t.Errorf("unexpected defaults: capacity=%d sample=%v", o.capacity, o.sample)
+	}
+}
+
+func TestTracerConstruction(t *testing.T) {
+	off := &traceOpts{}
+	if off.tracer() != nil {
+		t.Fatal("disabled opts built a tracer")
+	}
+	on := &traceOpts{enabled: true, sample: 1, capacity: 8, slow: time.Second, seed: 42}
+	tr := on.tracer()
+	if tr == nil {
+		t.Fatal("enabled opts built no tracer")
+	}
+	if got := tr.Store().Capacity(); got != 8 {
+		t.Errorf("store capacity = %d, want 8", got)
+	}
+}

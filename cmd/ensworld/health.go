@@ -5,13 +5,16 @@ import (
 	"net/http"
 	"time"
 
+	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
 )
 
 // healthStatus is the /healthz response body: enough for a load
-// balancer to gate on and for an operator to see what world this
-// instance is serving without grepping logs.
+// balancer to gate on, for an operator to see what world this instance
+// is serving without grepping logs, and for the soak harness to assert
+// on overload and trace-store state without scraping /metrics.
 type healthStatus struct {
 	Status        string         `json:"status"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
@@ -20,11 +23,34 @@ type healthStatus struct {
 	Subdomains    int            `json:"subdomains"`
 	Transactions  int            `json:"transactions"`
 	Index         map[string]int `json:"index"`
+	Overload      overloadHealth `json:"overload"`
+	Trace         traceHealth    `json:"trace"`
+}
+
+// overloadHealth snapshots the admission gate and quota set.
+type overloadHealth struct {
+	Inflight     int    `json:"inflight"`
+	Queued       int    `json:"queued"`
+	Sheds        uint64 `json:"sheds"`
+	QuotaDenied  uint64 `json:"quota_denied"`
+	QuotaClients int    `json:"quota_clients"`
+}
+
+// traceHealth snapshots the tail-sampled trace store; all zeros when
+// tracing is disabled.
+type traceHealth struct {
+	Enabled  bool   `json:"enabled"`
+	Stored   int    `json:"stored"`
+	Capacity int    `json:"capacity"`
+	Dropped  uint64 `json:"dropped"`
+	Evicted  uint64 `json:"evicted"`
 }
 
 // newHealthHandler serves liveness as JSON: uptime, the generated
-// world's seed and headline counts, and the subgraph index sizes.
-func newHealthHandler(start time.Time, seed int64, summary world.Summary, store *subgraph.Store) http.Handler {
+// world's seed and headline counts, the subgraph index sizes, and live
+// overload-gate / trace-store occupancy.
+func newHealthHandler(start time.Time, seed int64, summary world.Summary, store *subgraph.Store,
+	gate *overload.Gate, quotas *overload.Quotas, traces *trace.Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		// A failed response write means the client is gone; nothing to repair.
@@ -39,6 +65,20 @@ func newHealthHandler(start time.Time, seed int64, summary world.Summary, store 
 				subgraph.ColRegistrations: store.Len(subgraph.ColRegistrations),
 				subgraph.ColEvents:        store.Len(subgraph.ColEvents),
 				subgraph.ColSubdomains:    store.Len(subgraph.ColSubdomains),
+			},
+			Overload: overloadHealth{
+				Inflight:     gate.Inflight(),
+				Queued:       gate.Queued(),
+				Sheds:        gate.ShedCount(),
+				QuotaDenied:  quotas.Denied(),
+				QuotaClients: quotas.Clients(),
+			},
+			Trace: traceHealth{
+				Enabled:  traces != nil,
+				Stored:   traces.Len(),
+				Capacity: traces.Capacity(),
+				Dropped:  traces.Dropped(),
+				Evicted:  traces.Evicted(),
 			},
 		})
 	})

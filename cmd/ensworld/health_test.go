@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
 )
 
@@ -21,7 +23,11 @@ func TestHealthzJSON(t *testing.T) {
 	summary := res.Summarize()
 	store := subgraph.BuildIndex(res.Chain)
 
-	h := newHealthHandler(time.Now().Add(-90*time.Second), 3, summary, store)
+	gate := overload.NewGate(overload.GateConfig{MaxInflight: 4, QueueDepth: 8})
+	quotas := overload.NewQuotas(overload.QuotaConfig{Rate: 10})
+	traces := trace.NewStore(trace.StoreConfig{Capacity: 16, Seed: 3})
+
+	h := newHealthHandler(time.Now().Add(-90*time.Second), 3, summary, store, gate, quotas, traces)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 
@@ -57,5 +63,40 @@ func TestHealthzJSON(t *testing.T) {
 	}
 	if got.Index[subgraph.ColEvents] == 0 {
 		t.Error("event index empty in health response")
+	}
+	if !got.Trace.Enabled {
+		t.Error("trace.enabled = false with a live store")
+	}
+	if got.Trace.Capacity != 16 {
+		t.Errorf("trace.capacity = %d, want 16", got.Trace.Capacity)
+	}
+	if got.Overload.Inflight != 0 || got.Overload.Queued != 0 || got.Overload.Sheds != 0 {
+		t.Errorf("idle gate reported overload state: %+v", got.Overload)
+	}
+}
+
+// TestHealthzNilTraceStore: tracing disabled must still produce a valid
+// health body, with the trace block zeroed out.
+func TestHealthzNilTraceStore(t *testing.T) {
+	cfg := world.DefaultConfig(100)
+	cfg.Seed = 4
+	res, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := overload.NewGate(overload.GateConfig{})
+	quotas := overload.NewQuotas(overload.QuotaConfig{})
+	h := newHealthHandler(time.Now(), 4, res.Summarize(), subgraph.BuildIndex(res.Chain), gate, quotas, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got healthStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if got.Trace.Enabled || got.Trace.Capacity != 0 || got.Trace.Stored != 0 {
+		t.Errorf("disabled tracing leaked state: %+v", got.Trace)
 	}
 }

@@ -57,6 +57,7 @@ import (
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
 )
 
@@ -77,6 +78,7 @@ func main() {
 		quotaBurst   = flag.Float64("quota-burst", 0, "per-client quota burst size (0 = max(quota-rate, 1))")
 		routeTimeout = flag.Duration("route-timeout", 30*time.Second, "default handler deadline on data routes; X-Request-Deadline-Ms may shorten it (0 = none)")
 	)
+	traceFlags := registerTraceFlags(flag.CommandLine, true)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
@@ -129,6 +131,11 @@ func main() {
 	gate := overload.NewGate(overload.GateConfig{
 		MaxInflight: *maxInflight, QueueDepth: *queueDepth, MaxWait: *queueWait})
 	quotas := overload.NewQuotas(overload.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst})
+	tracer := traceFlags.tracer()
+	if tracer != nil {
+		logger.Info("tracing enabled",
+			"sample", traceFlags.sample, "store", traceFlags.capacity, "slow", traceFlags.slow)
+	}
 	handleData := func(route string, h http.Handler) {
 		h = gate.Wrap(route, overload.Data, h)
 		h = quotas.Wrap(route, h)
@@ -143,13 +150,22 @@ func main() {
 		faulty(etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger))))
 	handleData("/opensea/", http.StripPrefix("/opensea", faulty(opensea.NewServer(res.OpenSea))))
 	handleData("/rpc", faulty(ethrpc.NewServer(res.Chain)))
-	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store))
+	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store, gate, quotas, tracer.Store()))
 	obs.RegisterDebug(mux, obs.Default)
+	if tracer != nil {
+		th := trace.Handler(tracer.Store())
+		mux.Handle("/debug/traces", th)
+		mux.Handle("/debug/traces/", th)
+	}
+	// The trace middleware sits outermost so queue wait, quota denials,
+	// chaos faults, and handler time all land on one server span linked
+	// (via traceparent) to the client's retry attempt.
+	handler := trace.Middleware(tracer, mux)
 
 	logger.Info("serving", "addr", *listen)
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Slow-loris floors: a request must arrive, and its response must
 		// drain, in bounded time even with chaos-injected stalls in play.

@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"ensdropcatch/internal/trace"
 )
 
 // Fault names one injectable failure mode.
@@ -119,6 +121,13 @@ func (in *Injector) Wrap(inner http.Handler) http.Handler {
 		fault := in.pick()
 		if fault != "" {
 			m().injected.With(string(fault)).Inc()
+			// Record the injected fault on the request's span before
+			// acting: faults that abort the connection never reach the
+			// status-recording middleware, so the annotation is the only
+			// attribution the stored trace gets.
+			if sp := trace.FromContext(r.Context()); sp != nil {
+				sp.Error("chaos.fault", trace.A("kind", string(fault)))
+			}
 		} else {
 			m().passed.Inc()
 		}

@@ -111,7 +111,7 @@ func (a *Analyzer) FeatureComparison() (*Table1, error) {
 // par.Map writes each profile to its input slot, so the downstream test
 // statistics see the exact sequential ordering at any worker count.
 func (a *Analyzer) ComputeFeatureComparison() (*Table1, error) {
-	defer obsDuration("feature_comparison")()
+	defer stage("feature_comparison")()
 	ana := lexical.NewAnalyzer()
 	rereg := a.Pop.Reregistered
 	control := a.SampleControl()

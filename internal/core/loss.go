@@ -2,12 +2,15 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"runtime/pprof"
 	"sort"
 
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/par"
+	"ensdropcatch/internal/trace"
 )
 
 // SenderKind classifies a common sender c in the loss scenario.
@@ -171,7 +174,7 @@ func (a *Analyzer) FinancialLossesOpts(opts LossOptions) *LossReport {
 // folds the gathered findings sequentially in input order, so totals and
 // ordering are bit-identical to a single-threaded run at any worker count.
 func (a *Analyzer) ComputeFinancialLosses(opts LossOptions) *LossReport {
-	defer obsDuration("financial_losses")()
+	defer stage("financial_losses")()
 	type pair struct {
 		h *History
 		j int
@@ -224,13 +227,24 @@ func (a *Analyzer) ComputeFinancialLosses(opts LossOptions) *LossReport {
 	return report
 }
 
-// obsDuration starts a timer against the core_analysis_seconds histogram.
-// Wall-clock reads go through obs so the detrand analyzer can hold the
-// rest of this package to seed-purity.
-func obsDuration(analysis string) func() {
+// stage instruments one full report computation three ways: a timer
+// against the core_analysis_seconds histogram, a `report` pprof label so
+// CPU profiles from `make bench` segment by analysis, and a span (no-op
+// unless a process-wide tracer is installed). Wall-clock reads go
+// through obs so the detrand analyzer can hold the rest of this package
+// to seed-purity; span and profile state never feed the report values,
+// so results stay byte-identical with tracing on or off.
+func stage(analysis string) func() {
 	h := analysisSeconds.With(analysis)
 	start := obs.NowWall()
-	return func() { h.Observe(obs.WallSince(start).Seconds()) }
+	labeled := pprof.WithLabels(context.Background(), pprof.Labels("report", analysis))
+	pprof.SetGoroutineLabels(labeled)
+	_, sp := trace.Start(context.Background(), "core."+analysis)
+	return func() {
+		h.Observe(obs.WallSince(start).Seconds())
+		sp.End()
+		pprof.SetGoroutineLabels(context.Background())
+	}
 }
 
 // analyzePair applies the scenario to the re-registration at tenure j.
@@ -348,7 +362,7 @@ func lessAddr(a, b ethtypes.Address) bool {
 // belong to catcher wallets that pool income across many names, which
 // would conflate per-domain attribution.
 func (a *Analyzer) HijackableFunds() []float64 {
-	defer obsDuration("hijackable_funds")()
+	defer stage("hijackable_funds")()
 	// Pop.All is sorted by labelhash, so the fan-out order (and therefore
 	// the pre-sort slice) is fixed regardless of worker count.
 	usds := par.Map(a.pool("core_hijackable"), len(a.Pop.All), func(i int) float64 {

@@ -60,7 +60,7 @@ func (a *Analyzer) CatchSurvival() *SurvivalReport {
 // slices concatenated), and the Kaplan-Meier assembly folds them back in
 // that order, so the curves are identical at any worker count.
 func (a *Analyzer) ComputeCatchSurvival() *SurvivalReport {
-	defer obsDuration("catch_survival")()
+	defer stage("catch_survival")()
 	type subject struct {
 		obs    stats.Observation
 		income float64

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ensdropcatch/internal/trace"
 )
 
 // AdaptiveConfig tunes an Adaptive controller. Zero values pick
@@ -168,6 +170,13 @@ func (a *Adaptive) Wait(ctx context.Context) error {
 		now := a.cfg.Now()
 		if !pause.After(now) {
 			break
+		}
+		// A server-directed pause is the AIMD controller acting on a
+		// shed; name it in the trace so a slow span is attributable.
+		if sp := trace.FromContext(ctx); sp != nil {
+			sp.Event("adaptive.pause",
+				trace.A("source", a.cfg.Source),
+				trace.A("duration", pause.Sub(now).String()))
 		}
 		if err := a.cfg.Sleep(ctx, pause.Sub(now)); err != nil {
 			return err

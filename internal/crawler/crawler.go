@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"ensdropcatch/internal/trace"
 )
 
 // Limiter is a token-bucket rate limiter. The zero value is invalid; use
@@ -105,7 +107,15 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		if l.tokens >= 1 {
 			l.tokens--
 			l.mu.Unlock()
-			m().ratelimitWait.Observe(l.now().Sub(start).Seconds())
+			waited := l.now().Sub(start)
+			m().ratelimitWait.Observe(waited.Seconds())
+			// Only a real wait is worth a trace event; sub-millisecond
+			// token grabs would drown the span in noise.
+			if waited >= time.Millisecond {
+				if sp := trace.FromContext(ctx); sp != nil {
+					sp.Event("ratelimit.wait", trace.A("waited", waited.String()))
+				}
+			}
 			return nil
 		}
 		need := (1 - l.tokens) / l.rate
@@ -243,8 +253,13 @@ func jitterFactor(rng *rand.Rand, j float64) float64 {
 }
 
 // Retry runs fn until it succeeds, exhausts cfg.Attempts, hits a permanent
-// error, or the context is cancelled.
-func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
+// error, or the context is cancelled. fn receives a per-attempt context:
+// when the calling context carries an active trace span, each attempt runs
+// inside its own "retry.attempt" child span, so a stored trace shows every
+// try with its outcome — breaker rejection, upstream shed, transport error —
+// and the backoff sleeps between them. With tracing off the attempt context
+// is ctx itself and nothing is allocated.
+func Retry(ctx context.Context, cfg RetryConfig, fn func(context.Context) error) error {
 	if cfg.Attempts < 1 {
 		cfg.Attempts = 1
 	}
@@ -259,7 +274,17 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 			return ctx.Err()
 		}
 		m().retryAttempts.Inc()
-		err = fn()
+		actx := ctx
+		var asp *trace.Span
+		if trace.FromContext(ctx) != nil {
+			actx, asp = trace.Start(ctx, "retry.attempt")
+			asp.Annotate("attempt", strconv.Itoa(attempt))
+		}
+		err = fn(actx)
+		if asp != nil {
+			annotateAttemptError(asp, err)
+			asp.End()
+		}
 		if err == nil {
 			return nil
 		}
@@ -271,6 +296,9 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 		}
 		if attempt >= cfg.Attempts {
 			m().retryExhausted.Inc()
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.Event("retry.exhausted", trace.A("attempts", strconv.Itoa(attempt)))
+			}
 			return fmt.Errorf("crawler: %d attempts exhausted: %w", attempt, err)
 		}
 		d := delay
@@ -288,6 +316,11 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 				d = cfg.MaxDelay
 			}
 		}
+		if sp := trace.FromContext(ctx); sp != nil {
+			sp.Event("retry.backoff",
+				trace.A("attempt", strconv.Itoa(attempt)),
+				trace.A("delay", d.String()))
+		}
 		if err := sleep(ctx, d); err != nil {
 			return err
 		}
@@ -295,6 +328,34 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 		if cfg.MaxDelay > 0 && delay > cfg.MaxDelay {
 			delay = cfg.MaxDelay
 		}
+	}
+}
+
+// annotateAttemptError records a finished attempt's outcome on its span,
+// naming the responsible layer: a local breaker rejection, a real
+// upstream shed (429/503 with Retry-After semantics), a permanent API
+// answer, or a plain transport error.
+func annotateAttemptError(sp *trace.Span, err error) {
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrBreakerOpen):
+		var ra *RetryAfterError
+		after := ""
+		if errors.As(err, &ra) {
+			after = ra.After.String()
+		}
+		sp.Error("breaker.rejected", trace.A("cooldown", after))
+	case errors.Is(err, ErrPermanent):
+		sp.Error("permanent", trace.A("message", err.Error()))
+	default:
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			sp.Error("upstream.shed", trace.A("retry_after", ra.After.String()))
+			return
+		}
+		sp.Error("error", trace.A("message", err.Error()))
 	}
 }
 

@@ -60,7 +60,7 @@ func TestRetrySucceedsAfterTransientErrors(t *testing.T) {
 	cfg := DefaultRetry()
 	cfg.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
 	calls := 0
-	err := Retry(context.Background(), cfg, func() error {
+	err := Retry(context.Background(), cfg, func(context.Context) error {
 		calls++
 		if calls < 3 {
 			return fmt.Errorf("transient %d", calls)
@@ -77,7 +77,7 @@ func TestRetryStopsOnPermanent(t *testing.T) {
 	cfg.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
 	calls := 0
 	sentinel := errors.New("nope")
-	err := Retry(context.Background(), cfg, func() error {
+	err := Retry(context.Background(), cfg, func(context.Context) error {
 		calls++
 		return Permanent(sentinel)
 	})
@@ -94,7 +94,7 @@ func TestRetryRespectsRetryIf(t *testing.T) {
 	cfg.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
 	cfg.RetryIf = func(err error) bool { return false }
 	calls := 0
-	Retry(context.Background(), cfg, func() error { calls++; return errors.New("x") })
+	Retry(context.Background(), cfg, func(context.Context) error { calls++; return errors.New("x") })
 	if calls != 1 {
 		t.Errorf("RetryIf=false retried %d times", calls)
 	}
@@ -104,7 +104,7 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 	cfg := RetryConfig{Attempts: 4, BaseDelay: time.Millisecond,
 		Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
 	calls := 0
-	err := Retry(context.Background(), cfg, func() error { calls++; return errors.New("always") })
+	err := Retry(context.Background(), cfg, func(context.Context) error { calls++; return errors.New("always") })
 	if calls != 4 {
 		t.Errorf("calls = %d, want 4", calls)
 	}
@@ -117,7 +117,7 @@ func TestRetryBackoffDoublesWithCap(t *testing.T) {
 	var delays []time.Duration
 	cfg := RetryConfig{Attempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
 		Sleep: func(ctx context.Context, d time.Duration) error { delays = append(delays, d); return nil }}
-	Retry(context.Background(), cfg, func() error { return errors.New("x") })
+	Retry(context.Background(), cfg, func(context.Context) error { return errors.New("x") })
 	want := []time.Duration{100, 200, 400, 400, 400}
 	for i, w := range want {
 		if delays[i] != w*time.Millisecond {
@@ -130,7 +130,7 @@ func TestRetryContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	calls := 0
-	err := Retry(ctx, DefaultRetry(), func() error { calls++; return nil })
+	err := Retry(ctx, DefaultRetry(), func(context.Context) error { calls++; return nil })
 	if !errors.Is(err, context.Canceled) || calls != 0 {
 		t.Errorf("err=%v calls=%d", err, calls)
 	}

@@ -144,7 +144,7 @@ func TestRetryHonorsRetryAfterHint(t *testing.T) {
 		Sleep:     func(ctx context.Context, d time.Duration) error { delays = append(delays, d); return nil },
 	}
 	calls := 0
-	err := Retry(context.Background(), cfg, func() error {
+	err := Retry(context.Background(), cfg, func(context.Context) error {
 		calls++
 		if calls < 3 {
 			return RetryAfter(errors.New("429"), 1234*time.Millisecond)
@@ -170,7 +170,7 @@ func TestRetryCapsRetryAfterHintAtMaxDelay(t *testing.T) {
 		Sleep:     func(ctx context.Context, d time.Duration) error { delays = append(delays, d); return nil },
 	}
 	calls := 0
-	Retry(context.Background(), cfg, func() error {
+	Retry(context.Background(), cfg, func(context.Context) error {
 		calls++
 		if calls == 1 {
 			return RetryAfter(errors.New("429"), time.Hour)

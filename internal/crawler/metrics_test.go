@@ -25,7 +25,7 @@ func TestRetryRecordsAttemptsAndExhaustion(t *testing.T) {
 	reg := withTestRegistry(t)
 	cfg := RetryConfig{Attempts: 3, BaseDelay: time.Millisecond,
 		Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
-	if err := Retry(context.Background(), cfg, func() error { return errors.New("x") }); err == nil {
+	if err := Retry(context.Background(), cfg, func(context.Context) error { return errors.New("x") }); err == nil {
 		t.Fatal("want error")
 	}
 	if got := reg.Counter("crawler_retry_attempts_total", "").Value(); got != 3 {
@@ -111,7 +111,7 @@ func TestRetrySharedRandConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			Retry(context.Background(), cfg, func() error { return errors.New("always") })
+			Retry(context.Background(), cfg, func(context.Context) error { return errors.New("always") })
 		}()
 	}
 	wg.Wait()

@@ -16,6 +16,7 @@ import (
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
 )
 
 // RegistrationSource pages registration entities (the subgraph client, or
@@ -218,7 +219,14 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 	} else {
 		seen := map[ethtypes.Hash]bool{}
 		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {
+			// One span per crawled address groups the etherscan call and
+			// its retries into a single trace keyed to the address.
+			ctx, sp := trace.Start(ctx, "crawl.address")
+			if sp != nil {
+				sp.Annotate("address", addr.Hex())
+			}
 			records, err := txs.TxList(ctx, addr)
+			sp.EndErr(err)
 			if err != nil {
 				return fmt.Errorf("txlist %s: %w", addr, err)
 			}

@@ -15,6 +15,7 @@ import (
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/trace"
 )
 
 // The transaction crawl is by far the longest stage of assembly (the
@@ -106,7 +107,13 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 	sort.Slice(todo, func(i, j int) bool { return lessAddr(todo[i], todo[j]) })
 
 	err = crawler.ForEach(ctx, workers, todo, func(ctx context.Context, addr ethtypes.Address) error {
+		// One span per crawled address, as in the non-resumable path.
+		ctx, sp := trace.Start(ctx, "crawl.address")
+		if sp != nil {
+			sp.Annotate("address", addr.Hex())
+		}
 		records, err := txs.TxList(ctx, addr)
+		sp.EndErr(err)
 		if err != nil {
 			return fmt.Errorf("txlist %s: %w", addr, err)
 		}

@@ -15,6 +15,7 @@ import (
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/overload"
+	"ensdropcatch/internal/trace"
 )
 
 // Client is a polite Etherscan API client: it paces requests under the
@@ -109,6 +110,15 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 	params.Set("apikey", c.APIKey)
 	endpoint := strings.TrimSuffix(c.BaseURL, "/") + "/api?" + params.Encode()
 
+	// One logical API call is one span; its retry attempts become child
+	// spans under it, and the traceparent each attempt sends ties the
+	// server-side request records into the same stored trace.
+	ctx, sp := trace.Start(ctx, "etherscan.call")
+	if sp != nil {
+		sp.Annotate("module", params.Get("module"))
+		sp.Annotate("action", params.Get("action"))
+	}
+
 	attempts := c.MaxRetries + 1
 	if attempts < 1 {
 		attempts = 1
@@ -120,7 +130,7 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 		Sleep:     c.Sleep,
 	}
 	var result json.RawMessage
-	err := crawler.Retry(ctx, cfg, func() error {
+	err := crawler.Retry(ctx, cfg, func(ctx context.Context) error {
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
 				return err
@@ -170,6 +180,7 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 		result = env.Result
 		return nil
 	})
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +193,7 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*envelope, error)
 		return nil, err
 	}
 	overload.SetRequestHeaders(req, c.ClientID)
+	trace.Inject(req)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
@@ -286,8 +298,9 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 		MaxDelay:  10 * time.Second,
 		Sleep:     c.Sleep,
 	}
+	ctx, sp := trace.Start(ctx, "etherscan.labels")
 	var labels Labels
-	err := crawler.Retry(ctx, cfg, func() error {
+	err := crawler.Retry(ctx, cfg, func(ctx context.Context) error {
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
 				return err
@@ -313,6 +326,7 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 		}
 		return err
 	})
+	sp.EndErr(err)
 	return labels, err
 }
 
@@ -323,6 +337,7 @@ func (c *Client) fetchLabelsOnce(ctx context.Context) (Labels, error) {
 		return Labels{}, crawler.Permanent(err)
 	}
 	overload.SetRequestHeaders(req, c.ClientID)
+	trace.Inject(req)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

@@ -54,6 +54,7 @@ var errPathPkgs = []string{
 	"internal/subgraph",
 	"internal/opensea",
 	"internal/overload",
+	"internal/trace",
 }
 
 // mustCheckCallees are method/function names whose error results must

@@ -10,6 +10,7 @@ import (
 func TestDroppederr(t *testing.T) {
 	linttest.Run(t, droppederr.Analyzer,
 		"ensdropcatch/internal/crawler", // positive: spool/checkpoint path
+		"ensdropcatch/internal/trace",   // positive: trace store/debug handler path
 		"ensdropcatch/internal/stats",   // negative: pure computation
 	)
 }

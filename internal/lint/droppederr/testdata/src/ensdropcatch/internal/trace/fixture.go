@@ -1,0 +1,30 @@
+// Positive fixture: the package path ends in internal/trace. The trace
+// store and debug handler sit on the observability error path — a
+// silently failed Encode there serves an operator a truncated span tree
+// with a 200 status.
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// A bare Encode statement whose error vanishes is flagged.
+func serveTrace(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // want "error result of Encode ignored"
+}
+
+// The explicit `_ =` discard is the documented opt-out: once headers
+// are written, an Encode failure means the client went away and there
+// is nothing left to report to.
+func serveTraceDiscarded(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// Discarding an already-bound error value is always flagged.
+func blankErr(w http.ResponseWriter, v any) {
+	err := json.NewEncoder(w).Encode(v)
+	_ = err // want "error value discarded"
+}

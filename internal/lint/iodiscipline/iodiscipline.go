@@ -43,6 +43,9 @@ var clientPkgs = []string{
 	"internal/etherscan",
 	"internal/subgraph",
 	"internal/opensea",
+	// trace ships in every client's request path (Inject, Middleware);
+	// raw outbound HTTP from it would bypass the retry/breaker stack.
+	"internal/trace",
 }
 
 func isClientPkg(path string) bool {

@@ -10,6 +10,7 @@ import (
 func TestIodiscipline(t *testing.T) {
 	linttest.Run(t, iodiscipline.Analyzer,
 		"ensdropcatch/internal/etherscan", // positive: client package
+		"ensdropcatch/internal/trace",     // positive: rides the client request path
 		"ensdropcatch/internal/ethrpc",    // negative: discipline does not apply
 	)
 }

@@ -12,15 +12,15 @@ import (
 
 // Naked transport in an exported function: always flagged.
 func Naked(c *http.Client, req *http.Request) {
-	c.Do(req)               // want "outside crawler discipline"
-	http.Get("http://x")    // want "outside crawler discipline"
-	http.Head("http://x")   // want "outside crawler discipline"
+	c.Do(req)                               // want "outside crawler discipline"
+	http.Get("http://x")                    // want "outside crawler discipline"
+	http.Head("http://x")                   // want "outside crawler discipline"
 	http.NewRequest("GET", "http://x", nil) // want "context-less http.NewRequest"
 }
 
 // Inside a crawler.Retry closure: disciplined.
 func UnderRetry(ctx context.Context, c *http.Client, req *http.Request) error {
-	return crawler.Retry(ctx, crawler.DefaultRetry(), func() error {
+	return crawler.Retry(ctx, crawler.DefaultRetry(), func(ctx context.Context) error {
 		resp, err := c.Do(req)
 		if err != nil {
 			return err
@@ -40,7 +40,7 @@ func UnderBreaker(b *crawler.Breaker, c *http.Client, req *http.Request) error {
 // An unexported helper whose only callers sit inside Retry closures is
 // disciplined transitively (the doOnce pattern).
 func viaHelper(ctx context.Context, c *http.Client, req *http.Request) error {
-	return crawler.Retry(ctx, crawler.DefaultRetry(), func() error {
+	return crawler.Retry(ctx, crawler.DefaultRetry(), func(ctx context.Context) error {
 		return doOnce(c, req)
 	})
 }
@@ -52,7 +52,7 @@ func doOnce(c *http.Client, req *http.Request) error {
 
 // Two levels of helpers still resolve (fixed point).
 func viaTwoHelpers(ctx context.Context, c *http.Client, req *http.Request) error {
-	return crawler.Retry(ctx, crawler.DefaultRetry(), func() error {
+	return crawler.Retry(ctx, crawler.DefaultRetry(), func(ctx context.Context) error {
 		return levelOne(c, req)
 	})
 }
@@ -73,7 +73,7 @@ func leakyHelper(c *http.Client, req *http.Request) error {
 func UndisciplinedCaller(c *http.Client, req *http.Request) { leakyHelper(c, req) }
 
 func alsoDisciplinedCaller(ctx context.Context, c *http.Client, req *http.Request) error {
-	return crawler.Retry(ctx, crawler.DefaultRetry(), func() error {
+	return crawler.Retry(ctx, crawler.DefaultRetry(), func(ctx context.Context) error {
 		return leakyHelper(c, req)
 	})
 }

@@ -1,0 +1,81 @@
+package obs
+
+import "sync"
+
+// OverflowLabel is the label value that bounded vecs collapse
+// over-limit tuples into, keeping exposition size bounded even when a
+// label is fed caller-controlled values (client ids, user agents, …).
+const OverflowLabel = "_other"
+
+// overflowMetric is the companion family counting collapsed tuples.
+const overflowMetric = "obs_label_overflow_total"
+
+// BoundedCounterVec is a CounterVec whose distinct label tuples are
+// capped. The first limit tuples pass through; later, unseen tuples
+// collapse into OverflowLabel for every label and increment
+// obs_label_overflow_total{metric}. Tuples admitted once stay admitted
+// (the cap is on distinct series, not traffic), so hot-path lookups
+// after warm-up never collapse.
+//
+// Use it whenever a label value originates outside the process — the
+// canonical case here is overload_quota_denied_total{client}, where
+// "client" is whatever X-Client-ID a caller sends.
+type BoundedCounterVec struct {
+	vec      *CounterVec
+	overflow *Counter
+	limit    int
+
+	mu       sync.Mutex
+	seen     map[string]struct{}
+	collapse []string
+}
+
+// BoundedCounterVec registers (or fetches) a labelled counter family
+// capped at limit distinct label tuples; limit <= 0 uses 64.
+func (r *Registry) BoundedCounterVec(name, help string, limit int, labels ...string) *BoundedCounterVec {
+	if limit <= 0 {
+		limit = 64
+	}
+	collapse := make([]string, len(labels))
+	for i := range collapse {
+		collapse[i] = OverflowLabel
+	}
+	return &BoundedCounterVec{
+		vec: r.CounterVec(name, help, labels...),
+		overflow: r.CounterVec(overflowMetric,
+			"Label tuples collapsed into \"_other\" by bounded vecs, by metric.",
+			"metric").With(name),
+		limit:    limit,
+		seen:     map[string]struct{}{},
+		collapse: collapse,
+	}
+}
+
+// With returns the counter for the given label values, collapsing to
+// the overflow series once the cap on distinct tuples is reached.
+func (v *BoundedCounterVec) With(values ...string) *Counter {
+	key := joinKey(values)
+	v.mu.Lock()
+	_, ok := v.seen[key]
+	if !ok && len(v.seen) < v.limit {
+		v.seen[key] = struct{}{}
+		ok = true
+	}
+	v.mu.Unlock()
+	if ok {
+		return v.vec.With(values...)
+	}
+	v.overflow.Inc()
+	return v.vec.With(v.collapse...)
+}
+
+// Cardinality returns how many distinct tuples have been admitted.
+func (v *BoundedCounterVec) Cardinality() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.seen)
+}
+
+// Overflowed returns how many With calls collapsed into the overflow
+// series.
+func (v *BoundedCounterVec) Overflowed() uint64 { return v.overflow.Value() }

@@ -10,14 +10,21 @@ import (
 	"time"
 )
 
+// Mount is one extra debug endpoint to expose alongside the standard
+// set — e.g. the trace store's /debug/traces handler.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // RegisterDebug mounts the observability endpoints on mux:
 //
-//	GET /metrics            Prometheus text exposition of reg
+//	GET /metrics            Prometheus/OpenMetrics exposition of reg
 //	GET /debug/pprof/*      runtime profiles (heap, goroutine, CPU, ...)
 //	GET /debug/vars         expvar JSON (cmdline, memstats)
 //
-// A nil reg uses Default.
-func RegisterDebug(mux *http.ServeMux, reg *Registry) {
+// plus any extra mounts. A nil reg uses Default.
+func RegisterDebug(mux *http.ServeMux, reg *Registry, extra ...Mount) {
 	if reg == nil {
 		reg = Default
 	}
@@ -28,19 +35,22 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 }
 
 // StartDebugServer listens on addr and serves the debug endpoints in a
 // background goroutine, for binaries (like enscrawl) whose main job is
 // not HTTP. It fails fast if the address cannot be bound; shut it down
 // with the returned server's Shutdown/Close.
-func StartDebugServer(addr string, reg *Registry, logger *slog.Logger) (*http.Server, error) {
+func StartDebugServer(addr string, reg *Registry, logger *slog.Logger, extra ...Mount) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	RegisterDebug(mux, reg)
+	RegisterDebug(mux, reg, extra...)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && logger != nil {

@@ -55,7 +55,10 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		start := time.Now()
 		rec := statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(&rec, r)
-		hist.Observe(time.Since(start).Seconds())
+		// With tracing on, pin the request's trace id to the latency
+		// bucket it landed in; the OpenMetrics exposition surfaces it
+		// so a bad bucket links straight to a stored trace.
+		hist.ObserveExemplar(time.Since(start).Seconds(), ContextTraceID(r.Context()))
 		cls := rec.code / 100
 		if cls < 1 || cls > 5 {
 			cls = 0

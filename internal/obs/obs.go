@@ -79,10 +79,13 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed buckets. The upper bounds
 // are set at registration; an implicit +Inf bucket catches the rest.
+// Each bucket can carry one exemplar (see ObserveExemplar), surfaced
+// by the OpenMetrics exposition.
 type Histogram struct {
-	upper   []float64 // sorted upper bounds, exclusive of +Inf
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64
+	upper     []float64 // sorted upper bounds, exclusive of +Inf
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar]
+	sumBits   atomic.Uint64
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -96,7 +99,11 @@ func newHistogram(buckets []float64) *Histogram {
 			panic("obs: histogram buckets must be strictly increasing")
 		}
 	}
-	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value. It is allocation-free.
@@ -341,9 +348,17 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
-// Handler returns an http.Handler serving the exposition format.
+// Handler returns an http.Handler serving the exposition format. It
+// negotiates via the Accept header: clients asking for
+// application/openmetrics-text get the OpenMetrics form with
+// exemplars; everyone else gets the classic Prometheus text format.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if AcceptsOpenMetrics(req) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", TextContentType)
 		r.WriteTo(w)
 	})

@@ -20,6 +20,7 @@ import (
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/overload"
+	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
 )
 
@@ -211,8 +212,11 @@ func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsRespons
 		Jitter:    0.2,
 		Sleep:     c.Sleep,
 	}
+	// One page fetch is one span; retry attempts nest under it and the
+	// traceparent each attempt sends links the server's records in.
+	ctx, sp := trace.Start(ctx, "opensea.page")
 	var page *eventsResponse
-	err := crawler.Retry(ctx, cfg, func() error {
+	err := crawler.Retry(ctx, cfg, func(ctx context.Context) error {
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
 				return err
@@ -238,6 +242,7 @@ func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsRespons
 		}
 		return err
 	})
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -252,6 +257,7 @@ func (c *Client) doOnce(ctx context.Context, endpoint string) (*eventsResponse, 
 		return nil, crawler.Permanent(err)
 	}
 	overload.SetRequestHeaders(req, c.ClientID)
+	trace.Inject(req)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

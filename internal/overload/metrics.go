@@ -14,8 +14,15 @@ type metricSet struct {
 	queueWait   *obs.Histogram
 	admitted    *obs.Counter
 	shed        *obs.CounterVec
-	quotaDenied *obs.CounterVec
+	quotaDenied *obs.BoundedCounterVec
 }
+
+// maxQuotaClients caps the distinct client-id label values on
+// overload_quota_denied_total. The id is caller-controlled
+// (X-Client-ID), so an adversarial or buggy client could otherwise
+// mint unbounded series; past the cap, denials collapse into the
+// "_other" series and obs_label_overflow_total counts them.
+const maxQuotaClients = 128
 
 var metrics atomic.Pointer[metricSet]
 
@@ -42,8 +49,9 @@ func InitMetrics(reg *obs.Registry) {
 			"Data-route requests admitted through the gate."),
 		shed: reg.CounterVec("overload_shed_total",
 			"Requests shed by the admission gate, by route and reason.", "route", "reason"),
-		quotaDenied: reg.CounterVec("overload_quota_denied_total",
-			"Requests denied by per-client quotas, by client id.", "client"),
+		quotaDenied: reg.BoundedCounterVec("overload_quota_denied_total",
+			"Requests denied by per-client quotas, by client id (capped cardinality).",
+			maxQuotaClients, "client"),
 	})
 }
 

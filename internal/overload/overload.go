@@ -31,7 +31,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ensdropcatch/internal/trace"
 )
 
 // Priority classifies a route for admission control.
@@ -101,6 +104,8 @@ type GateConfig struct {
 type Gate struct {
 	cfg GateConfig
 
+	sheds atomic.Uint64
+
 	mu       sync.Mutex
 	inflight int
 	queued   int
@@ -160,12 +165,14 @@ func (g *Gate) Admit(ctx context.Context) (func(), error) {
 	if g.queued >= g.cfg.QueueDepth {
 		est := g.estimateLocked(g.queued + 1)
 		g.mu.Unlock()
+		g.sheds.Add(1)
 		return nil, &ShedError{Reason: ReasonQueueFull, RetryAfter: est}
 	}
 	est := g.estimateLocked(g.queued + 1)
 	if dl, ok := ctx.Deadline(); ok {
 		if remaining := dl.Sub(g.cfg.Now()); est > remaining {
 			g.mu.Unlock()
+			g.sheds.Add(1)
 			return nil, &ShedError{Reason: ReasonDeadline, RetryAfter: est}
 		}
 	}
@@ -192,6 +199,11 @@ func (g *Gate) Admit(ctx context.Context) (func(), error) {
 			wait := g.cfg.Now().Sub(start)
 			g.mu.Unlock()
 			m().queueWait.Observe(wait.Seconds())
+			// A queued admission is latency the gate added; name it in
+			// the trace so slow requests are attributable to the queue.
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.Event("overload.queued", trace.A("wait", wait.String()))
+			}
 			return g.releaseFunc(), nil
 		}
 		// Another waiter claimed the slot; keep waiting.
@@ -213,8 +225,26 @@ func (g *Gate) abandon(reason string) *ShedError {
 	m().queueDepth.Set(float64(g.queued))
 	est := g.estimateLocked(g.queued + 1)
 	g.mu.Unlock()
+	g.sheds.Add(1)
 	return &ShedError{Reason: reason, RetryAfter: est}
 }
+
+// Inflight returns the number of currently admitted data requests.
+func (g *Gate) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// Queued returns the number of requests waiting for a slot.
+func (g *Gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
+
+// ShedCount returns how many admissions the gate has shed in total.
+func (g *Gate) ShedCount() uint64 { return g.sheds.Load() }
 
 // releaseFunc captures the admission time and returns the idempotent
 // release: it frees the slot, feeds the observed service time into the
@@ -256,6 +286,15 @@ func (g *Gate) Wrap(route string, pri Priority, next http.Handler) http.Handler 
 				shed = &ShedError{Reason: ReasonTimeout, RetryAfter: time.Second}
 			}
 			m().shed.With(route, shed.Reason).Inc()
+			// Name the shedding layer on the request's trace: the 503
+			// alone cannot say whether the queue was full, the deadline
+			// budget was blown, or MaxWait elapsed.
+			if sp := trace.FromContext(r.Context()); sp != nil {
+				sp.Error("overload.shed",
+					trace.A("route", route),
+					trace.A("reason", shed.Reason),
+					trace.A("retry_after", shed.RetryAfter.String()))
+			}
 			writeRetryAfter(w, shed.RetryAfter)
 			http.Error(w, "overloaded: "+shed.Reason, http.StatusServiceUnavailable)
 			return

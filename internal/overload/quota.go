@@ -4,7 +4,10 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ensdropcatch/internal/trace"
 )
 
 // ClientIDHeader identifies the requesting crawler for quota accounting.
@@ -43,6 +46,8 @@ type QuotaConfig struct {
 // Safe for concurrent use.
 type Quotas struct {
 	cfg QuotaConfig
+
+	denied atomic.Uint64
 
 	mu      sync.Mutex
 	buckets map[string]*qbucket
@@ -117,6 +122,9 @@ func (q *Quotas) evictLocked() {
 	delete(q.buckets, oldestKey)
 }
 
+// Denied returns how many requests the quota set has rejected in total.
+func (q *Quotas) Denied() uint64 { return q.denied.Load() }
+
 // Clients returns the number of tracked client buckets.
 func (q *Quotas) Clients() int {
 	q.mu.Lock()
@@ -135,7 +143,15 @@ func (q *Quotas) Wrap(route string, next http.Handler) http.Handler {
 		client := ClientID(r)
 		ok, wait := q.Allow(client)
 		if !ok {
+			q.denied.Add(1)
 			m().quotaDenied.With(client).Inc()
+			// Name the denying layer on the request's trace so a stored
+			// 429 trace identifies the quota, not just the status code.
+			if sp := trace.FromContext(r.Context()); sp != nil {
+				sp.Error("overload.quota_denied",
+					trace.A("client", client),
+					trace.A("retry_after", wait.String()))
+			}
 			writeRetryAfter(w, wait)
 			http.Error(w, "quota exceeded for client "+client, http.StatusTooManyRequests)
 			return

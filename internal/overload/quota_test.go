@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"testing"
 	"time"
+
+	"ensdropcatch/internal/obs"
 )
 
 func TestQuotaTokenBucketDeterministic(t *testing.T) {
@@ -109,5 +111,37 @@ func TestQuotaWrapDenies429WithRetryAfterAndCounter(t *testing.T) {
 	}
 	if got := reg.CounterVec("overload_quota_denied_total", "", "client").With("hog").Value(); got != 1 {
 		t.Errorf("overload_quota_denied_total{hog} = %d, want 1", got)
+	}
+}
+
+func TestQuotaDeniedLabelCardinalityBounded(t *testing.T) {
+	reg := withTestMetrics(t)
+	now := time.Unix(0, 0)
+	// Rate 1, Burst 1: every client's second request is denied.
+	q := NewQuotas(QuotaConfig{Rate: 1, Burst: 1, MaxClients: 4096, Now: func() time.Time { return now }})
+
+	denied := 0
+	for i := 0; i < maxQuotaClients+50; i++ {
+		id := "client-" + strconv.Itoa(i)
+		q.Allow(id)
+		if ok, _ := q.Allow(id); !ok {
+			m().quotaDenied.With(id).Inc()
+			denied++
+		}
+	}
+	if denied != maxQuotaClients+50 {
+		t.Fatalf("denials = %d, want %d", denied, maxQuotaClients+50)
+	}
+
+	vec := reg.CounterVec("overload_quota_denied_total", "", "client")
+	if got := vec.With("client-0").Value(); got != 1 {
+		t.Errorf("in-cap client series = %d, want 1", got)
+	}
+	if got := vec.With(obs.OverflowLabel).Value(); got != 50 {
+		t.Errorf("overflow series = %d, want the 50 over-cap denials", got)
+	}
+	if got := reg.CounterVec("obs_label_overflow_total", "", "metric").
+		With("overload_quota_denied_total").Value(); got != 50 {
+		t.Errorf("obs_label_overflow_total = %d, want 50", got)
 	}
 }

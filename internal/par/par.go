@@ -17,8 +17,10 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +52,7 @@ const chunksPerWorker = 8
 // Pool is a bounded fan-out executor for one named operation. The zero
 // value is not usable; construct with New.
 type Pool struct {
+	op        string
 	workers   int
 	shardDur  *obs.Histogram
 	queueWait *obs.Histogram
@@ -64,6 +67,7 @@ func New(op string, workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{
+		op:        op,
 		workers:   workers,
 		shardDur:  shardSeconds.With(op),
 		queueWait: queueWaitSeconds.With(op),
@@ -88,11 +92,17 @@ func ForEach(p *Pool, n int, fn func(i int)) {
 		w = n
 	}
 	p.gauge.Set(float64(w))
+	// CPU samples from every shard carry the pool's operation name, so a
+	// profile from `make bench` segments by analysis rather than showing
+	// one undifferentiated par.ForEach hot spot.
+	labels := pprof.Labels("par_op", p.op)
 	if w == 1 {
 		start := time.Now()
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		})
 		p.shardDur.Observe(time.Since(start).Seconds())
 		p.tasks.Add(uint64(n))
 		return
@@ -118,26 +128,28 @@ func ForEach(p *Pool, n int, fn func(i int)) {
 					panicOnce.Do(func() { panicked = fmt.Errorf("par: worker panic: %v", r) })
 				}
 			}()
-			first := true
-			for {
-				hi := int(next.Add(int64(chunk)))
-				lo := hi - chunk
-				if lo >= n {
-					return
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				first := true
+				for {
+					hi := int(next.Add(int64(chunk)))
+					lo := hi - chunk
+					if lo >= n {
+						return
+					}
+					if hi > n {
+						hi = n
+					}
+					if first {
+						p.queueWait.Observe(time.Since(submitted).Seconds())
+						first = false
+					}
+					start := time.Now()
+					for i := lo; i < hi; i++ {
+						fn(i)
+					}
+					p.shardDur.Observe(time.Since(start).Seconds())
 				}
-				if hi > n {
-					hi = n
-				}
-				if first {
-					p.queueWait.Observe(time.Since(submitted).Seconds())
-					first = false
-				}
-				start := time.Now()
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-				p.shardDur.Observe(time.Since(start).Seconds())
-			}
+			})
 		}()
 	}
 	wg.Wait()

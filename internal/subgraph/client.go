@@ -12,6 +12,7 @@ import (
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/overload"
+	"ensdropcatch/internal/trace"
 )
 
 // Client queries a subgraph endpoint and pages through collections with
@@ -68,8 +69,14 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 		Jitter:    0.2,
 		Sleep:     c.Sleep,
 	}
+	// One query, one span; retry attempts nest under it and propagate
+	// the trace id to the server via traceparent.
+	ctx, sp := trace.Start(ctx, "subgraph.query")
+	if sp != nil {
+		sp.Annotate("query.bytes", fmt.Sprintf("%d", len(body)))
+	}
 	var data map[string][]Entity
-	err = crawler.Retry(ctx, cfg, func() error {
+	err = crawler.Retry(ctx, cfg, func(ctx context.Context) error {
 		if b := c.Breaker; b != nil {
 			if err := b.Allow(); err != nil {
 				return err
@@ -96,6 +103,7 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 		}
 		return err
 	})
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +119,7 @@ func (c *Client) doOnce(ctx context.Context, body []byte) (map[string][]Entity, 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	overload.SetRequestHeaders(req, c.ClientID)
+	trace.Inject(req)
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDisabledTracingAllocates pins the package's cost contract: with
+// no tracer installed, the instrumentation calls sprinkled through the
+// crawl and serve paths must not allocate at all.
+func TestDisabledTracingAllocates(t *testing.T) {
+	ctx := context.Background()
+	req := httptest.NewRequest("GET", "http://example/x", nil)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Start", func() {
+			_, sp := Start(ctx, "op")
+			sp.End()
+		}},
+		{"FromContext", func() {
+			if FromContext(ctx) != nil {
+				t.Fatal("unexpected span")
+			}
+		}},
+		{"NilSpanMethods", func() {
+			sp := FromContext(ctx)
+			sp.Annotate("k", "v")
+			sp.Event("e")
+			sp.End()
+		}},
+		{"Inject", func() { Inject(req) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+				t.Fatalf("disabled %s allocates %.1f allocs/op, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+func BenchmarkDisabledStart(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "op")
+		sp.Annotate("k", "v")
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	InitMetrics(nil)
+	tr := New(Config{Store: NewStore(StoreConfig{SampleRate: 0, Seed: 1}), Seed: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := tr.Start(ctx, "op")
+		_, child := Start(c, "child")
+		child.End()
+		sp.End()
+	}
+}

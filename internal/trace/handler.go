@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the trace store over HTTP:
+//
+//	GET /debug/traces        — JSON listing, errored-then-slowest first;
+//	                           ?n=K bounds the rows (default 50).
+//	GET /debug/traces/{id}   — the full span tree for one trace id.
+//
+// Mount it at /debug/traces (it handles both the bare path and the
+// per-id subpath). A nil store serves an empty listing and 404s ids,
+// so wiring can be unconditional.
+func Handler(store *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+		if rest == "" {
+			serveList(w, r, store)
+			return
+		}
+		serveTrace(w, store, rest)
+	})
+}
+
+// listResponse is the /debug/traces body.
+type listResponse struct {
+	Count    int       `json:"count"`
+	Capacity int       `json:"capacity"`
+	Dropped  uint64    `json:"dropped"`
+	Evicted  uint64    `json:"evicted"`
+	Traces   []Summary `json:"traces"`
+}
+
+func serveList(w http.ResponseWriter, r *http.Request, store *Store) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	resp := listResponse{
+		Count:    store.Len(),
+		Capacity: store.Capacity(),
+		Dropped:  store.Dropped(),
+		Evicted:  store.Evicted(),
+		Traces:   store.List(n),
+	}
+	if resp.Traces == nil {
+		resp.Traces = []Summary{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func serveTrace(w http.ResponseWriter, store *Store, id string) {
+	tr := store.Get(id)
+	if tr == nil {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The response writer owns delivery failures; nothing actionable here.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"sync"
+)
+
+// TraceID is the 16-byte W3C trace id. The zero value is invalid (the
+// spec reserves all-zeroes for "no trace").
+type TraceID [16]byte
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is the 8-byte W3C parent/span id. The zero value is invalid.
+type SpanID [8]byte
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idSource mints trace and span ids.
+//
+// This is the ID-generation seam the determinism story hangs on: like
+// obs.NowWall for the wall clock, it is the one sanctioned source of
+// randomness outside the detrand-enforced deterministic packages, and
+// ids drawn from it may only ever flow into trace state — never into a
+// dataset, world, or report byte (TestTracingDoesNotChangeFingerprint
+// holds the pipeline to that). Seeded construction makes test traces
+// reproducible; production tracers seed from the host entropy pool.
+type idSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// seed initializes the source; 0 draws a seed from crypto/rand.
+func (s *idSource) seed(seed int64) {
+	if seed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Entropy pool unreadable: fall back to a fixed seed rather
+			// than fail — ids stay unique within the process, which is
+			// all tracing needs.
+			b[7] = 1
+		}
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	s.mu.Lock()
+	s.rng = rand.New(rand.NewSource(seed))
+	s.mu.Unlock()
+}
+
+// traceID mints a non-zero trace id.
+func (s *idSource) traceID() TraceID {
+	var id TraceID
+	s.mu.Lock()
+	for id == (TraceID{}) {
+		binary.LittleEndian.PutUint64(id[:8], s.rng.Uint64())
+		binary.LittleEndian.PutUint64(id[8:], s.rng.Uint64())
+	}
+	s.mu.Unlock()
+	return id
+}
+
+// spanID mints a non-zero span id.
+func (s *idSource) spanID() SpanID {
+	var id SpanID
+	s.mu.Lock()
+	for id == (SpanID{}) {
+		binary.LittleEndian.PutUint64(id[:], s.rng.Uint64())
+	}
+	s.mu.Unlock()
+	return id
+}

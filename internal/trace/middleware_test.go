@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/obs"
+)
+
+func TestMiddlewareContinuesRemoteTrace(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 1})
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if FromContext(r.Context()) == nil {
+			t.Errorf("handler context lost the span")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	req := httptest.NewRequest("GET", "/data", nil)
+	req.Header.Set(Header, validTraceparent)
+	req.Header.Set("X-Client-ID", "tenant-a")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	got := store.Get("0af7651916cd43dd8448eb211c80319c")
+	if got == nil {
+		t.Fatalf("remote trace not continued into the store")
+	}
+	rd := got.Roots[0]
+	if !rd.Remote || rd.ParentID != "b7ad6b7169203331" {
+		t.Fatalf("remote parent lost: %+v", rd)
+	}
+	want := map[string]string{
+		"http.method": "GET", "http.route": "/data",
+		"http.status": "200", "client.id": "tenant-a",
+	}
+	for _, a := range rd.Attrs {
+		if v, ok := want[a.Key]; ok && v == a.Value {
+			delete(want, a.Key)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing annotations %v in %+v", want, rd.Attrs)
+	}
+}
+
+func TestMiddlewareMarksOverloadStatusesErrored(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		tr, store := newTestTracer(t, StoreConfig{SampleRate: 0})
+		h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "no", status)
+		}))
+		req := httptest.NewRequest("GET", "/data", nil)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+
+		list := store.List(0)
+		if len(list) != 1 || !list[0].Error {
+			t.Fatalf("status %d: trace not kept as errored (%+v)", status, list)
+		}
+	}
+}
+
+func TestMiddlewareOKTraceSampledOut(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 0, SlowThreshold: time.Hour})
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok")) // implicit 200 via Write
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/data", nil))
+	if store.Len() != 0 {
+		t.Fatalf("healthy fast trace kept at sample rate 0")
+	}
+	if store.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", store.Dropped())
+	}
+}
+
+func TestMiddlewarePanicFinishesSpan(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 0})
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if rec := recover(); rec != http.ErrAbortHandler {
+				t.Fatalf("panic not re-raised unchanged: %v", rec)
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/data", nil))
+	}()
+	list := store.List(0)
+	if len(list) != 1 || !list[0].Error {
+		t.Fatalf("aborted request's trace not stored as errored: %+v", list)
+	}
+}
+
+func TestMiddlewareNilTracerPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Middleware(nil, inner); got == nil {
+		t.Fatalf("nil tracer should pass through, got nil handler")
+	}
+}
+
+func TestHandlerListAndGet(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{SampleRate: 1, SlowThreshold: time.Hour, Seed: 1})
+	s.Offer(mkRoot(1, "alpha", time.Millisecond, true))
+	s.Offer(mkRoot(2, "beta", 2*time.Millisecond, false))
+	h := Handler(s)
+
+	// Listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status = %d", rec.Code)
+	}
+	var list listResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list body: %v", err)
+	}
+	if list.Count != 2 || len(list.Traces) != 2 || !list.Traces[0].Error {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Bounded listing.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=1", nil))
+	list = listResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("bounded list body: %v", err)
+	}
+	if len(list.Traces) != 1 {
+		t.Fatalf("n=1 returned %d rows", len(list.Traces))
+	}
+
+	// Single trace by id.
+	id := list.Traces[0].ID
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get status = %d", rec.Code)
+	}
+	var tr Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("trace body: %v", err)
+	}
+	if tr.ID != id || len(tr.Roots) != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	// Unknown id, bad n, bad method.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/feedbeef", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad n status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/traces", strings.NewReader("{}")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", rec.Code)
+	}
+}
+
+func TestHandlerNilStore(t *testing.T) {
+	h := Handler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil-store list status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/abc", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("nil-store get status = %d", rec.Code)
+	}
+}

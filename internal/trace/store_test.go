@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/obs"
+)
+
+func mkRoot(id byte, name string, dur time.Duration, errored bool) *SpanData {
+	var tid TraceID
+	tid[0] = id
+	tid[15] = 1
+	return &SpanData{
+		TraceID:  tid.String(),
+		SpanID:   "0000000000000001",
+		Name:     name,
+		Duration: dur,
+		Error:    errored,
+	}
+}
+
+func TestStoreAlwaysKeepsInteresting(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{Capacity: 8, SampleRate: 0, SlowThreshold: time.Second, Seed: 1})
+
+	s.Offer(mkRoot(1, "err", time.Millisecond, true))
+	s.Offer(mkRoot(2, "slow", 2*time.Second, false))
+	s.Offer(mkRoot(3, "plain", time.Millisecond, false))
+
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (error + slow kept, plain sampled out)", s.Len())
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped())
+	}
+	if tr := s.Get(mkRoot(1, "", 0, false).TraceID); tr == nil || !tr.Error {
+		t.Fatalf("errored trace missing or unmarked: %+v", tr)
+	}
+	if tr := s.Get(mkRoot(2, "", 0, false).TraceID); tr == nil || !tr.Slow {
+		t.Fatalf("slow trace missing or unmarked: %+v", tr)
+	}
+}
+
+func TestStoreChildErrorKeepsTrace(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{SampleRate: 0, Seed: 1})
+	root := mkRoot(9, "op", time.Millisecond, false)
+	root.Children = []*SpanData{{TraceID: root.TraceID, SpanID: "0000000000000002", Name: "inner", Error: true}}
+	s.Offer(root)
+	if tr := s.Get(root.TraceID); tr == nil || !tr.Error {
+		t.Fatalf("child error did not keep the trace: %+v", tr)
+	}
+}
+
+func TestStoreMergesRootsByTraceID(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{SampleRate: 0, Seed: 1})
+
+	// Three server-side requests carrying one trace id — the shape of a
+	// client retrying one logical call. The first errors (so the trace
+	// is kept); the rest must land in the same trace.
+	s.Offer(mkRoot(5, "attempt", time.Millisecond, true))
+	s.Offer(mkRoot(5, "attempt", 2*time.Millisecond, false))
+	s.Offer(mkRoot(5, "attempt", 3*time.Millisecond, false))
+
+	tr := s.Get(mkRoot(5, "", 0, false).TraceID)
+	if tr == nil || len(tr.Roots) != 3 {
+		t.Fatalf("merged roots = %v, want 3", tr)
+	}
+	if tr.Duration() != 3*time.Millisecond {
+		t.Fatalf("Duration = %v, want longest root", tr.Duration())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 merged trace", s.Len())
+	}
+}
+
+func TestStoreSamplingDeterministic(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	keptBySeed := func(seed int64) []string {
+		s := NewStore(StoreConfig{Capacity: 1024, SampleRate: 0.5, SlowThreshold: time.Hour, Seed: seed})
+		for i := 0; i < 64; i++ {
+			s.Offer(mkRoot(byte(i), "op", time.Millisecond, false))
+		}
+		var ids []string
+		for _, sum := range s.List(0) {
+			ids = append(ids, sum.ID)
+		}
+		return ids
+	}
+	a, b := keptBySeed(11), keptBySeed(11)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("sampling at 0.5 kept %d of 64 — degenerate", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different keeps:\n%v\n%v", a, b)
+	}
+	c := keptBySeed(12)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical keeps (suspicious)")
+	}
+}
+
+func TestStoreEvictionPrefersOrdinary(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{Capacity: 3, SampleRate: 1, SlowThreshold: time.Hour, Seed: 1})
+
+	s.Offer(mkRoot(1, "err", time.Millisecond, true))
+	s.Offer(mkRoot(2, "plain-old", time.Millisecond, false))
+	s.Offer(mkRoot(3, "plain-new", time.Millisecond, false))
+	s.Offer(mkRoot(4, "err2", time.Millisecond, true)) // over capacity
+
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", s.Len())
+	}
+	if s.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", s.Evicted())
+	}
+	// The oldest *ordinary* trace goes; both errored traces survive.
+	if s.Get(mkRoot(2, "", 0, false).TraceID) != nil {
+		t.Fatalf("oldest ordinary trace not evicted first")
+	}
+	for _, id := range []byte{1, 3, 4} {
+		if s.Get(mkRoot(id, "", 0, false).TraceID) == nil {
+			t.Fatalf("trace %d wrongly evicted", id)
+		}
+	}
+
+	// All-interesting store: oldest interesting goes.
+	s.Offer(mkRoot(5, "err3", time.Millisecond, true))
+	s.Offer(mkRoot(6, "err4", time.Millisecond, true))
+	if s.Get(mkRoot(1, "", 0, false).TraceID) != nil {
+		t.Fatalf("oldest interesting trace should go once no ordinary remain")
+	}
+}
+
+func TestStoreListOrdering(t *testing.T) {
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	s := NewStore(StoreConfig{SampleRate: 1, SlowThreshold: time.Hour, Seed: 1})
+	s.Offer(mkRoot(1, "fast", time.Millisecond, false))
+	s.Offer(mkRoot(2, "slower", 10*time.Millisecond, false))
+	s.Offer(mkRoot(3, "errored", 2*time.Millisecond, true))
+
+	got := s.List(0)
+	if len(got) != 3 {
+		t.Fatalf("List = %d rows, want 3", len(got))
+	}
+	if !got[0].Error || got[0].Name != "errored" {
+		t.Fatalf("errored trace not first: %+v", got[0])
+	}
+	if got[1].Name != "slower" || got[2].Name != "fast" {
+		t.Fatalf("duration ordering wrong: %+v", got[1:])
+	}
+	if capped := s.List(2); len(capped) != 2 {
+		t.Fatalf("List(2) = %d rows", len(capped))
+	}
+}
+
+func TestNilStoreSafe(t *testing.T) {
+	var s *Store
+	s.Offer(mkRoot(1, "x", 0, true))
+	if s.Len() != 0 || s.Get("x") != nil || s.List(5) != nil || s.Dropped() != 0 || s.Capacity() != 0 {
+		t.Fatalf("nil store leaked state")
+	}
+}
+
+func TestTracerWithoutStorePropagatesOnly(t *testing.T) {
+	tr := New(Config{Seed: 3})
+	_, sp := tr.Start(context.Background(), "op")
+	if sp == nil {
+		t.Fatalf("propagate-only tracer should still mint spans")
+	}
+	sp.End() // must not panic with a nil store
+	if tr.Store() != nil {
+		t.Fatalf("Store() should be nil for propagate-only tracer")
+	}
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ensdropcatch/internal/obs"
+)
+
+// newTestTracer builds a seeded tracer+store pair on a private metrics
+// registry so assertions never race other packages' counters.
+func newTestTracer(t *testing.T, cfg StoreConfig) (*Tracer, *Store) {
+	t.Helper()
+	InitMetrics(obs.NewRegistry())
+	t.Cleanup(func() { InitMetrics(nil) })
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	store := NewStore(cfg)
+	return New(Config{Store: store, Seed: 42}), store
+}
+
+func TestSpanTreeRecorded(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 1})
+
+	ctx, root := tr.Start(context.Background(), "op")
+	root.Annotate("k", "v")
+	_, child := Start(ctx, "child")
+	child.Event("tick", A("n", "1"))
+	grandCtx, grand := Start(ContextWith(ctx, child), "grand")
+	if FromContext(grandCtx) != grand {
+		t.Fatalf("context does not carry innermost span")
+	}
+	grand.End()
+	child.End()
+	root.End()
+
+	got := store.Get(root.TraceID().String())
+	if got == nil {
+		t.Fatalf("trace %s not stored", root.TraceID())
+	}
+	if len(got.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(got.Roots))
+	}
+	rd := got.Roots[0]
+	if rd.Name != "op" || len(rd.Children) != 1 {
+		t.Fatalf("root = %q with %d children, want op with 1", rd.Name, len(rd.Children))
+	}
+	cd := rd.Children[0]
+	if cd.Name != "child" || cd.ParentID != rd.SpanID || len(cd.Children) != 1 {
+		t.Fatalf("child tree malformed: %+v", cd)
+	}
+	if cd.Children[0].Name != "grand" || cd.Children[0].ParentID != cd.SpanID {
+		t.Fatalf("grandchild tree malformed: %+v", cd.Children[0])
+	}
+	if len(rd.Attrs) != 1 || rd.Attrs[0] != (Attr{Key: "k", Value: "v"}) {
+		t.Fatalf("root attrs = %+v", rd.Attrs)
+	}
+	if len(cd.Events) != 1 || cd.Events[0].Name != "tick" || cd.Events[0].Error {
+		t.Fatalf("child events = %+v", cd.Events)
+	}
+	if rd.TraceID != cd.TraceID || cd.TraceID != cd.Children[0].TraceID {
+		t.Fatalf("trace ids diverge within one tree")
+	}
+}
+
+func TestErrorMarksTraceInteresting(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 0})
+
+	// An ordinary fast trace is sampled out at rate 0...
+	_, plain := tr.Start(context.Background(), "plain")
+	plain.End()
+	if store.Len() != 0 {
+		t.Fatalf("plain trace kept at sample rate 0")
+	}
+
+	// ...but one with an error event deep in the tree is always kept.
+	ctx, root := tr.Start(context.Background(), "errop")
+	_, child := Start(ctx, "child")
+	child.Error("overload.shed", A("reason", "queue_full"))
+	child.End()
+	root.End()
+
+	got := store.Get(root.TraceID().String())
+	if got == nil || !got.Error {
+		t.Fatalf("errored trace not kept as interesting: %+v", got)
+	}
+	ev := got.Roots[0].Children[0].Events
+	if len(ev) != 1 || ev[0].Name != "overload.shed" || !ev[0].Error {
+		t.Fatalf("error event lost: %+v", ev)
+	}
+}
+
+func TestEndErrRecordsMessage(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 0})
+	_, sp := tr.Start(context.Background(), "op")
+	sp.EndErr(context.DeadlineExceeded)
+	got := store.Get(sp.TraceID().String())
+	if got == nil {
+		t.Fatalf("errored trace dropped")
+	}
+	ev := got.Roots[0].Events
+	if len(ev) != 1 || !ev[0].Error || !strings.Contains(ev[0].Attrs[0].Value, "deadline") {
+		t.Fatalf("EndErr event = %+v", ev)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 1})
+	_, sp := tr.Start(context.Background(), "op")
+	sp.End()
+	sp.End()
+	sp.EndErr(nil)
+	got := store.Get(sp.TraceID().String())
+	if got == nil || len(got.Roots) != 1 {
+		t.Fatalf("double End duplicated the root: %+v", got)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.Annotate("k", "v")
+	sp.Event("e")
+	sp.Error("e")
+	sp.End()
+	sp.EndErr(context.Canceled)
+	if sp.TraceID() != (TraceID{}) || sp.Context() != (SpanContext{}) {
+		t.Fatalf("nil span leaked state")
+	}
+	ctx, child := Start(context.Background(), "child")
+	if child != nil {
+		t.Fatalf("Start without tracer returned a live span")
+	}
+	if ctx != context.Background() {
+		t.Fatalf("Start without tracer rewrapped the context")
+	}
+}
+
+func TestNilTracerStart(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "op")
+	if sp != nil || ctx != context.Background() {
+		t.Fatalf("nil tracer minted a span")
+	}
+	_, sp = tr.StartRemote(context.Background(), "op", SpanContext{})
+	if sp != nil {
+		t.Fatalf("nil tracer minted a remote span")
+	}
+}
+
+func TestDefaultTracerStart(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 1})
+	WithDefault(tr, func() {
+		ctx, sp := Start(context.Background(), "viadefault")
+		if sp == nil {
+			t.Fatalf("default tracer not picked up")
+		}
+		_, child := Start(ctx, "child")
+		child.End()
+		sp.End()
+		if store.Get(sp.TraceID().String()) == nil {
+			t.Fatalf("default-tracer trace not stored")
+		}
+	})
+	if Default() != nil {
+		t.Fatalf("WithDefault did not restore the prior default")
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	tr, store := newTestTracer(t, StoreConfig{SampleRate: 1})
+	remote := SpanContext{
+		TraceID: TraceID{0xab, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		SpanID:  SpanID{0xcd, 1, 2, 3, 4, 5, 6, 7},
+		Sampled: true,
+	}
+	_, sp := tr.StartRemote(context.Background(), "server", remote)
+	if sp.TraceID() != remote.TraceID {
+		t.Fatalf("remote trace id not kept: %s", sp.TraceID())
+	}
+	sp.End()
+	got := store.Get(remote.TraceID.String())
+	if got == nil {
+		t.Fatalf("continued trace not stored under remote id")
+	}
+	rd := got.Roots[0]
+	if rd.ParentID != remote.SpanID.String() || !rd.Remote {
+		t.Fatalf("remote parent not recorded: %+v", rd)
+	}
+}
+
+func TestStartRemoteZeroContextStartsFresh(t *testing.T) {
+	tr, _ := newTestTracer(t, StoreConfig{SampleRate: 1})
+	_, sp := tr.StartRemote(context.Background(), "server", SpanContext{})
+	if sp == nil || sp.TraceID() == (TraceID{}) {
+		t.Fatalf("zero SpanContext should start a fresh trace")
+	}
+	sp.End()
+}
+
+func TestSeededIDsDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7})
+	b := New(Config{Seed: 7})
+	for i := 0; i < 4; i++ {
+		_, sa := a.Start(context.Background(), "x")
+		_, sb := b.Start(context.Background(), "x")
+		if sa.TraceID() != sb.TraceID() {
+			t.Fatalf("seeded tracers diverged at span %d", i)
+		}
+		sa.End()
+		sb.End()
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the W3C Trace Context propagation header.
+const Header = "traceparent"
+
+// SpanContext is the propagated slice of a span: enough to continue
+// the trace across a process boundary.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// FormatTraceparent renders sc as a version-00 traceparent value:
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+func FormatTraceparent(sc SpanContext) string {
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	b[53] = '0'
+	if sc.Sampled {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value per the W3C Trace
+// Context spec (level 1, version 00 semantics):
+//
+//   - exactly version-format for version 00: 55 bytes, dashes at 2, 35,
+//     52, all hex lowercase;
+//   - version "ff" is invalid, as are an all-zero trace id or parent id;
+//   - an unknown (non-00) version is accepted if its prefix parses as
+//     the version-00 layout and any extra content is dash-separated,
+//     per the spec's forward-compatibility rule.
+//
+// The second result is false when the value is unusable and the caller
+// should start a fresh trace.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(v) < 55 {
+		return sc, false
+	}
+	if !isLowerHex(v[0:2]) || v[0:2] == "ff" {
+		return sc, false
+	}
+	version00 := v[0:2] == "00"
+	if version00 && len(v) != 55 {
+		return sc, false
+	}
+	if len(v) > 55 && v[55] != '-' {
+		return sc, false
+	}
+	if v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return sc, false
+	}
+	if !isLowerHex(v[3:35]) || !isLowerHex(v[36:52]) || !isLowerHex(v[53:55]) {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(v[3:35])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(v[36:52])); err != nil {
+		return sc, false
+	}
+	if sc.TraceID == (TraceID{}) || sc.SpanID == (SpanID{}) {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(v[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, true
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits. The
+// spec forbids uppercase, so "AB" is rejected even though hex.Decode
+// would take it.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Inject stamps the active span's traceparent onto an outbound
+// request. Without an active span it leaves the request untouched and
+// allocates nothing.
+func Inject(req *http.Request) {
+	sp := FromContext(req.Context())
+	if sp == nil {
+		return
+	}
+	req.Header.Set(Header, FormatTraceparent(sp.Context()))
+}
+
+// Extract parses the inbound request's traceparent; ok is false when
+// absent or malformed.
+func Extract(r *http.Request) (SpanContext, bool) {
+	v := r.Header.Get(Header)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(v)
+}

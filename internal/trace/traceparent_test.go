@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+var validTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		ok    bool
+		trace string
+		span  string
+		flag  bool
+	}{
+		{
+			name:  "valid sampled",
+			in:    validTraceparent,
+			ok:    true,
+			trace: "0af7651916cd43dd8448eb211c80319c",
+			span:  "b7ad6b7169203331",
+			flag:  true,
+		},
+		{
+			name:  "valid unsampled",
+			in:    "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+			ok:    true,
+			trace: "0af7651916cd43dd8448eb211c80319c",
+			span:  "b7ad6b7169203331",
+			flag:  false,
+		},
+		{
+			name: "future version with extra dash-separated field",
+			in:   "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+			ok:   true, trace: "0af7651916cd43dd8448eb211c80319c",
+			span: "b7ad6b7169203331", flag: true,
+		},
+		{
+			name: "future version exact length",
+			in:   "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+			ok:   true, trace: "0af7651916cd43dd8448eb211c80319c",
+			span: "b7ad6b7169203331", flag: true,
+		},
+		{
+			name: "sampled via other flag bits",
+			in:   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-03",
+			ok:   true, trace: "0af7651916cd43dd8448eb211c80319c",
+			span: "b7ad6b7169203331", flag: true,
+		},
+		{name: "empty", in: "", ok: false},
+		{name: "truncated", in: validTraceparent[:54], ok: false},
+		{name: "version ff reserved", in: "ff" + validTraceparent[2:], ok: false},
+		{name: "uppercase version", in: "0A" + validTraceparent[2:], ok: false},
+		{name: "version 00 with trailing field", in: validTraceparent + "-extra", ok: false},
+		{name: "version 00 trailing garbage", in: validTraceparent + "x", ok: false},
+		{name: "future version junk after flags", in: "01" + validTraceparent[2:] + "x", ok: false},
+		{
+			name: "all-zero trace id",
+			in:   "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+			ok:   false,
+		},
+		{
+			name: "all-zero parent id",
+			in:   "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+			ok:   false,
+		},
+		{
+			name: "uppercase trace id",
+			in:   "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+			ok:   false,
+		},
+		{
+			name: "uppercase parent id",
+			in:   "00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01",
+			ok:   false,
+		},
+		{
+			name: "non-hex trace id",
+			in:   "00-0ag7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+			ok:   false,
+		},
+		{
+			name: "missing dash after version",
+			in:   "00x0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+			ok:   false,
+		},
+		{
+			name: "missing dash before flags",
+			in:   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331x01",
+			ok:   false,
+		},
+		{
+			name: "uppercase flags",
+			in:   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0A",
+			ok:   false,
+		},
+		{name: "non-hex version", in: "zz" + validTraceparent[2:], ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := ParseTraceparent(tc.in)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			}
+			if !ok {
+				if sc != (SpanContext{}) {
+					t.Fatalf("rejected parse leaked state: %+v", sc)
+				}
+				return
+			}
+			if sc.TraceID.String() != tc.trace {
+				t.Errorf("trace id = %s, want %s", sc.TraceID, tc.trace)
+			}
+			if sc.SpanID.String() != tc.span {
+				t.Errorf("span id = %s, want %s", sc.SpanID, tc.span)
+			}
+			if sc.Sampled != tc.flag {
+				t.Errorf("sampled = %v, want %v", sc.Sampled, tc.flag)
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	sc := SpanContext{
+		TraceID: TraceID{0x0a, 0xf7, 0x65, 0x19, 0x16, 0xcd, 0x43, 0xdd, 0x84, 0x48, 0xeb, 0x21, 0x1c, 0x80, 0x31, 0x9c},
+		SpanID:  SpanID{0xb7, 0xad, 0x6b, 0x71, 0x69, 0x20, 0x33, 0x31},
+		Sampled: true,
+	}
+	v := FormatTraceparent(sc)
+	if v != validTraceparent {
+		t.Fatalf("FormatTraceparent = %q, want %q", v, validTraceparent)
+	}
+	got, ok := ParseTraceparent(v)
+	if !ok || got != sc {
+		t.Fatalf("round trip lost data: %+v ok=%v", got, ok)
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr, _ := newTestTracer(t, StoreConfig{SampleRate: 0})
+	_, sp := tr.Start(context.Background(), "op")
+	defer sp.End()
+
+	req := httptest.NewRequest("GET", "http://example/x", nil)
+	req = req.WithContext(ContextWith(req.Context(), sp))
+	Inject(req)
+	v := req.Header.Get(Header)
+	if !strings.HasPrefix(v, "00-"+sp.TraceID().String()+"-") {
+		t.Fatalf("injected header %q does not carry trace id %s", v, sp.TraceID())
+	}
+	sc, ok := Extract(req)
+	if !ok || sc.TraceID != sp.TraceID() || !sc.Sampled {
+		t.Fatalf("extract mismatch: %+v ok=%v", sc, ok)
+	}
+
+	// No active span: Inject must be a no-op.
+	bare := httptest.NewRequest("GET", "http://example/x", nil)
+	Inject(bare)
+	if bare.Header.Get(Header) != "" {
+		t.Fatalf("Inject stamped a header without an active span")
+	}
+	if _, ok := Extract(bare); ok {
+		t.Fatalf("Extract invented a span context")
+	}
+}
+
+// FuzzParseTraceparent checks the parser never panics and that every
+// accepted value survives a format/reparse round trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTraceparent)
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add(strings.Repeat("-", 60))
+	f.Fuzz(func(t *testing.T, v string) {
+		sc, ok := ParseTraceparent(v)
+		if !ok {
+			if sc != (SpanContext{}) {
+				t.Fatalf("rejected parse leaked state: %+v", sc)
+			}
+			return
+		}
+		if sc.TraceID == (TraceID{}) || sc.SpanID == (SpanID{}) {
+			t.Fatalf("accepted zero id from %q", v)
+		}
+		re, ok2 := ParseTraceparent(FormatTraceparent(sc))
+		if !ok2 || re.TraceID != sc.TraceID || re.SpanID != sc.SpanID || re.Sampled != sc.Sampled {
+			t.Fatalf("round trip diverged for %q: %+v vs %+v", v, sc, re)
+		}
+	})
+}
