@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRaceGetVsOffer(t *testing.T) {
+	InitMetrics(nil)
+	s := NewStore(StoreConfig{SampleRate: 1, Seed: 1, SlowThreshold: time.Hour})
+	s.Offer(&SpanData{TraceID: "deadbeef", Name: "x", Error: true})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 50000; i++ {
+			s.Offer(&SpanData{TraceID: "deadbeef", Name: "x", Error: true})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		tr := s.Get("deadbeef")
+		for i := 0; i < 50000; i++ {
+			enc := json.NewEncoder(io.Discard)
+			_ = enc.Encode(tr)
+		}
+	}()
+	close(start)
+	wg.Wait()
+}
