@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-all soak-smoke trace-smoke bench bench-smoke fuzz fuzz-smoke clean tools report
+.PHONY: all build vet lint test race race-all soak-smoke trace-smoke persist-smoke bench bench-persist bench-smoke fuzz fuzz-smoke clean tools report
 
 all: build vet lint test race
 
@@ -47,6 +47,15 @@ trace-smoke:
 	$(GO) test -race -count=1 -run 'TestTraceAttribution|TestTracingDoesNotChangeFingerprint' -v .
 	$(GO) test -count=1 -run 'TestDisabledTracingAllocates' -v ./internal/trace/
 
+# Persistence durability drill: JSON-vs-binary fingerprint equivalence,
+# save->load->save byte-stability in both formats, every-byte and strided
+# truncation sweeps over the binary snapshot and the JSONL sections,
+# crash-atomic save (no temp residue, old data survives failed writes),
+# torn/stale spool-snapshot fallback on the resumable crawl.
+persist-smoke:
+	$(GO) test -race -count=1 -run 'TestBinary|TestSave|TestTruncated|TestTornSnapshot|TestSnapshot|TestSpoolSnapshot|TestMixedGeneration|TestLoad|TestWriteAtomic' -v ./internal/dataset/
+	$(GO) test -race -count=1 ./internal/dataset/codec/
+
 # Regenerates every table and figure of the paper's evaluation and archives
 # the machine-readable results (name -> ns/op, allocs, custom metrics).
 # The second pass re-runs the two hottest analyses at 100k domains (the
@@ -57,6 +66,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 	ENSBENCH_DOMAINS=100000 $(GO) test -bench='Figure8MisdirectedAmounts|Table1FeatureComparison' -benchmem . | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_PR3.json bench_output.txt
+
+# Save/load wall-time, allocs/op, and on-disk bytes for both dataset
+# encodings at the default 20k world and the 100k acceptance scale.
+# Sub-benchmark names carry the scale (save_json_20k, load_binary_100k,
+# ...), so both passes survive in BENCH_PR7.json.
+bench-persist:
+	$(GO) test -bench=BenchmarkDatasetPersist -benchmem . | tee bench_persist.txt
+	ENSBENCH_DOMAINS=100000 $(GO) test -bench=BenchmarkDatasetPersist -benchmem -timeout 40m . | tee -a bench_persist.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json bench_persist.txt
 
 # One-iteration smoke pass: exercises every benchmark body without the
 # timing loop, cheap enough for CI.

@@ -4,14 +4,18 @@
 // Figure 6), the resale market (§4.2), the financial-loss analysis (§4.4,
 // Figures 7-10), and the wallet survey (Appendix B, Table 2).
 //
-// Input is either a crawled dataset directory (-data, written by enscrawl)
-// or a freshly generated in-memory world (-domains).
+// Input is either a crawled dataset (-data: a JSONL directory or binary
+// dataset.bin written by enscrawl/ensworld) or a freshly generated
+// in-memory world (-domains). With -snapshot, a generated world is cached
+// as a binary snapshot on first run and loaded directly on later runs,
+// skipping regeneration entirely.
 //
 // Examples:
 //
 //	ensanalyze -data ./data
 //	ensanalyze -domains 30000 -seed 1
 //	ensanalyze -domains 10000 -csv ./series
+//	ensanalyze -domains 100000 -snapshot ./world.bin
 package main
 
 import (
@@ -32,9 +36,10 @@ import (
 
 func main() {
 	var (
-		dataDir     = flag.String("data", "", "dataset directory written by enscrawl")
+		dataDir     = flag.String("data", "", "dataset to load: a JSONL directory or a binary snapshot file written by enscrawl/ensworld")
 		domains     = flag.Int("domains", 0, "generate a world of this size instead of loading -data")
 		seed        = flag.Int64("seed", 1, "generation seed for -domains")
+		snapshot    = flag.String("snapshot", "", "with -domains: load this binary snapshot if it exists, else generate and save it (a cache keyed by nothing — delete it when -domains/-seed change)")
 		csvDir      = flag.String("csv", "", "also write figure series as CSV into this directory")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof during the analysis (empty = disabled)")
 		workers     = flag.Int("workers", 0, "worker count for parallel generation and analysis (0 = GOMAXPROCS); results are identical for every value")
@@ -51,7 +56,7 @@ func main() {
 		defer dbg.Close()
 	}
 
-	ds, svc, err := loadDataset(*dataDir, *domains, *seed, *workers, logger)
+	ds, svc, err := loadDataset(*dataDir, *snapshot, *domains, *seed, *workers, logger)
 	if err != nil {
 		logger.Error("load", "err", err)
 		os.Exit(1)
@@ -86,7 +91,9 @@ func main() {
 
 // loadDataset loads from disk or generates a world. When generated, the
 // live ENS service is returned too so Table 2's wallet survey can run.
-func loadDataset(dir string, domains int, seed int64, workers int, logger *slog.Logger) (*dataset.Dataset, *world.Result, error) {
+// A -snapshot that already exists short-circuits generation (no world.Result,
+// so the wallet survey is skipped — same trade as -data).
+func loadDataset(dir, snapshot string, domains int, seed int64, workers int, logger *slog.Logger) (*dataset.Dataset, *world.Result, error) {
 	switch {
 	case dir != "":
 		start := time.Now()
@@ -98,6 +105,20 @@ func loadDataset(dir string, domains int, seed int64, workers int, logger *slog.
 			"txs", len(ds.Txs), "elapsed", time.Since(start).Round(time.Millisecond))
 		return ds, nil, nil
 	case domains > 0:
+		if snapshot != "" {
+			if _, err := os.Stat(snapshot); err == nil {
+				start := time.Now()
+				ds, err := dataset.Load(snapshot)
+				if err != nil {
+					return nil, nil, fmt.Errorf("load snapshot %s (delete it to regenerate): %w", snapshot, err)
+				}
+				logger.Info("snapshot loaded", "path", snapshot, "domains", len(ds.Domains),
+					"txs", len(ds.Txs), "elapsed", time.Since(start).Round(time.Millisecond))
+				return ds, nil, nil
+			} else if !os.IsNotExist(err) {
+				return nil, nil, err
+			}
+		}
 		cfg := world.DefaultConfig(domains)
 		cfg.Seed = seed
 		cfg.Workers = workers
@@ -112,6 +133,14 @@ func loadDataset(dir string, domains int, seed int64, workers int, logger *slog.
 		}
 		logger.Info("world generated", "domains", domains,
 			"txs", len(ds.Txs), "elapsed", time.Since(start).Round(time.Millisecond))
+		if snapshot != "" {
+			start = time.Now()
+			if err := ds.SaveSnapshot(snapshot, dataset.WithFormat(dataset.FormatBinary)); err != nil {
+				return nil, nil, fmt.Errorf("save snapshot: %w", err)
+			}
+			logger.Info("snapshot saved", "path", snapshot,
+				"elapsed", time.Since(start).Round(time.Millisecond))
+		}
 		return ds, res, nil
 	default:
 		return nil, nil, fmt.Errorf("one of -data or -domains is required")

@@ -41,7 +41,9 @@ func main() {
 		apiKey      = flag.String("apikey", "enscrawl", "etherscan API key (rate-limit bucket)")
 		rps         = flag.Float64("rps", float64(etherscan.DefaultRatePerSecond), "etherscan request pacing per second")
 		resume      = flag.String("resume", "", "spool/checkpoint directory; an interrupted crawl restarts where it stopped")
-		fsync       = flag.Bool("fsync", false, "fsync the spool and checkpoint at every completed address (survives power loss, costs throughput)")
+		fsync       = flag.Bool("fsync", false, "fsync the spool, checkpoint, and saved dataset at every commit (survives power loss, costs throughput)")
+		format      = flag.String("format", "json", "saved dataset encoding: json (directory of JSONL, diff-friendly) or binary (columnar dataset.bin, fast to load at scale)")
+		snapEvery   = flag.Int("snapshot-every", 0, "with -resume, write a binary spool snapshot every N completed addresses so the next resume replays only the spool tail (0 = default 256, negative = off)")
 		breaker     = flag.Int("breaker-threshold", 8, "consecutive transport failures before a source's circuit opens (0 = breakers off)")
 		cooldown    = flag.Duration("breaker-cooldown", 15*time.Second, "how long an open circuit waits before probing the source again")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics and /debug/pprof on this address while crawling (empty = disabled)")
@@ -52,6 +54,13 @@ func main() {
 	traceFlags := registerTraceFlags(flag.CommandLine, false)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Fail on a bad -format before hours of crawling, not after.
+	outFormat, err := dataset.ParseFormat(*format)
+	if err != nil {
+		logger.Error("flags", "err", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,7 +131,8 @@ func main() {
 		sgClient,
 		esClient,
 		osClient,
-		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, FsyncCheckpoint: *fsync, Logger: logger, ProgressEvery: *progress},
+		dataset.BuildOptions{TxWorkers: *workers, ResumeDir: *resume, FsyncCheckpoint: *fsync,
+			SpoolSnapshotEvery: *snapEvery, Logger: logger, ProgressEvery: *progress},
 	)
 	if err != nil {
 		logger.Error("crawl", "err", err)
@@ -140,9 +150,13 @@ func main() {
 		logger.Warn("dataset validation", "err", err)
 	}
 
-	if err := ds.Save(*out); err != nil {
+	saveOpts := []dataset.SaveOption{dataset.WithFormat(outFormat)}
+	if *fsync {
+		saveOpts = append(saveOpts, dataset.WithSync())
+	}
+	if err := ds.Save(*out, saveOpts...); err != nil {
 		logger.Error("save", "err", err)
 		os.Exit(1)
 	}
-	logger.Info("dataset written", "dir", *out)
+	logger.Info("dataset written", "dir", *out, "format", outFormat)
 }

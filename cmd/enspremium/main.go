@@ -3,9 +3,14 @@
 // given date, plus the grace-period boundaries — the calculator a
 // dropcatcher (or a defender estimating exposure) would use.
 //
-// Example:
+// The expiry comes either from -expiry directly, or from a persisted
+// dataset: with -data, the tool loads the dataset (JSONL directory or
+// binary snapshot), looks up -label, and uses its final on-chain expiry.
+//
+// Examples:
 //
 //	enspremium -expiry 2023-01-15 -label gold
+//	enspremium -data ./data -label gold
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/ens"
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/par"
@@ -27,33 +33,56 @@ import (
 
 func main() {
 	var (
-		expiryStr   = flag.String("expiry", "", "expiry date (YYYY-MM-DD, required)")
-		label       = flag.String("label", "example", "label, for the base-rent tier")
+		expiryStr   = flag.String("expiry", "", "expiry date (YYYY-MM-DD; required unless -data is given)")
+		dataPath    = flag.String("data", "", "dataset (JSONL directory or binary snapshot); -label's recorded expiry is used instead of -expiry")
+		label       = flag.String("label", "example", "label, for the base-rent tier (and the dataset lookup with -data)")
 		stepHours   = flag.Int("step", 24, "schedule step in hours")
 		metricsAddr = flag.String("metrics-addr", "", "after printing, keep serving /metrics and /debug/pprof on this address until interrupted (for profiling)")
 		workers     = flag.Int("workers", 0, "worker count for computing the schedule rows (0 = GOMAXPROCS); output is identical for every value")
 	)
 	flag.Parse()
-	if *expiryStr == "" {
-		fmt.Fprintln(os.Stderr, "enspremium: -expiry is required (YYYY-MM-DD)")
-		os.Exit(2)
-	}
-	expiryTime, err := time.Parse("2006-01-02", *expiryStr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "enspremium: bad -expiry: %v\n", err)
-		os.Exit(2)
-	}
 	if *stepHours <= 0 {
 		fmt.Fprintln(os.Stderr, "enspremium: -step must be positive")
 		os.Exit(2)
 	}
-	expiry := expiryTime.Unix()
+	var expiry int64
+	switch {
+	case *dataPath != "" && *expiryStr != "":
+		fmt.Fprintln(os.Stderr, "enspremium: -data and -expiry are mutually exclusive")
+		os.Exit(2)
+	case *dataPath != "":
+		ds, err := dataset.Load(*dataPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enspremium: load -data: %v\n", err)
+			os.Exit(1)
+		}
+		d, ok := ds.ByLabel(*label)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "enspremium: %s.eth not in dataset %s\n", *label, *dataPath)
+			os.Exit(1)
+		}
+		expiry = d.FinalExpiry(ds.End + 1)
+		if expiry == 0 {
+			fmt.Fprintf(os.Stderr, "enspremium: %s.eth has no recorded expiry in dataset %s\n", *label, *dataPath)
+			os.Exit(1)
+		}
+	case *expiryStr != "":
+		expiryTime, err := time.Parse("2006-01-02", *expiryStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enspremium: bad -expiry: %v\n", err)
+			os.Exit(2)
+		}
+		expiry = expiryTime.Unix()
+	default:
+		fmt.Fprintln(os.Stderr, "enspremium: one of -expiry (YYYY-MM-DD) or -data is required")
+		os.Exit(2)
+	}
 	release := ens.ReleaseTime(expiry)
 	end := ens.PremiumEndTime(expiry)
 	oracle := pricing.NewOracle()
 
 	fmt.Printf("name:            %s.eth (base rent %s/year)\n", *label, report.USD(ens.BaseRentUSDPerYear(*label)))
-	fmt.Printf("expired:         %s\n", expiryTime.Format("2006-01-02"))
+	fmt.Printf("expired:         %s\n", time.Unix(expiry, 0).UTC().Format("2006-01-02"))
 	fmt.Printf("grace ends:      %s (owner-only renewal until then)\n", time.Unix(release, 0).UTC().Format("2006-01-02"))
 	fmt.Printf("premium reaches zero: %s\n\n", time.Unix(end, 0).UTC().Format("2006-01-02"))
 

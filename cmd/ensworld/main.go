@@ -70,6 +70,7 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		chaosRate = flag.Float64("chaos-rate", 0, "per-request fault injection probability in [0,1] on the API routes (0 = off)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "deterministic fault schedule seed")
+		snapshot  = flag.String("snapshot", "", "also save the generated world as a binary dataset snapshot at this path before serving (ensanalyze -data loads it without a crawl)")
 
 		maxInflight  = flag.Int("max-inflight", 64, "data-route requests served concurrently before new arrivals queue")
 		queueDepth   = flag.Int("queue-depth", 128, "queued data-route requests beyond which arrivals are shed with 503 + Retry-After")
@@ -107,6 +108,25 @@ func main() {
 	logger.Info("subgraph indexed",
 		"registrations", store.Len(subgraph.ColRegistrations),
 		"events", store.Len(subgraph.ColEvents))
+
+	if *snapshot != "" {
+		// The snapshot is the ground-truth dataset a perfect crawl of this
+		// server would assemble; analyses can load it directly instead of
+		// re-crawling (or re-generating) the world.
+		snapStart := time.Now()
+		ds, err := dataset.FromWorld(ctx, res, dataset.BuildOptions{Logger: logger})
+		if err != nil {
+			logger.Error("snapshot dataset", "err", err)
+			os.Exit(1)
+		}
+		if err := ds.SaveSnapshot(*snapshot, dataset.WithFormat(dataset.FormatBinary)); err != nil {
+			logger.Error("snapshot save", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("snapshot written", "path", *snapshot,
+			"domains", len(ds.Domains), "txs", len(ds.Txs),
+			"elapsed", time.Since(snapStart).Round(time.Millisecond))
+	}
 
 	httpMetrics := obs.NewHTTPMetrics(obs.Default, "ensworld")
 	mux := http.NewServeMux()

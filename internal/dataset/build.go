@@ -54,6 +54,11 @@ type BuildOptions struct {
 	// completed address, making resume state survive power loss rather
 	// than just process death. Opt-in: it costs two fsyncs per address.
 	FsyncCheckpoint bool
+	// SpoolSnapshotEvery writes a binary spool snapshot every that many
+	// completed addresses, so resume replays only the spool tail instead
+	// of re-parsing the whole JSONL spool. 0 defaults to 256; negative
+	// disables snapshots.
+	SpoolSnapshotEvery int
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
 	// Obs receives stage timers, item counters, and crawl-progress
@@ -70,6 +75,9 @@ func (o *BuildOptions) defaults() {
 	}
 	if o.MarketWorkers <= 0 {
 		o.MarketWorkers = 4
+	}
+	if o.SpoolSnapshotEvery == 0 {
+		o.SpoolSnapshotEvery = 256
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
@@ -215,7 +223,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 
 	var mu sync.Mutex
 	if opts.ResumeDir != "" {
-		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone, opts.FsyncCheckpoint)
+		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone, opts.FsyncCheckpoint, opts.SpoolSnapshotEvery)
 	} else {
 		seen := map[ethtypes.Hash]bool{}
 		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {

@@ -8,8 +8,11 @@ import (
 
 // metricSet holds the package's instrumentation handles.
 type metricSet struct {
-	parseErrors     *obs.Counter
-	spoolRecoveries *obs.Counter
+	parseErrors       *obs.Counter
+	spoolRecoveries   *obs.Counter
+	snapshotWrites    *obs.Counter
+	snapshotRestores  *obs.Counter
+	snapshotFallbacks *obs.Counter
 }
 
 var pkgMetrics atomic.Pointer[metricSet]
@@ -27,6 +30,12 @@ func InitMetrics(reg *obs.Registry) {
 			"Malformed numeric fields rejected while assembling the dataset."),
 		spoolRecoveries: reg.Counter("dataset_spool_recoveries_total",
 			"Truncated trailing spool entries dropped and re-crawled on resume."),
+		snapshotWrites: reg.Counter("dataset_spool_snapshot_writes_total",
+			"Spool snapshots written during the transaction crawl."),
+		snapshotRestores: reg.Counter("dataset_spool_snapshot_restores_total",
+			"Resumes that restored absorbed transactions from a spool snapshot."),
+		snapshotFallbacks: reg.Counter("dataset_spool_snapshot_fallbacks_total",
+			"Unusable spool snapshots discarded in favor of a full spool re-parse."),
 	})
 }
 

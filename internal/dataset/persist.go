@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,56 +13,210 @@ import (
 	"ensdropcatch/internal/ethtypes"
 )
 
-// On-disk layout: a directory with meta.json, domains.jsonl,
-// transactions.jsonl, and market.jsonl. JSONL keeps multi-hundred-MB
-// datasets streamable and diff-friendly.
+// On-disk layouts. FormatJSON is a directory with meta.json,
+// domains.jsonl, transactions.jsonl, subdomains.jsonl and market.jsonl:
+// streamable and diff-friendly, but slow and allocation-heavy at scale.
+// FormatBinary is a single versioned columnar snapshot (dataset.bin, see
+// binary.go and DESIGN.md) built for million-domain worlds: one read to
+// load, struct-of-arrays columns, and truncation detected by
+// construction. Load auto-detects which layout a path holds.
 const (
 	metaFile      = "meta.json"
 	domainsFile   = "domains.jsonl"
 	subdomainFile = "subdomains.jsonl"
 	txsFile       = "transactions.jsonl"
 	marketFile    = "market.jsonl"
+	binFile       = "dataset.bin"
 )
 
+// metaVersion is the JSON layout version written by Save. Version 2
+// added the subdomain/market counts so every section is cross-checked on
+// load; version-0 files (written before the field existed) still have
+// their domain and transaction counts checked.
+const metaVersion = 2
+
+// Format selects the on-disk dataset encoding.
+type Format int
+
+// Supported dataset encodings.
+const (
+	// FormatJSON is the legacy directory-of-JSONL layout.
+	FormatJSON Format = iota
+	// FormatBinary is the versioned columnar snapshot (dataset.bin).
+	FormatBinary
+)
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ParseFormat maps a flag value ("json" or "binary") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "binary":
+		return FormatBinary, nil
+	default:
+		return FormatJSON, fmt.Errorf("dataset: unknown format %q (want json or binary)", s)
+	}
+}
+
+// ErrCorrupt marks a persisted dataset that cannot be trusted: a file
+// truncated mid-write, a section whose loaded rows disagree with the
+// counts its metadata declared, or binary framing damage. Load never
+// silently drops rows — every such condition surfaces as an error
+// wrapping ErrCorrupt.
+var ErrCorrupt = errors.New("dataset: persisted dataset truncated or corrupt")
+
+// CountMismatchError reports a persisted section whose loaded row count
+// does not match the count declared in the dataset metadata — the
+// footprint of a file truncated at a row boundary, which would otherwise
+// load cleanly with rows silently missing.
+type CountMismatchError struct {
+	File string // section file name, e.g. "transactions.jsonl"
+	Got  int    // rows actually loaded
+	Want int    // rows the metadata declared
+}
+
+func (e *CountMismatchError) Error() string {
+	return fmt.Sprintf("dataset: %s has %d rows, meta declares %d (truncated or mixed-generation save)", e.File, e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CountMismatchError) Unwrap() error { return ErrCorrupt }
+
 type meta struct {
+	FormatVersion  int      `json:"formatVersion"`
 	Start          int64    `json:"start"`
 	End            int64    `json:"end"`
 	Coinbase       []string `json:"coinbase"`
 	OtherCustodial []string `json:"otherCustodial"`
 	DomainCount    int      `json:"domainCount"`
 	TxCount        int      `json:"txCount"`
+	SubdomainCount int      `json:"subdomainCount"`
+	MarketCount    int      `json:"marketCount"`
 }
 
-// Save writes the dataset to dir, creating it if needed.
-func (ds *Dataset) Save(dir string) error {
+type saveConfig struct {
+	format Format
+	fsync  bool
+}
+
+// SaveOption tunes Save and SaveSnapshot.
+type SaveOption func(*saveConfig)
+
+// WithFormat selects the on-disk encoding (default FormatJSON).
+func WithFormat(f Format) SaveOption {
+	return func(c *saveConfig) { c.format = f }
+}
+
+// WithSync fsyncs every file (and its directory) before the rename that
+// commits it, mirroring crawler.WithSync: the saved dataset survives
+// power loss, not just process death. Opt-in because it costs one fsync
+// per section file.
+func WithSync() SaveOption {
+	return func(c *saveConfig) { c.fsync = true }
+}
+
+// Save writes the dataset to dir, creating it if needed. Every file is
+// written to a temp name in dir and renamed into place, and meta.json —
+// the commit point whose counts Load cross-checks — lands last, so a
+// crash mid-save leaves either the complete previous dataset or a
+// detectable partial one, never a silently shortened mix.
+func (ds *Dataset) Save(dir string, opts ...SaveOption) error {
+	var cfg saveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: mkdir: %w", err)
 	}
-	m := meta{Start: ds.Start, End: ds.End, DomainCount: len(ds.Domains), TxCount: len(ds.Txs)}
-	for a := range ds.Coinbase {
-		m.Coinbase = append(m.Coinbase, a.Hex())
+	if cfg.format == FormatBinary {
+		return ds.saveBinary(filepath.Join(dir, binFile), cfg.fsync)
 	}
-	for a := range ds.OtherCustodial {
-		m.OtherCustodial = append(m.OtherCustodial, a.Hex())
+	return ds.saveJSON(dir, cfg.fsync)
+}
+
+// SaveSnapshot writes the dataset as a single binary columnar snapshot
+// file at path (atomically, via temp-and-rename). Load accepts the
+// resulting file directly.
+func (ds *Dataset) SaveSnapshot(path string, opts ...SaveOption) error {
+	var cfg saveConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	sort.Strings(m.Coinbase)
-	sort.Strings(m.OtherCustodial)
-	if err := writeJSON(filepath.Join(dir, metaFile), m); err != nil {
+	return ds.saveBinary(path, cfg.fsync)
+}
+
+func (ds *Dataset) saveJSON(dir string, sync bool) error {
+	domains := ds.sortedDomains()
+	txs := ds.sortedTxs()
+	subs := ds.sortedSubdomains()
+	market := ds.sortedMarket()
+
+	if err := writeJSONL(filepath.Join(dir, domainsFile), domains, sync); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, txsFile), txs, sync); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, subdomainFile), subs, sync); err != nil {
+		return err
+	}
+	if err := writeJSONL(filepath.Join(dir, marketFile), market, sync); err != nil {
 		return err
 	}
 
+	m := meta{
+		FormatVersion:  metaVersion,
+		Start:          ds.Start,
+		End:            ds.End,
+		DomainCount:    len(domains),
+		TxCount:        len(txs),
+		SubdomainCount: len(subs),
+		MarketCount:    len(market),
+	}
+	for _, a := range sortedAddrs(ds.Coinbase) {
+		m.Coinbase = append(m.Coinbase, a.Hex())
+	}
+	for _, a := range sortedAddrs(ds.OtherCustodial) {
+		m.OtherCustodial = append(m.OtherCustodial, a.Hex())
+	}
+	// meta.json is the commit point: it declares the row count of every
+	// section, and it is written only after all sections are in place.
+	return writeJSON(filepath.Join(dir, metaFile), m, sync)
+}
+
+// sortedDomains returns the domains in label-hash byte order — the total
+// order every persisted layout shares.
+func (ds *Dataset) sortedDomains() []*Domain {
 	domains := make([]*Domain, 0, len(ds.Domains))
 	for _, d := range ds.Domains {
+		//lint:allow maporder sorted into a total order immediately below
 		domains = append(domains, d)
 	}
-	sort.Slice(domains, func(i, j int) bool { return domains[i].LabelHash.Hex() < domains[j].LabelHash.Hex() })
-	if err := writeJSONL(filepath.Join(dir, domainsFile), domains); err != nil {
-		return err
-	}
-	// Sort a copy into a total order so the files are byte-identical
-	// across runs: crawl concurrency leaves ds.Txs ordered only up to
-	// equal timestamps.
+	sort.Slice(domains, func(i, j int) bool {
+		return bytes.Compare(domains[i].LabelHash[:], domains[j].LabelHash[:]) < 0
+	})
+	return domains
+}
+
+// sortedTxs returns a copy of Txs in (timestamp, block, hash) order — a
+// strict total order over the deduplicated list, so files are
+// byte-identical across runs regardless of crawl concurrency.
+func (ds *Dataset) sortedTxs() []*Tx {
 	txs := append([]*Tx(nil), ds.Txs...)
+	sortTxsForSave(txs)
+	return txs
+}
+
+// sortTxsForSave sorts txs in place into the persisted total order.
+func sortTxsForSave(txs []*Tx) {
 	sort.Slice(txs, func(i, j int) bool {
 		if txs[i].Timestamp != txs[j].Timestamp {
 			return txs[i].Timestamp < txs[j].Timestamp
@@ -68,43 +224,96 @@ func (ds *Dataset) Save(dir string) error {
 		if txs[i].Block != txs[j].Block {
 			return txs[i].Block < txs[j].Block
 		}
-		return txs[i].Hash.Hex() < txs[j].Hash.Hex()
+		return bytes.Compare(txs[i].Hash[:], txs[j].Hash[:]) < 0
 	})
-	if err := writeJSONL(filepath.Join(dir, txsFile), txs); err != nil {
-		return err
-	}
+}
+
+// sortedSubdomains returns a copy of Subdomains stably sorted by node
+// bytes (ties keep their deterministic collection order).
+func (ds *Dataset) sortedSubdomains() []Subdomain {
 	subs := append([]Subdomain(nil), ds.Subdomains...)
-	sort.Slice(subs, func(i, j int) bool { return subs[i].Node.Hex() < subs[j].Node.Hex() })
-	if err := writeJSONL(filepath.Join(dir, subdomainFile), subs); err != nil {
-		return err
-	}
+	sort.SliceStable(subs, func(i, j int) bool {
+		return bytes.Compare(subs[i].Node[:], subs[j].Node[:]) < 0
+	})
+	return subs
+}
+
+// sortedMarket flattens the per-token event map into one slice under a
+// total order — (timestamp, token, kind, price, seller, buyer) — so
+// equal-timestamp rows cannot land in map-collection order, and the
+// order does not depend on sort stability.
+func (ds *Dataset) sortedMarket() []MarketEvent {
 	var market []MarketEvent
 	for _, evs := range ds.Market {
+		//lint:allow maporder sorted into a total order immediately below
 		market = append(market, evs...)
 	}
-	// Stable + per-token sequence tiebreak: events are collected from a
-	// map, so without a total order equal-timestamp rows would land in
-	// random positions run to run.
-	sort.SliceStable(market, func(i, j int) bool {
-		if market[i].Timestamp != market[j].Timestamp {
-			return market[i].Timestamp < market[j].Timestamp
+	sort.Slice(market, func(i, j int) bool {
+		a, b := &market[i], &market[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
 		}
-		if market[i].TokenID != market[j].TokenID {
-			return market[i].TokenID.Hex() < market[j].TokenID.Hex()
+		if c := bytes.Compare(a.TokenID[:], b.TokenID[:]); c != 0 {
+			return c < 0
 		}
-		if market[i].Kind != market[j].Kind {
-			return market[i].Kind < market[j].Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
 		}
-		return market[i].PriceUSD < market[j].PriceUSD
+		if a.PriceUSD != b.PriceUSD {
+			return a.PriceUSD < b.PriceUSD
+		}
+		if a.Seller != b.Seller {
+			return a.Seller < b.Seller
+		}
+		return a.Buyer < b.Buyer
 	})
-	return writeJSONL(filepath.Join(dir, marketFile), market)
+	return market
+}
+
+// sortedAddrs returns the keys of m in address byte order.
+func sortedAddrs(m map[ethtypes.Address]bool) []ethtypes.Address {
+	addrs := make([]ethtypes.Address, 0, len(m))
+	for a := range m {
+		//lint:allow maporder sorted into a total order immediately below
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	return addrs
 }
 
 // Load reads a dataset previously written by Save and reindexes it.
-func Load(dir string) (*Dataset, error) {
+// path may be a dataset directory (binary if dataset.bin is present,
+// JSON otherwise) or a binary snapshot file written by SaveSnapshot.
+// Every section's loaded row count is cross-checked against its declared
+// count; a file truncated at any byte — even cleanly at a row boundary —
+// makes Load fail with an error wrapping ErrCorrupt rather than return a
+// silently shortened dataset.
+func Load(path string) (*Dataset, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if !fi.IsDir() {
+		return loadBinaryFile(path)
+	}
+	bin := filepath.Join(path, binFile)
+	if _, err := os.Stat(bin); err == nil {
+		return loadBinaryFile(bin)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return loadJSON(path)
+}
+
+func loadJSON(dir string) (*Dataset, error) {
 	var m meta
 	if err := readJSON(filepath.Join(dir, metaFile), &m); err != nil {
 		return nil, err
+	}
+	if m.FormatVersion > metaVersion {
+		return nil, fmt.Errorf("%w: meta formatVersion %d newer than supported %d", ErrCorrupt, m.FormatVersion, metaVersion)
 	}
 	ds := New(m.Start, m.End)
 	for _, s := range m.Coinbase {
@@ -122,62 +331,129 @@ func Load(dir string) (*Dataset, error) {
 		ds.OtherCustodial[a] = true
 	}
 
-	if err := readJSONL(filepath.Join(dir, domainsFile), func(line []byte) error {
+	domainRows, err := readJSONL(filepath.Join(dir, domainsFile), func(line []byte) error {
 		var d Domain
 		if err := json.Unmarshal(line, &d); err != nil {
 			return err
 		}
 		ds.Domains[d.LabelHash] = &d
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := readJSONL(filepath.Join(dir, txsFile), func(line []byte) error {
+	txRows, err := readJSONL(filepath.Join(dir, txsFile), func(line []byte) error {
 		var tx Tx
 		if err := json.Unmarshal(line, &tx); err != nil {
 			return err
 		}
 		ds.Txs = append(ds.Txs, &tx)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := readJSONL(filepath.Join(dir, subdomainFile), func(line []byte) error {
+	subRows, err := readJSONL(filepath.Join(dir, subdomainFile), func(line []byte) error {
 		var sub Subdomain
 		if err := json.Unmarshal(line, &sub); err != nil {
 			return err
 		}
 		ds.Subdomains = append(ds.Subdomains, sub)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := readJSONL(filepath.Join(dir, marketFile), func(line []byte) error {
+	marketRows, err := readJSONL(filepath.Join(dir, marketFile), func(line []byte) error {
 		var ev MarketEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return err
 		}
 		ds.Market[ev.TokenID] = append(ds.Market[ev.TokenID], ev)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
+	}
+
+	// A file cut at a line boundary parses cleanly; the declared counts
+	// are what catch it. Domain/tx counts are present in every meta
+	// version; subdomain/market counts arrived in version 2.
+	if domainRows != m.DomainCount {
+		return nil, &CountMismatchError{File: domainsFile, Got: domainRows, Want: m.DomainCount}
+	}
+	if txRows != m.TxCount {
+		return nil, &CountMismatchError{File: txsFile, Got: txRows, Want: m.TxCount}
+	}
+	if m.FormatVersion >= 2 {
+		if subRows != m.SubdomainCount {
+			return nil, &CountMismatchError{File: subdomainFile, Got: subRows, Want: m.SubdomainCount}
+		}
+		if marketRows != m.MarketCount {
+			return nil, &CountMismatchError{File: marketFile, Got: marketRows, Want: m.MarketCount}
+		}
 	}
 	ds.Reindex()
 	return ds, nil
 }
 
-func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
+// writeAtomic streams write's output to a same-directory temp file and
+// renames it over path, so a crash mid-write leaves the previous file
+// intact — readers never observe a half-written one. With sync, the file
+// is fsynced before the rename and the directory after it, matching the
+// crawler.WithSync durability contract.
+func writeAtomic(path string, sync bool, write func(f *os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("dataset: create %s: %w", path, err)
+		return fmt.Errorf("dataset: create %s: %w", tmp, err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		_ = f.Close() // the encode error is the failure being reported
-		return fmt.Errorf("dataset: encode %s: %w", path, err)
+	werr := write(f)
+	if werr == nil && sync {
+		werr = f.Sync()
 	}
-	return f.Close()
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp) // best-effort cleanup; werr is the failure being reported
+		return fmt.Errorf("dataset: write %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp) // best-effort cleanup; the rename error is the failure being reported
+		return fmt.Errorf("dataset: commit %s: %w", path, err)
+	}
+	if sync {
+		return syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss, not only process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("dataset: open dir %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("dataset: sync dir %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("dataset: close dir %s: %w", dir, cerr)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any, sync bool) error {
+	return writeAtomic(path, sync, func(w *os.File) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
 }
 
 func readJSON(path string, v any) error {
@@ -192,43 +468,44 @@ func readJSON(path string, v any) error {
 	return nil
 }
 
-func writeJSONL[T any](path string, items []T) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("dataset: create %s: %w", path, err)
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	enc := json.NewEncoder(w)
-	for i := range items {
-		if err := enc.Encode(items[i]); err != nil {
-			_ = f.Close() // the encode error is the failure being reported
-			return fmt.Errorf("dataset: encode %s: %w", path, err)
+func writeJSONL[T any](path string, items []T, sync bool) error {
+	return writeAtomic(path, sync, func(w *os.File) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		enc := json.NewEncoder(bw)
+		for i := range items {
+			if err := enc.Encode(items[i]); err != nil {
+				return err
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		_ = f.Close() // the flush error is the failure being reported
-		return err
-	}
-	return f.Close()
+		return bw.Flush()
+	})
 }
 
-func readJSONL(path string, fn func(line []byte) error) error {
+// readJSONL streams path line by line through fn and returns how many
+// non-empty lines it processed, so callers can cross-check the count
+// against the dataset metadata.
+func readJSONL(path string, fn func(line []byte) error) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("dataset: open %s: %w", path, err)
+		return 0, fmt.Errorf("dataset: open %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	lineNo := 0
+	rows := 0
 	for sc.Scan() {
 		lineNo++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		if err := fn(sc.Bytes()); err != nil {
-			return fmt.Errorf("dataset: %s line %d: %w", path, lineNo, err)
+			return rows, fmt.Errorf("%w: %s line %d: %v", ErrCorrupt, path, lineNo, err)
 		}
+		rows++
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return rows, fmt.Errorf("dataset: read %s: %w", path, err)
+	}
+	return rows, nil
 }

@@ -8,12 +8,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"ensdropcatch/internal/crawler"
+	"ensdropcatch/internal/dataset/codec"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/trace"
 )
@@ -33,9 +35,22 @@ import (
 // line for a checkpointed address (or any corrupt non-final line) means
 // data that was promised durable is gone, which is a hard error.
 
+// A spool snapshot (txspool.snap) accelerates that recovery: it holds
+// every transaction absorbed so far in binary columnar form plus the
+// spool byte offset those entries cover, so resume loads one file and
+// replays only the spool tail instead of re-parsing gigabytes of JSONL.
+// The spool stays the source of truth — a missing, torn, or stale
+// snapshot is never an error, just a slower resume.
+
 const (
 	spoolFile      = "txspool.jsonl"
+	spoolSnapFile  = "txspool.snap"
 	checkpointFile = "txcrawl.checkpoint"
+)
+
+var (
+	snapMagic  = []byte("ENSSNP1\n")
+	snapFooter = []byte("ENSSEND\n")
 )
 
 // ErrSpoolCorrupt marks spool damage that resume cannot safely repair.
@@ -53,8 +68,10 @@ type spoolEntry struct {
 // spool. onAddressDone is invoked once per covered address — including
 // addresses recovered from the checkpoint — so progress reporting sees
 // the full total. fsync additionally syncs the spool and checkpoint to
-// disk at every completed address.
-func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func(), fsync bool) error {
+// disk at every completed address. snapEvery > 0 writes a spool
+// snapshot every that many completed addresses (and once at the end),
+// so the next resume replays only the spool tail.
+func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func(), fsync bool, snapEvery int) error {
 	if onAddressDone == nil {
 		onAddressDone = func() {}
 	}
@@ -72,6 +89,9 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 	defer cp.Close()
 
 	seen := map[ethtypes.Hash]bool{}
+	for _, tx := range ds.Txs {
+		seen[tx.Hash] = true
+	}
 	var mu sync.Mutex
 	absorb := func(rows []*Tx) {
 		for _, tx := range rows {
@@ -83,7 +103,28 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 	}
 
 	spoolPath := filepath.Join(dir, spoolFile)
-	if err := recoverSpool(spoolPath, cp, absorb); err != nil {
+	snapPath := filepath.Join(dir, spoolSnapFile)
+
+	// Fast resume: a valid snapshot pre-loads everything the spool held
+	// up to its covered offset, and recovery replays only the tail. Any
+	// snapshot anomaly — torn file, bad framing, offset past the spool —
+	// discards the snapshot and falls back to a full re-parse: the
+	// snapshot is a cache, the spool is the record.
+	var startOffset int64
+	snapTxs, covered, snapErr := loadSpoolSnapshot(snapPath)
+	if snapErr == nil {
+		if fi, err := os.Stat(spoolPath); err == nil && covered <= fi.Size() {
+			absorb(snapTxs)
+			startOffset = covered
+			pm().snapshotRestores.Inc()
+		} else {
+			discardSpoolSnapshot(snapPath)
+		}
+	} else if !os.IsNotExist(snapErr) {
+		discardSpoolSnapshot(snapPath)
+	}
+
+	if err := recoverSpool(spoolPath, startOffset, cp, absorb); err != nil {
 		return err
 	}
 
@@ -93,6 +134,21 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 	}
 	defer spool.Close()
 	spoolEnc := json.NewEncoder(spool)
+
+	// writeSnap persists the current absorbed state (mu must be held).
+	// Snapshot failures never fail the crawl — the next resume simply
+	// re-parses the spool.
+	writeSnap := func() {
+		fi, err := spool.Stat()
+		if err != nil {
+			return
+		}
+		if writeSpoolSnapshot(snapPath, ds.Txs, fi.Size(), fsync) != nil {
+			return
+		}
+		pm().snapshotWrites.Inc()
+	}
+	sinceSnap := 0
 
 	// Only crawl what is not checkpointed; recovered addresses count as
 	// done immediately.
@@ -142,23 +198,110 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		}
 		absorb(rows)
 		onAddressDone()
+		if snapEvery > 0 {
+			sinceSnap++
+			if sinceSnap >= snapEvery {
+				sinceSnap = 0
+				writeSnap()
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	// A final snapshot makes the next resume of a finished (or cleanly
+	// stopped) crawl a single read with an empty tail.
+	if snapEvery > 0 && len(todo) > 0 {
+		mu.Lock()
+		writeSnap()
+		mu.Unlock()
+	}
 	return nil
 }
 
-// recoverSpool replays the spool at path, absorbing entries whose
-// address the checkpoint confirms complete. A torn or unparseable
+// writeSpoolSnapshot atomically persists the transactions absorbed so
+// far plus the spool byte offset they cover. The offset is always a
+// line boundary: snapshots are written under the same lock as spool
+// appends, after complete entries only.
+func writeSpoolSnapshot(path string, txs []*Tx, covered int64, sync bool) error {
+	sorted := append([]*Tx(nil), txs...)
+	sortTxsForSave(sorted)
+	return writeAtomic(path, sync, func(f *os.File) error {
+		w := codec.NewWriter(f)
+		w.Raw(snapMagic)
+		w.U16(binVersion)
+		w.U64(uint64(covered))
+		w.U64(uint64(len(sorted)))
+		encodeTxColumns(w, sorted)
+		w.Raw(snapFooter)
+		return w.Flush()
+	})
+}
+
+// loadSpoolSnapshot reads a spool snapshot. It is strict — any framing,
+// count, or decode anomaly (including truncation at any byte) is an
+// error — because the caller's response is to discard the snapshot and
+// re-parse the spool, never to trust a damaged cache.
+func loadSpoolSnapshot(path string) ([]*Tx, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err // not-exist must stay recognizable to the caller
+	}
+	r := codec.NewReader(data)
+	if magic := r.Raw(len(snapMagic)); r.Err() != nil || !bytes.Equal(magic, snapMagic) {
+		return nil, 0, fmt.Errorf("%w: bad spool snapshot magic", ErrCorrupt)
+	}
+	v := r.U16()
+	covered := r.U64()
+	rows := r.U64()
+	if r.Err() != nil {
+		return nil, 0, fmt.Errorf("%w: truncated spool snapshot header", ErrCorrupt)
+	}
+	if v != binVersion {
+		return nil, 0, fmt.Errorf("dataset: spool snapshot version %d not supported (want %d)", v, binVersion)
+	}
+	if covered > math.MaxInt64 {
+		return nil, 0, fmt.Errorf("%w: spool snapshot offset %d out of range", ErrCorrupt, covered)
+	}
+	if rows > uint64(r.Remaining()) {
+		return nil, 0, fmt.Errorf("%w: spool snapshot declares %d rows in %d bytes", ErrCorrupt, rows, r.Remaining())
+	}
+	txs, err := decodeTxColumns(r, int(rows))
+	if err != nil {
+		return nil, 0, err
+	}
+	if footer := r.Raw(len(snapFooter)); r.Err() != nil || !bytes.Equal(footer, snapFooter) {
+		return nil, 0, fmt.Errorf("%w: bad spool snapshot footer", ErrCorrupt)
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, 0, fmt.Errorf("%w: %d bytes after spool snapshot footer", ErrCorrupt, n)
+	}
+	out := make([]*Tx, len(txs))
+	for i := range txs {
+		out[i] = &txs[i]
+	}
+	return out, int64(covered), nil
+}
+
+// discardSpoolSnapshot drops an unusable snapshot so it cannot mislead
+// the next resume either.
+func discardSpoolSnapshot(path string) {
+	pm().snapshotFallbacks.Inc()
+	_ = os.Remove(path) // best-effort: a lingering bad snapshot is re-discarded next resume
+}
+
+// recoverSpool replays the spool at path from startOffset (a line
+// boundary — 0, or the offset a snapshot already covers), absorbing
+// entries whose address the checkpoint confirms complete. A torn or
+// unparseable
 // *final* line whose address is not checkpointed is the footprint of a
 // crash mid-write: the line is truncated away (so appends start on a
 // clean boundary) and its address will simply be re-crawled. Corruption
 // anywhere else — a bad non-final line, or a bad final line for an
 // address the checkpoint claims durable — is unrecoverable data loss
 // and fails with ErrSpoolCorrupt.
-func recoverSpool(path string, cp *crawler.Checkpoint, absorb func([]*Tx)) error {
+func recoverSpool(path string, startOffset int64, cp *crawler.Checkpoint, absorb func([]*Tx)) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -168,8 +311,13 @@ func recoverSpool(path string, cp *crawler.Checkpoint, absorb func([]*Tx)) error
 	}
 	defer f.Close()
 
+	if startOffset > 0 {
+		if _, err := f.Seek(startOffset, io.SeekStart); err != nil {
+			return fmt.Errorf("dataset: seek spool: %w", err)
+		}
+	}
 	r := bufio.NewReaderSize(f, 1<<20)
-	var offset int64 // start of the line being read
+	offset := startOffset // start of the line being read
 	var bad []byte   // first undecodable line seen
 	badOffset := int64(-1)
 	for {

@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/obs"
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/world"
+)
+
+// snapFixture runs one complete resumable Build (which ends by writing a
+// spool snapshot covering the whole spool) and returns the resume dir
+// plus everything needed to re-run and cross-check it.
+type snapFixture struct {
+	store    *subgraph.Store
+	chainSrc *ChainSource
+	market   *MarketEventsSource
+	opts     BuildOptions
+	dir      string
+	wantTxs  map[ethtypes.Hash]bool
+}
+
+func newSnapFixture(t *testing.T) *snapFixture {
+	t.Helper()
+	res, err := world.Generate(world.DefaultConfig(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &snapFixture{
+		store:    subgraph.BuildIndex(res.Chain),
+		chainSrc: &ChainSource{Chain: res.Chain, Labels: LabelsFromWorld(res)},
+		market:   NewMarketEventsSource(res.OpenSea),
+		dir:      t.TempDir(),
+	}
+	fx.opts = BuildOptions{Start: res.Config.Start, End: res.Config.End, TxWorkers: 2,
+		ResumeDir: fx.dir, SpoolSnapshotEvery: 8}
+	ds, err := fx.build(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.wantTxs = map[ethtypes.Hash]bool{}
+	for _, tx := range ds.Txs {
+		fx.wantTxs[tx.Hash] = true
+	}
+	if _, err := os.Stat(filepath.Join(fx.dir, spoolSnapFile)); err != nil {
+		t.Fatalf("completed crawl left no spool snapshot: %v", err)
+	}
+	return fx
+}
+
+func (fx *snapFixture) build(t *testing.T) (*Dataset, error) {
+	t.Helper()
+	return Build(context.Background(), &StoreSource{Store: fx.store}, fx.chainSrc, fx.market, fx.opts)
+}
+
+func (fx *snapFixture) checkConverged(t *testing.T, ds *Dataset) {
+	t.Helper()
+	if len(ds.Txs) != len(fx.wantTxs) {
+		t.Fatalf("resumed build has %d txs, want %d", len(ds.Txs), len(fx.wantTxs))
+	}
+	for _, tx := range ds.Txs {
+		if !fx.wantTxs[tx.Hash] {
+			t.Fatalf("unexpected tx %s", tx.Hash)
+		}
+	}
+}
+
+// The snapshot's whole point: resume must not re-parse the spool prefix
+// the snapshot covers. Corrupting a byte inside that prefix — damage
+// that makes a full re-parse hard-fail with ErrSpoolCorrupt — must go
+// unnoticed when the snapshot is present, and fail when it is absent.
+func TestSnapshotResumeSkipsCoveredSpoolPrefix(t *testing.T) {
+	fx := newSnapFixture(t)
+	spoolPath := filepath.Join(fx.dir, spoolFile)
+	spool, err := os.ReadFile(spoolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smash the first line's JSON without touching its newline (the
+	// non-final-line corruption TestResumeRefusesCorruptMiddleLine
+	// proves is a hard error on the full-parse path).
+	smashed := append([]byte(nil), spool...)
+	copy(smashed[1:5], "!!!!")
+	if err := os.WriteFile(spoolPath, smashed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := fx.build(t)
+	if err != nil {
+		t.Fatalf("snapshot-backed resume re-parsed the covered prefix: %v", err)
+	}
+	fx.checkConverged(t, ds)
+
+	// Without the snapshot the same damage must hard-fail, proving the
+	// pass above really did skip the prefix.
+	if err := os.Remove(filepath.Join(fx.dir, spoolSnapFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.build(t); !errors.Is(err, ErrSpoolCorrupt) {
+		t.Fatalf("err = %v, want ErrSpoolCorrupt once the snapshot is gone", err)
+	}
+}
+
+// A torn snapshot (any truncation point) must never poison resume: the
+// loader rejects it, resume falls back to the full spool re-parse, and
+// the crawl still converges. Sweep every byte of a small snapshot, then
+// stride across a real crawl's snapshot so cuts land in every section
+// and alignment class.
+func TestTornSnapshotAtEveryByteIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	tinyPath := filepath.Join(dir, "tiny.snap")
+	if err := writeSpoolSnapshot(tinyPath, tinyDataset(t).Txs, 999, false); err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := os.ReadFile(tinyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadSpoolSnapshot(tinyPath); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+	cutPath := filepath.Join(dir, "cut.snap")
+	t.Logf("sweeping %d truncation points", len(tiny))
+	for cut := 0; cut < len(tiny); cut++ {
+		if err := os.WriteFile(cutPath, tiny[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadSpoolSnapshot(cutPath); err == nil {
+			t.Fatalf("snapshot cut at byte %d of %d loaded without error", cut, len(tiny))
+		}
+	}
+
+	fx := newSnapFixture(t)
+	full, err := os.ReadFile(filepath.Join(fx.dir, spoolSnapFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 1, len(full) - 1, len(full) - len(snapFooter)}
+	for cut := 7; cut < len(full); cut += 4999 {
+		cuts = append(cuts, cut)
+	}
+	for _, cut := range cuts {
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadSpoolSnapshot(cutPath); err == nil {
+			t.Fatalf("real snapshot cut at byte %d of %d loaded without error", cut, len(full))
+		}
+	}
+}
+
+func TestTornSnapshotFallsBackAndConverges(t *testing.T) {
+	fx := newSnapFixture(t)
+	reg := obs.NewRegistry()
+	InitMetrics(reg)
+	defer InitMetrics(nil)
+
+	snapPath := filepath.Join(fx.dir, spoolSnapFile)
+	full, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-columns: the classic torn-rename-less write footprint.
+	if err := os.WriteFile(snapPath, full[:len(full)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := fx.build(t)
+	if err != nil {
+		t.Fatalf("resume with torn snapshot failed: %v", err)
+	}
+	fx.checkConverged(t, ds)
+	if got := pm().snapshotFallbacks.Value(); got == 0 {
+		t.Error("fallback metric not incremented")
+	}
+	if got := pm().snapshotRestores.Value(); got != 0 {
+		t.Errorf("torn snapshot counted as a restore (%d)", got)
+	}
+}
+
+// A healthy snapshot-backed resume restores, converges, and counts as a
+// restore; writeSpoolSnapshot/loadSpoolSnapshot round-trip exactly.
+func TestSnapshotResumeConvergesAndCounts(t *testing.T) {
+	fx := newSnapFixture(t)
+	reg := obs.NewRegistry()
+	InitMetrics(reg)
+	defer InitMetrics(nil)
+
+	ds, err := fx.build(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.checkConverged(t, ds)
+	if got := pm().snapshotRestores.Value(); got != 1 {
+		t.Errorf("restores = %d, want 1", got)
+	}
+	if got := pm().snapshotFallbacks.Value(); got != 0 {
+		t.Errorf("fallbacks = %d, want 0", got)
+	}
+}
+
+func TestSpoolSnapshotRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	path := filepath.Join(t.TempDir(), "txspool.snap")
+	if err := writeSpoolSnapshot(path, ds.Txs, 12345, false); err != nil {
+		t.Fatal(err)
+	}
+	txs, covered, err := loadSpoolSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 12345 {
+		t.Errorf("covered = %d, want 12345", covered)
+	}
+	if len(txs) != len(ds.Txs) {
+		t.Fatalf("%d txs, want %d", len(txs), len(ds.Txs))
+	}
+	want := map[ethtypes.Hash]*Tx{}
+	for _, tx := range ds.Txs {
+		want[tx.Hash] = tx
+	}
+	for _, tx := range txs {
+		w := want[tx.Hash]
+		if w == nil {
+			t.Fatalf("unexpected tx %s", tx.Hash)
+		}
+		if tx.Block != w.Block || tx.Timestamp != w.Timestamp || tx.From != w.From ||
+			tx.To != w.To || tx.ValueWei != w.ValueWei || tx.Failed != w.Failed || tx.Method != w.Method {
+			t.Fatalf("tx %s fields diverge after round trip", tx.Hash)
+		}
+	}
+}
+
+// A snapshot claiming to cover more spool than exists (a stale snapshot
+// next to a replaced spool) must be discarded, not trusted.
+func TestSnapshotBeyondSpoolIsDiscarded(t *testing.T) {
+	fx := newSnapFixture(t)
+	reg := obs.NewRegistry()
+	InitMetrics(reg)
+	defer InitMetrics(nil)
+
+	// Rewrite the snapshot with an offset past the spool's end.
+	spoolPath := filepath.Join(fx.dir, spoolFile)
+	fi, err := os.Stat(spoolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(fx.dir, spoolSnapFile)
+	txs, _, err := loadSpoolSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSpoolSnapshot(snapPath, txs, fi.Size()+1000, false); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := fx.build(t)
+	if err != nil {
+		t.Fatalf("resume with stale snapshot failed: %v", err)
+	}
+	fx.checkConverged(t, ds)
+	if got := pm().snapshotFallbacks.Value(); got == 0 {
+		t.Error("stale snapshot not counted as a fallback")
+	}
+}
+
+// The snapshot itself must round-trip byte-identically regardless of the
+// order transactions were absorbed in — writeSpoolSnapshot sorts.
+func TestSpoolSnapshotIsOrderInsensitive(t *testing.T) {
+	ds := tinyDataset(t)
+	shuffled := append([]*Tx(nil), ds.Txs...)
+	for i, j := 0, len(shuffled)-1; i < j; i, j = i+1, j-1 {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.snap"), filepath.Join(dir, "b.snap")
+	if err := writeSpoolSnapshot(p1, ds.Txs, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSpoolSnapshot(p2, shuffled, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("snapshot bytes depend on absorb order")
+	}
+}

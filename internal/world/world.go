@@ -1,6 +1,7 @@
 package world
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -154,7 +155,29 @@ func Generate(cfg Config) (*Result, error) {
 		}
 	}
 
-	sort.Slice(p.opensea, func(i, j int) bool { return p.opensea[i].Timestamp < p.opensea[j].Timestamp })
+	// Total order — (timestamp, token, type, price, seller, buyer) — the
+	// same tiebreaks dataset persistence uses for market events, so the
+	// served event stream cannot depend on planner emission order or sort
+	// stability when timestamps collide.
+	sort.Slice(p.opensea, func(i, j int) bool {
+		a, b := &p.opensea[i], &p.opensea[j]
+		if a.Timestamp != b.Timestamp {
+			return a.Timestamp < b.Timestamp
+		}
+		if c := bytes.Compare(a.TokenID[:], b.TokenID[:]); c != 0 {
+			return c < 0
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.PriceUSD != b.PriceUSD {
+			return a.PriceUSD < b.PriceUSD
+		}
+		if c := bytes.Compare(a.Seller[:], b.Seller[:]); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(a.Buyer[:], b.Buyer[:]) < 0
+	})
 
 	return &Result{
 		Config:              cfg,
