@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// higherBetter lists the metrics where a drop is the regression.
+// Everything else — times, allocations, bytes, rates of bad outcomes —
+// regresses upward.
+var higherBetter = map[string]bool{
+	"MB/s": true,
+	"rps":  true,
+}
+
+// Delta is one (benchmark, metric) comparison.
+type Delta struct {
+	Bench, Metric string
+	Old, New      float64
+	Change        float64 // fractional: (new-old)/old, sign-adjusted by nothing
+	Regression    bool
+}
+
+// flatten folds an Entry's fixed fields and custom metrics into one
+// name->value map. Zero-valued fixed fields mean "not reported" in the
+// go-bench format (B/op and allocs/op only appear under -benchmem), so
+// they are omitted rather than compared as zeros.
+func flatten(e Entry) map[string]float64 {
+	m := map[string]float64{}
+	if e.NsPerOp > 0 {
+		m["ns_per_op"] = e.NsPerOp
+	}
+	if e.BytesPerOp > 0 {
+		m["bytes_per_op"] = e.BytesPerOp
+	}
+	if e.AllocsPerOp > 0 {
+		m["allocs_per_op"] = e.AllocsPerOp
+	}
+	for k, v := range e.Metrics {
+		m[k] = v
+	}
+	return m
+}
+
+// Compare diffs two benchmark archives metric by metric. Benchmarks or
+// metrics present on only one side are skipped (renames and new
+// benchmarks are not regressions); a metric regresses when it moves the
+// wrong way by more than tolerance (fractional). fields, when non-empty,
+// restricts the comparison to those metric names.
+func Compare(oldE, newE map[string]Entry, tolerance float64, fields map[string]bool) []Delta {
+	names := make([]string, 0, len(oldE))
+	for name := range oldE {
+		if _, ok := newE[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Delta
+	for _, name := range names {
+		om, nm := flatten(oldE[name]), flatten(newE[name])
+		metrics := make([]string, 0, len(om))
+		for metric := range om {
+			if _, ok := nm[metric]; ok {
+				metrics = append(metrics, metric)
+			}
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			if len(fields) > 0 && !fields[metric] {
+				continue
+			}
+			o, n := om[metric], nm[metric]
+			if o == 0 {
+				continue // no baseline to take a fraction of
+			}
+			d := Delta{Bench: name, Metric: metric, Old: o, New: n, Change: (n - o) / o}
+			if higherBetter[metric] {
+				d.Regression = d.Change < -tolerance
+			} else {
+				d.Regression = d.Change > tolerance
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// runCompare is the -compare entry point: load both archives, diff,
+// print every regression (and the overall counts), and return 1 if
+// anything regressed.
+func runCompare(oldPath, newPath string, tolerance float64, fieldList string, w io.Writer) int {
+	oldE, err := loadEntries(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newE, err := loadEntries(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fields := map[string]bool{}
+	for _, f := range strings.Split(fieldList, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fields[f] = true
+		}
+	}
+	deltas := Compare(oldE, newE, tolerance, fields)
+	regressions := 0
+	for _, d := range deltas {
+		if d.Regression {
+			regressions++
+			fmt.Fprintf(w, "REGRESSION %s %s: %g -> %g (%+.1f%%, tolerance %.0f%%)\n",
+				d.Bench, d.Metric, d.Old, d.New, 100*d.Change, 100*tolerance)
+		}
+	}
+	fmt.Fprintf(w, "benchjson: compared %d metrics across %d benchmarks: %d regression(s)\n",
+		len(deltas), countBenches(deltas), regressions)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: nothing to compare (no shared benchmarks/metrics)")
+		return 1
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+func countBenches(deltas []Delta) int {
+	seen := map[string]bool{}
+	for _, d := range deltas {
+		seen[d.Bench] = true
+	}
+	return len(seen)
+}
+
+func loadEntries(path string) (map[string]Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries map[string]Entry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(ns, bytesOp, allocs float64, metrics map[string]float64) Entry {
+	return Entry{Iterations: 1, NsPerOp: ns, BytesPerOp: bytesOp, AllocsPerOp: allocs, Metrics: metrics}
+}
+
+func TestCompareDirections(t *testing.T) {
+	oldE := map[string]Entry{
+		"BenchmarkA": entry(100, 1000, 50, map[string]float64{"MB/s": 200, "rps": 300}),
+	}
+	newE := map[string]Entry{
+		"BenchmarkA": entry(130, 1000, 40, map[string]float64{"MB/s": 120, "rps": 330}),
+	}
+	byKey := map[string]Delta{}
+	for _, d := range Compare(oldE, newE, 0.15, nil) {
+		byKey[d.Metric] = d
+	}
+	if !byKey["ns_per_op"].Regression { // +30% time
+		t.Error("ns_per_op +30% not flagged")
+	}
+	if byKey["bytes_per_op"].Regression { // unchanged
+		t.Error("unchanged bytes_per_op flagged")
+	}
+	if byKey["allocs_per_op"].Regression { // improvement
+		t.Error("alloc improvement flagged")
+	}
+	if !byKey["MB/s"].Regression { // -40% throughput
+		t.Error("MB/s -40% not flagged")
+	}
+	if byKey["rps"].Regression { // +10% throughput
+		t.Error("rps improvement flagged")
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldE := map[string]Entry{"BenchmarkA": entry(100, 0, 0, nil)}
+	newE := map[string]Entry{"BenchmarkA": entry(114, 0, 0, nil)}
+	for _, d := range Compare(oldE, newE, 0.15, nil) {
+		if d.Regression {
+			t.Errorf("+14%% inside 15%% tolerance flagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareSkipsMissing(t *testing.T) {
+	oldE := map[string]Entry{
+		"BenchmarkGone":   entry(100, 0, 0, nil),
+		"BenchmarkShared": entry(100, 0, 0, map[string]float64{"only_old": 5}),
+	}
+	newE := map[string]Entry{
+		"BenchmarkNew":    entry(100, 0, 0, nil),
+		"BenchmarkShared": entry(90, 0, 0, map[string]float64{"only_new": 7}),
+	}
+	deltas := Compare(oldE, newE, 0.15, nil)
+	if len(deltas) != 1 || deltas[0].Bench != "BenchmarkShared" || deltas[0].Metric != "ns_per_op" {
+		t.Fatalf("deltas = %+v, want just BenchmarkShared ns_per_op", deltas)
+	}
+}
+
+func TestCompareFieldsFilter(t *testing.T) {
+	oldE := map[string]Entry{"BenchmarkA": entry(100, 1000, 50, nil)}
+	newE := map[string]Entry{"BenchmarkA": entry(500, 5000, 51, nil)}
+	deltas := Compare(oldE, newE, 0.15, map[string]bool{"allocs_per_op": true})
+	if len(deltas) != 1 || deltas[0].Metric != "allocs_per_op" {
+		t.Fatalf("deltas = %+v, want only allocs_per_op", deltas)
+	}
+	if deltas[0].Regression {
+		t.Error("+2% allocs flagged at 15% tolerance")
+	}
+}
+
+func writeArchive(t *testing.T, dir, name string, e map[string]Entry) string {
+	t.Helper()
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArchive(t, dir, "old.json", map[string]Entry{
+		"BenchmarkA": entry(100, 0, 50, nil),
+		"BenchmarkB": entry(100, 0, 0, nil),
+	})
+	badP := writeArchive(t, dir, "bad.json", map[string]Entry{
+		"BenchmarkA": entry(100, 0, 150, nil), // 3x the allocs
+		"BenchmarkB": entry(100, 0, 0, nil),
+	})
+	goodP := writeArchive(t, dir, "good.json", map[string]Entry{
+		"BenchmarkA": entry(101, 0, 50, nil),
+		"BenchmarkB": entry(99, 0, 0, nil),
+	})
+
+	var buf bytes.Buffer
+	if code := runCompare(oldP, badP, 0.15, "", &buf); code != 1 {
+		t.Fatalf("regression run: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION BenchmarkA allocs_per_op") {
+		t.Fatalf("missing regression line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if code := runCompare(oldP, goodP, 0.15, "", &buf); code != 0 {
+		t.Fatalf("clean run: exit %d\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 regression(s)") {
+		t.Fatalf("missing summary:\n%s", buf.String())
+	}
+
+	// Disjoint archives have nothing to say — that is a gate failure,
+	// not a silent pass.
+	otherP := writeArchive(t, dir, "other.json", map[string]Entry{"BenchmarkZ": entry(1, 0, 0, nil)})
+	buf.Reset()
+	if code := runCompare(oldP, otherP, 0.15, "", &buf); code != 1 {
+		t.Fatalf("disjoint run: exit %d", code)
+	}
+
+	if code := runCompare(filepath.Join(dir, "missing.json"), goodP, 0.15, "", &buf); code != 1 {
+		t.Fatal("missing file not an error")
+	}
+}

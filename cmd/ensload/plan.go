@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"ensdropcatch/internal/keccak"
+)
+
+// Route names used for stats and bench output.
+const (
+	routeSubgraph  = "subgraph"
+	routeEtherscan = "etherscan"
+	routeOpenSea   = "opensea"
+	routeRPC       = "rpc"
+	routeHealthz   = "healthz"
+)
+
+// dataRoutes are the routes behind the server's overload gate; the
+// -assert-p99 gate applies to these.
+var dataRoutes = []string{routeSubgraph, routeEtherscan, routeOpenSea, routeRPC}
+
+// request is one planned request: everything needed to fire it, plus
+// its scheduled offset from run start.
+type request struct {
+	route  string
+	method string
+	path   string
+	body   string
+	due    time.Duration
+}
+
+// targets is the id/address pool requests draw from, either scouted
+// from a live server or synthesized.
+type targets struct {
+	ids   []string // label hashes: subgraph cursors, opensea token ids
+	addrs []string // registrant addresses: etherscan, rpc balance
+}
+
+// synthesize fills a target pool without a server: keccak-derived
+// pseudo label hashes and addresses, deterministic in i.
+func synthesize(n int) targets {
+	var t targets
+	for i := 0; i < n; i++ {
+		sum := keccak.Sum256([]byte(fmt.Sprintf("ensload-%d", i)))
+		t.ids = append(t.ids, "0x"+hexString(sum[:]))
+		t.addrs = append(t.addrs, "0x"+hexString(sum[:20]))
+	}
+	return t
+}
+
+func hexString(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(b))
+	for i, c := range b {
+		out[2*i] = digits[c>>4]
+		out[2*i+1] = digits[c&0x0f]
+	}
+	return string(out)
+}
+
+// planConfig shapes a schedule.
+type planConfig struct {
+	seed        int64
+	rps         float64
+	duration    time.Duration
+	burstFactor float64 // rate multiplier during a burst second
+	burstProb   float64 // probability any second is a burst second
+	zipfS       float64 // zipf skew over the target pool
+}
+
+// buildSchedule produces the full deterministic request sequence: the
+// per-second burst schedule, the route mix, and every target choice
+// come from one seeded generator, so the same seed against the same
+// world replays the same requests in the same order. Only the wall
+// clock at which they fire varies run to run.
+//
+// The mix is fixed: 40% subgraph pages, 25% etherscan txlists, 20%
+// opensea event pages, 10% rpc, 5% healthz — roughly the request
+// blend one full crawl cycle of the three sources produces.
+func buildSchedule(cfg planConfig, t targets) []request {
+	r := rand.New(rand.NewSource(cfg.seed))
+	var zipf *rand.Zipf
+	if len(t.ids) > 1 {
+		zipf = rand.NewZipf(r, cfg.zipfS, 1, uint64(len(t.ids)-1))
+	}
+	pick := func(pool []string) string {
+		if len(pool) == 0 {
+			return ""
+		}
+		if zipf == nil || len(pool) == 1 {
+			return pool[0]
+		}
+		i := zipf.Uint64()
+		if i >= uint64(len(pool)) {
+			i = uint64(len(pool)) - 1
+		}
+		return pool[i]
+	}
+
+	seconds := int(cfg.duration.Seconds() + 0.999)
+	var plans []request
+	for s := 0; s < seconds; s++ {
+		mult := 1.0
+		if r.Float64() < cfg.burstProb {
+			mult = cfg.burstFactor
+		}
+		n := int(cfg.rps*mult + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			due := time.Duration(s)*time.Second + time.Duration(float64(i)/float64(n)*float64(time.Second))
+			plans = append(plans, makeRequest(r, pick, t, due))
+		}
+	}
+	return plans
+}
+
+func makeRequest(r *rand.Rand, pick func([]string) string, t targets, due time.Duration) request {
+	switch draw := r.Intn(100); {
+	case draw < 40:
+		cursor := ""
+		if r.Intn(10) > 0 { // 10% first pages, 90% deep cursors
+			cursor = pick(t.ids)
+		}
+		q := fmt.Sprintf(`{ registrationEvents(first: 100, orderBy: id, where: {id_gt: %q}) { id type label labelName registrant expiryDate costWei premiumWei timestamp blockNumber txHash } }`, cursor)
+		body, err := json.Marshal(map[string]string{"query": q})
+		if err != nil {
+			panic(err) // a string map cannot fail to marshal
+		}
+		return request{route: routeSubgraph, method: http.MethodPost, path: "/subgraph", body: string(body), due: due}
+	case draw < 65:
+		addr := pick(t.addrs)
+		return request{route: routeEtherscan, method: http.MethodGet,
+			path: "/etherscan/api?module=account&action=txlist&address=" + addr + "&startblock=0&page=1&offset=100&apikey=ensload", due: due}
+	case draw < 85:
+		if r.Intn(5) == 0 { // 20% full-stream pages
+			return request{route: routeOpenSea, method: http.MethodGet, path: "/opensea/events?limit=50", due: due}
+		}
+		return request{route: routeOpenSea, method: http.MethodGet,
+			path: "/opensea/events?token_id=" + pick(t.ids) + "&limit=50", due: due}
+	case draw < 95:
+		if r.Intn(2) == 0 {
+			return request{route: routeRPC, method: http.MethodPost, path: "/rpc",
+				body: `{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}`, due: due}
+		}
+		body, err := json.Marshal(map[string]any{
+			"jsonrpc": "2.0", "id": 1, "method": "eth_getBalance", "params": []string{pick(t.addrs)}})
+		if err != nil {
+			panic(err)
+		}
+		return request{route: routeRPC, method: http.MethodPost, path: "/rpc", body: string(body), due: due}
+	default:
+		return request{route: routeHealthz, method: http.MethodGet, path: "/healthz", due: due}
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// routeStats accumulates one route's outcomes. Latencies are kept
+// exactly (one duration per successful request) so the reported
+// quantiles are true sample quantiles, not histogram estimates — the
+// point of a load generator is to measure the server, not approximate
+// it.
+//
+// The classes are disjoint: ok (2xx/304), shed (429/503, the server's
+// overload signals), err4 (other 4xx), err5 (other 5xx), transport
+// (connection failures). gate5xx overlaps them: every status >= 500
+// including shed 503s, the counter the -assert-no-5xx gate reads.
+type routeStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        int64
+	shed      int64
+	err4      int64
+	err5      int64
+	transport int64
+	gate5xx   int64
+}
+
+func (s *routeStats) observe(status int, latency time.Duration, transportErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case transportErr:
+		s.transport++
+	case status == 429 || status == 503:
+		s.shed++
+	case status >= 500:
+		s.err5++
+	case status >= 400:
+		s.err4++
+	default:
+		s.ok++
+		s.latencies = append(s.latencies, latency)
+	}
+	if !transportErr && status >= 500 {
+		s.gate5xx++
+	}
+}
+
+// summary is a finished route's numbers.
+type summary struct {
+	route                     string
+	ok, shed, e4, e5, tr, g5x int64
+	mean                      time.Duration
+	p50, p99, p999            time.Duration
+	rps                       float64
+}
+
+func (s *routeStats) summarize(route string, elapsed time.Duration) summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := summary{route: route, ok: s.ok, shed: s.shed, e4: s.err4, e5: s.err5, tr: s.transport, g5x: s.gate5xx}
+	if len(s.latencies) > 0 {
+		sorted := make([]time.Duration, len(s.latencies))
+		copy(sorted, s.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, l := range sorted {
+			sum += l
+		}
+		out.mean = sum / time.Duration(len(sorted))
+		out.p50 = quantile(sorted, 0.5)
+		out.p99 = quantile(sorted, 0.99)
+		out.p999 = quantile(sorted, 0.999)
+	}
+	if elapsed > 0 {
+		out.rps = float64(s.ok) / elapsed.Seconds()
+	}
+	return out
+}
+
+// quantile is the nearest-rank sample quantile of a sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// completed is every request that got an answer or a transport error.
+func (s summary) completed() int64 { return s.ok + s.shed + s.e4 + s.e5 + s.tr }
+
+// shedRate is sheds over completed requests.
+func (s summary) shedRate() float64 {
+	if c := s.completed(); c > 0 {
+		return float64(s.shed) / float64(c)
+	}
+	return 0
+}
+
+// errorRate is non-shed errors (4xx, 5xx, transport) over completed.
+func (s summary) errorRate() float64 {
+	if c := s.completed(); c > 0 {
+		return float64(s.e4+s.e5+s.tr) / float64(c)
+	}
+	return 0
+}
+
+// writeBench emits one go-bench-format line per route, parseable by
+// cmd/benchjson — `ensload ... | benchjson -o BENCH_LOAD.json` archives
+// a load run exactly like a `go test -bench` run. The iteration count
+// is successful requests; ns/op is their mean latency.
+func writeBench(w io.Writer, sums []summary, localDrops int64) {
+	var tot summary
+	for _, s := range sums {
+		if s.completed() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "BenchmarkLoad/%s %d %d ns/op %d p50_ns %d p99_ns %d p999_ns %.4f shed_rate %.4f error_rate %.1f rps\n",
+			s.route, s.ok, s.mean.Nanoseconds(), s.p50.Nanoseconds(), s.p99.Nanoseconds(), s.p999.Nanoseconds(),
+			s.shedRate(), s.errorRate(), s.rps)
+		tot.ok += s.ok
+		tot.shed += s.shed
+		tot.e4 += s.e4
+		tot.e5 += s.e5
+		tot.tr += s.tr
+		tot.rps += s.rps
+	}
+	fmt.Fprintf(w, "BenchmarkLoad/total %d %.4f shed_rate %.4f error_rate %.1f rps %d local_drops\n",
+		tot.ok, tot.shedRate(), tot.errorRate(), tot.rps, localDrops)
+}
+
+// writeHuman emits the operator-facing table.
+func writeHuman(w io.Writer, sums []summary, elapsed time.Duration, localDrops int64) {
+	fmt.Fprintf(w, "ensload: %v elapsed, %d requests dropped at the client (inflight cap)\n",
+		elapsed.Round(time.Millisecond), localDrops)
+	fmt.Fprintf(w, "%-10s %8s %6s %5s %5s %5s %9s %9s %9s %8s\n",
+		"route", "ok", "shed", "4xx", "5xx", "conn", "p50", "p99", "p999", "rps")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-10s %8d %6d %5d %5d %5d %9s %9s %9s %8.1f\n",
+			s.route, s.ok, s.shed, s.e4, s.e5, s.tr,
+			s.p50.Round(time.Microsecond), s.p99.Round(time.Microsecond), s.p999.Round(time.Microsecond), s.rps)
+	}
+}

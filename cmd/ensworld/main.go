@@ -49,15 +49,10 @@ import (
 	"syscall"
 	"time"
 
-	"ensdropcatch/internal/chaos"
 	"ensdropcatch/internal/dataset"
 	"ensdropcatch/internal/etherscan"
-	"ensdropcatch/internal/ethrpc"
-	"ensdropcatch/internal/obs"
-	"ensdropcatch/internal/opensea"
-	"ensdropcatch/internal/overload"
+	"ensdropcatch/internal/serve"
 	"ensdropcatch/internal/subgraph"
-	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
 )
 
@@ -78,6 +73,9 @@ func main() {
 		quotaRate    = flag.Float64("quota-rate", 0, "per-client requests/second quota on data routes, keyed by X-Client-ID (0 = off)")
 		quotaBurst   = flag.Float64("quota-burst", 0, "per-client quota burst size (0 = max(quota-rate, 1))")
 		routeTimeout = flag.Duration("route-timeout", 30*time.Second, "default handler deadline on data routes; X-Request-Deadline-Ms may shorten it (0 = none)")
+
+		cacheOff     = flag.Bool("no-page-cache", false, "disable the data-route response cache")
+		cacheEntries = flag.Int("page-cache-entries", 0, "page cache entry bound (0 = default)")
 	)
 	traceFlags := registerTraceFlags(flag.CommandLine, true)
 	flag.Parse()
@@ -128,64 +126,39 @@ func main() {
 			"elapsed", time.Since(snapStart).Round(time.Millisecond))
 	}
 
-	httpMetrics := obs.NewHTTPMetrics(obs.Default, "ensworld")
-	mux := http.NewServeMux()
-	handle := func(route string, h http.Handler) {
-		mux.Handle(route, httpMetrics.Wrap(route, h))
-	}
-	// The crawled APIs optionally run behind a seeded fault injector so
-	// clients' retry/breaker/resume paths can be exercised; health and
-	// debug routes stay clean.
-	faulty := func(h http.Handler) http.Handler { return h }
-	if *chaosRate > 0 {
-		inj := chaos.New(chaos.Config{Seed: *chaosSeed, Rate: *chaosRate})
-		faulty = inj.Wrap
-		logger.Info("chaos enabled", "rate", *chaosRate, "seed", *chaosSeed)
-	}
-	// Data routes sit behind admission control: a deadline bound first
-	// (so queue estimates see the request's real budget), then per-client
-	// quotas (cheap rejection before a gate slot is consumed), then the
-	// bounded-concurrency gate, then chaos, then the handler. Health,
-	// metrics, and debug routes bypass all of it — they must answer
-	// precisely when the server is drowning.
-	gate := overload.NewGate(overload.GateConfig{
-		MaxInflight: *maxInflight, QueueDepth: *queueDepth, MaxWait: *queueWait})
-	quotas := overload.NewQuotas(overload.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst})
 	tracer := traceFlags.tracer()
 	if tracer != nil {
 		logger.Info("tracing enabled",
 			"sample", traceFlags.sample, "store", traceFlags.capacity, "slow", traceFlags.slow)
 	}
-	handleData := func(route string, h http.Handler) {
-		h = gate.Wrap(route, overload.Data, h)
-		h = quotas.Wrap(route, h)
-		h = overload.Deadline(*routeTimeout, *routeTimeout, h)
-		handle(route, h)
-	}
 	logger.Info("overload protection",
 		"max_inflight", *maxInflight, "queue_depth", *queueDepth, "queue_wait", *queueWait,
 		"quota_rate", *quotaRate, "route_timeout", *routeTimeout)
-	handleData("/subgraph", faulty(subgraph.NewServer(store, logger)))
-	handleData("/etherscan/", http.StripPrefix("/etherscan",
-		faulty(etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), *rate, logger))))
-	handleData("/opensea/", http.StripPrefix("/opensea", faulty(opensea.NewServer(res.OpenSea))))
-	handleData("/rpc", faulty(ethrpc.NewServer(res.Chain)))
-	handle("/healthz", newHealthHandler(time.Now(), *seed, summary, store, gate, quotas, tracer.Store()))
-	obs.RegisterDebug(mux, obs.Default)
-	if tracer != nil {
-		th := trace.Handler(tracer.Store())
-		mux.Handle("/debug/traces", th)
-		mux.Handle("/debug/traces/", th)
-	}
-	// The trace middleware sits outermost so queue wait, quota denials,
-	// chaos faults, and handler time all land on one server span linked
-	// (via traceparent) to the client's retry attempt.
-	handler := trace.Middleware(tracer, mux)
+	// The full middleware stack — metrics, deadlines, quotas, the
+	// admission gate, chaos, the page cache, tracing — is assembled in
+	// internal/serve so the binary, the load generator's self-hosted
+	// mode, and the tests all run identical wiring.
+	stack := serve.New(res, store, serve.Config{
+		Logger:        logger,
+		Seed:          *seed,
+		EtherscanRate: *rate,
+		ChaosRate:     *chaosRate,
+		ChaosSeed:     *chaosSeed,
+		MaxInflight:   *maxInflight,
+		QueueDepth:    *queueDepth,
+		QueueWait:     *queueWait,
+		QuotaRate:     *quotaRate,
+		QuotaBurst:    *quotaBurst,
+		RouteTimeout:  *routeTimeout,
+		CacheDisabled: *cacheOff,
+		CacheEntries:  *cacheEntries,
+		Tracer:        tracer,
+	})
 
 	logger.Info("serving", "addr", *listen)
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           handler,
+		Handler:           stack.Handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Slow-loris floors: a request must arrive, and its response must
 		// drain, in bounded time even with chaos-injected stalls in play.

@@ -45,7 +45,9 @@ func (s *StoreSource) PageAll(ctx context.Context, collection string, fields []s
 			return nil, err
 		}
 		rows := data[collection]
-		out = append(out, rows...)
+		for _, r := range rows {
+			out = append(out, r.AsEntity())
+		}
 		if len(rows) < pageSize {
 			return out, nil
 		}

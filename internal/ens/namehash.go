@@ -8,6 +8,7 @@ package ens
 
 import (
 	"strings"
+	"sync"
 
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/keccak"
@@ -44,12 +45,38 @@ func LabelHash(label string) ethtypes.Hash {
 // ETHNode is the namehash of the "eth" TLD.
 var ETHNode = Namehash("eth")
 
+// nodeCacheMax bounds the labelhash→namehash cache. The mapping is a
+// pure function of the hash, so entries never invalidate; the bound
+// only caps memory. 1<<17 entries ≈ 8 MiB covers a 100k-domain world
+// with room to spare, and once full the cache simply stops growing
+// (the hot head of a zipf-shaped workload is cached long before that).
+const nodeCacheMax = 1 << 17
+
+var nodeCache = struct {
+	sync.RWMutex
+	m map[ethtypes.Hash]ethtypes.Hash
+}{m: make(map[ethtypes.Hash]ethtypes.Hash)}
+
 // NodeFromLabelHash computes the namehash of "<label>.eth" given only the
 // label hash — how indexers derive the domain node for names whose
-// plaintext label is unknown.
+// plaintext label is unknown. It sits on both the subgraph indexing path
+// and the serve-side name lookups, and keccak is pure, so results are
+// memoized in a bounded process-wide cache.
 func NodeFromLabelHash(lh ethtypes.Hash) ethtypes.Hash {
+	nodeCache.RLock()
+	node, ok := nodeCache.m[lh]
+	nodeCache.RUnlock()
+	if ok {
+		return node
+	}
 	var buf [64]byte
 	copy(buf[:32], ETHNode[:])
 	copy(buf[32:], lh[:])
-	return ethtypes.Hash(keccak.Sum256(buf[:]))
+	node = ethtypes.Hash(keccak.Sum256(buf[:]))
+	nodeCache.Lock()
+	if len(nodeCache.m) < nodeCacheMax {
+		nodeCache.m[lh] = node
+	}
+	nodeCache.Unlock()
+	return node
 }

@@ -19,6 +19,7 @@ import (
 
 	"ensdropcatch/internal/chain"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/httpjson"
 )
 
 // API behaviour constants (mirroring etherscan.io).
@@ -44,10 +45,25 @@ type TxRecord struct {
 	Method      string `json:"functionName,omitempty"`
 }
 
+// envelope is the generic decode target (client side); the server
+// serializes through the typed stringEnvelope/txEnvelope below so the
+// result is marshaled exactly once.
 type envelope struct {
 	Status  string          `json:"status"`
 	Message string          `json:"message"`
 	Result  json.RawMessage `json:"result"`
+}
+
+type stringEnvelope struct {
+	Status  string `json:"status"`
+	Message string `json:"message"`
+	Result  string `json:"result"`
+}
+
+type txEnvelope struct {
+	Status  string     `json:"status"`
+	Message string     `json:"message"`
+	Result  []TxRecord `json:"result"`
 }
 
 // Labels is the custodial label data the /labels endpoint serves.
@@ -111,9 +127,8 @@ func (s *Server) allow(key string) bool {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/labels":
-		w.Header().Set("Content-Type", "application/json")
 		// A failed response write means the client is gone; nothing to repair.
-		_ = json.NewEncoder(w).Encode(s.labels)
+		_ = httpjson.Write(w, http.StatusOK, s.labels)
 	case "/api":
 		s.serveAPI(w, r)
 	default:
@@ -125,6 +140,10 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	key := q.Get("apikey")
 	if !s.allow(key) {
+		// Rate-limit answers ride on HTTP 200 (Etherscan's quirk), so a
+		// naive response cache would happily serve "NOTOK" to clients
+		// whose budget has long refilled. no-store keeps them out.
+		w.Header().Set("Cache-Control", "no-store")
 		writeEnvelope(w, "0", "NOTOK", "Max rate limit reached")
 		return
 	}
@@ -244,15 +263,11 @@ func parseUint(s string, def uint64) uint64 {
 }
 
 func writeEnvelope(w http.ResponseWriter, status, message, result string) {
-	w.Header().Set("Content-Type", "application/json")
-	raw, _ := json.Marshal(result)
 	// A failed response write means the client is gone; nothing to repair.
-	_ = json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+	_ = httpjson.Write(w, http.StatusOK, &stringEnvelope{Status: status, Message: message, Result: result})
 }
 
 func writeResult(w http.ResponseWriter, status, message string, rows []TxRecord) {
-	w.Header().Set("Content-Type", "application/json")
-	raw, _ := json.Marshal(rows)
 	// A failed response write means the client is gone; nothing to repair.
-	_ = json.NewEncoder(w).Encode(envelope{Status: status, Message: message, Result: raw})
+	_ = httpjson.Write(w, http.StatusOK, &txEnvelope{Status: status, Message: message, Result: rows})
 }

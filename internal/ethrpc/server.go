@@ -17,6 +17,7 @@ import (
 
 	"ensdropcatch/internal/chain"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/httpjson"
 )
 
 // request is a JSON-RPC 2.0 request.
@@ -99,8 +100,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeRPC(w http.ResponseWriter, resp response) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	// A failed response write means the client is gone; nothing to repair.
+	_ = httpjson.Write(w, http.StatusOK, &resp)
 }
 
 func (s *Server) dispatch(ctx context.Context, req *request) (any, error) {

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"net/http"
+	"slices"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -14,6 +16,9 @@ type HTTPMetrics struct {
 	requests *CounterVec
 	latency  *HistogramVec
 	inflight *Gauge
+
+	mu     sync.Mutex
+	routes []string
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg (nil uses
@@ -43,6 +48,12 @@ func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
 // are resolved once here, so the per-request path is allocation-free
 // apart from the status recorder.
 func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	m.mu.Lock()
+	if !slices.Contains(m.routes, route) {
+		m.routes = append(m.routes, route)
+		sort.Strings(m.routes)
+	}
+	m.mu.Unlock()
 	hist := m.latency.With(route)
 	var byClass [6]*Counter
 	byClass[0] = m.requests.With(route, "other")
@@ -65,6 +76,19 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		}
 		byClass[cls].Inc()
 	})
+}
+
+// Routes returns the routes wrapped so far, sorted.
+func (m *HTTPMetrics) Routes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return slices.Clone(m.routes)
+}
+
+// RouteLatency returns the latency histogram recording the given
+// route, registering the series if the route was never wrapped.
+func (m *HTTPMetrics) RouteLatency(route string) *Histogram {
+	return m.latency.With(route)
 }
 
 var defaultHTTP = sync.OnceValue(func() *HTTPMetrics { return NewHTTPMetrics(Default, "") })

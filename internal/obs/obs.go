@@ -134,6 +134,51 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts, interpolating linearly inside the bucket the quantile lands
+// in — the same estimate PromQL's histogram_quantile computes. With no
+// observations it returns 0; ranks landing in the +Inf bucket return
+// the largest finite bound (the estimate cannot exceed what the
+// buckets resolve). Counts are read without a snapshot, so concurrent
+// observers can skew an in-flight estimate slightly; for monitoring
+// that is fine.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.upper) {
+			// +Inf bucket: unbounded above, clamp to the last finite bound.
+			return h.upper[len(h.upper)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.upper[i-1]
+		}
+		within := (rank - (cum - float64(c))) / float64(c)
+		return lower + (h.upper[i]-lower)*within
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 type metricKind int
 
 const (

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 observations spread evenly through (0, 10] in buckets of
+	// width 1: the interpolated q-quantile should be ~10q.
+	h := newHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)/10 + 0.05)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.9, 9}, {0.99, 9.9}, {0.1, 1},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 0.2 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileSingleBucketInterpolates(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// All mass in (1,2]: median interpolates to the bucket midpoint.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+}
+
+func TestQuantileInfBucketClamps(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	h.Observe(0.5)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+}

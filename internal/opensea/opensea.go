@@ -19,6 +19,7 @@ import (
 
 	"ensdropcatch/internal/crawler"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/httpjson"
 	"ensdropcatch/internal/overload"
 	"ensdropcatch/internal/trace"
 	"ensdropcatch/internal/world"
@@ -126,9 +127,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			resp.Next = strconv.Itoa(end)
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
 	// A failed response write means the client is gone; nothing to repair.
-	_ = json.NewEncoder(w).Encode(resp)
+	_ = httpjson.Write(w, http.StatusOK, &resp)
 }
 
 // Client pages through the events API. Transport failures, 5xx answers,

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ensdropcatch/internal/obs"
+	"ensdropcatch/internal/trace"
+)
+
+// tracedStack builds a fully instrumented stack: tracing with a
+// sampling store, metrics, gate, quotas off, cache on.
+func tracedStack(t *testing.T) *Stack {
+	t.Helper()
+	tr := trace.New(trace.Config{
+		Seed: 42,
+		Store: trace.NewStore(trace.StoreConfig{
+			Capacity:   256,
+			SampleRate: 0.25,
+			Seed:       42,
+		}),
+	})
+	return New(testWorld(), nil, Config{Registry: obs.NewRegistry(), Tracer: tr})
+}
+
+// TestTracedStackDeterministicUnderConcurrency drives the same request
+// set through two traced, cached stacks — one serially, one from 8
+// goroutines — and requires byte-identical pages. Tracing, the page
+// cache, and handler parallelism must all be invisible in the payload:
+// the only acceptable difference between a quiet server and a loaded
+// one is timing.
+func TestTracedStackDeterministicUnderConcurrency(t *testing.T) {
+	serial := tracedStack(t)
+	loaded := tracedStack(t)
+
+	type probe struct{ method, path, body string }
+	var probes []probe
+	for i := 0; i < 40; i++ {
+		probes = append(probes,
+			probe{http.MethodPost, "/subgraph",
+				fmt.Sprintf(`{"query": "{ registrationEvents(first: %d) { id type labelName registrant costWei } }"}`, 10+i%5)},
+			probe{http.MethodGet, fmt.Sprintf("/opensea/events?limit=%d", 10+i%7), ""},
+			probe{http.MethodPost, "/rpc", `{"jsonrpc":"2.0","id":1,"method":"eth_blockNumber","params":[]}`},
+		)
+	}
+
+	fetch := func(st *Stack, p probe) string {
+		var rec *httptest.ResponseRecorder
+		if p.method == http.MethodPost {
+			rec = post(st.Handler, p.path, p.body)
+		} else {
+			rec = get(st.Handler, p.path)
+		}
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s %s: status %d", p.method, p.path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	// Workers = 1: every probe, three times each so the second and third
+	// passes are cache hits.
+	want := make([]string, len(probes))
+	for pass := 0; pass < 3; pass++ {
+		for i, p := range probes {
+			body := fetch(serial, p)
+			if pass == 0 {
+				want[i] = body
+			} else if body != want[i] {
+				t.Fatalf("serial stack unstable on %s %s (pass %d)", p.method, p.path, pass)
+			}
+		}
+	}
+
+	// Workers = 8: the same probes, every worker hammering the full set
+	// concurrently against the loaded stack.
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				for i, p := range probes {
+					if body := fetch(loaded, p); body != want[i] {
+						errs <- fmt.Sprintf("%s %s: concurrent body differs from serial", p.method, p.path)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,178 @@
+// Package serve assembles the ensworld HTTP stack — routes, metrics,
+// overload protection, chaos injection, response caching, tracing —
+// from a generated world. Extracting the wiring from the binary lets
+// the load generator's self-hosted mode, the e2e tests, and the server
+// itself run the exact same stack, so a latency number measured in one
+// place means the same thing everywhere.
+//
+// Middleware order, outermost first:
+//
+//	trace.Middleware        one server span per request, tail-sampled
+//	obs.HTTPMetrics         per-route counts + latency histograms
+//	overload.Deadline       per-route budget, shrinkable by the client
+//	overload.Quotas         per-client token buckets (cheap rejection)
+//	overload.Gate           bounded concurrency + shed queue
+//	chaos injector          seeded fault drills (optional)
+//	pagecache               rendered-response cache (optional)
+//	handler                 subgraph / etherscan / opensea / rpc
+//
+// The cache sits innermost on purpose: a cache hit still consumes a
+// gate slot (sheds stay honest under overload), still burns quota, and
+// still rolls the chaos dice — and a chaos fault can never be written
+// into the cache.
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"ensdropcatch/internal/chaos"
+	"ensdropcatch/internal/dataset"
+	"ensdropcatch/internal/etherscan"
+	"ensdropcatch/internal/ethrpc"
+	"ensdropcatch/internal/obs"
+	"ensdropcatch/internal/opensea"
+	"ensdropcatch/internal/overload"
+	"ensdropcatch/internal/pagecache"
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/trace"
+	"ensdropcatch/internal/world"
+)
+
+// Config tunes the stack. Zero values take the server defaults noted
+// on each field.
+type Config struct {
+	// Logger defaults to a discard logger.
+	Logger *slog.Logger
+	// Namespace prefixes the HTTP metric names; default "ensworld".
+	Namespace string
+	// Registry receives the HTTP metrics and the /metrics exposition;
+	// nil uses obs.Default. Tests give each stack its own registry so
+	// request counts don't bleed across instances.
+	Registry *obs.Registry
+	// Seed is reported on /healthz as the world's generation seed.
+	Seed int64
+	// EtherscanRate is requests/second/key on /etherscan/api (0 = the
+	// etherscan package default).
+	EtherscanRate int
+	// ChaosRate enables the fault injector on the data routes when > 0.
+	ChaosRate float64
+	// ChaosSeed seeds the fault schedule.
+	ChaosSeed int64
+	// MaxInflight bounds concurrently served data-route requests
+	// (0 = 64).
+	MaxInflight int
+	// QueueDepth bounds the shed queue (0 = 128).
+	QueueDepth int
+	// QueueWait bounds time spent queued (0 = 2s).
+	QueueWait time.Duration
+	// QuotaRate is per-client requests/second keyed by X-Client-ID
+	// (0 = quotas off).
+	QuotaRate float64
+	// QuotaBurst is the per-client burst (0 = max(QuotaRate, 1)).
+	QuotaBurst float64
+	// RouteTimeout is the default data-route deadline (0 = 30s).
+	RouteTimeout time.Duration
+	// CacheDisabled turns the page cache off; by default data routes
+	// are cached.
+	CacheDisabled bool
+	// CacheEntries bounds the page cache (0 = pagecache default).
+	CacheEntries int
+	// CacheMaxBody bounds cacheable body size (0 = pagecache default).
+	CacheMaxBody int
+	// Tracer, when non-nil, traces every request and serves the store
+	// on /debug/traces.
+	Tracer *trace.Tracer
+}
+
+// Stack is an assembled server: Handler is ready for http.Server, and
+// the components are exposed for health checks and tests.
+type Stack struct {
+	Handler http.Handler
+	Mux     *http.ServeMux
+	Gate    *overload.Gate
+	Quotas  *overload.Quotas
+	Cache   *pagecache.Cache // nil when disabled
+	Metrics *obs.HTTPMetrics
+	Store   *subgraph.Store
+	Tracer  *trace.Tracer
+}
+
+// New wires the full route table and middleware stack for a generated
+// world. store may be nil, in which case the subgraph index is built
+// here.
+func New(res *world.Result, store *subgraph.Store, cfg Config) *Stack {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Namespace == "" {
+		cfg.Namespace = "ensworld"
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.QueueWait == 0 {
+		cfg.QueueWait = 2 * time.Second
+	}
+	if cfg.RouteTimeout == 0 {
+		cfg.RouteTimeout = 30 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if store == nil {
+		store = subgraph.BuildIndex(res.Chain)
+	}
+
+	st := &Stack{
+		Mux:     http.NewServeMux(),
+		Gate:    overload.NewGate(overload.GateConfig{MaxInflight: cfg.MaxInflight, QueueDepth: cfg.QueueDepth, MaxWait: cfg.QueueWait}),
+		Quotas:  overload.NewQuotas(overload.QuotaConfig{Rate: cfg.QuotaRate, Burst: cfg.QuotaBurst}),
+		Metrics: obs.NewHTTPMetrics(cfg.Registry, cfg.Namespace),
+		Store:   store,
+		Tracer:  cfg.Tracer,
+	}
+	if !cfg.CacheDisabled {
+		st.Cache = pagecache.New(pagecache.Config{MaxEntries: cfg.CacheEntries, MaxBody: cfg.CacheMaxBody})
+	}
+
+	faulty := func(h http.Handler) http.Handler { return h }
+	if cfg.ChaosRate > 0 {
+		inj := chaos.New(chaos.Config{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate})
+		faulty = inj.Wrap
+		logger.Info("chaos enabled", "rate", cfg.ChaosRate, "seed", cfg.ChaosSeed)
+	}
+	handle := func(route string, h http.Handler) {
+		st.Mux.Handle(route, st.Metrics.Wrap(route, h))
+	}
+	handleData := func(route string, h http.Handler) {
+		if st.Cache != nil {
+			h = st.Cache.Wrap(route, h)
+		}
+		h = faulty(h)
+		h = st.Gate.Wrap(route, overload.Data, h)
+		h = st.Quotas.Wrap(route, h)
+		h = overload.Deadline(cfg.RouteTimeout, cfg.RouteTimeout, h)
+		handle(route, h)
+	}
+
+	handleData("/subgraph", subgraph.NewServer(store, logger))
+	handleData("/etherscan/", http.StripPrefix("/etherscan",
+		etherscan.NewServer(res.Chain, dataset.LabelsFromWorld(res), cfg.EtherscanRate, logger)))
+	handleData("/opensea/", http.StripPrefix("/opensea", opensea.NewServer(res.OpenSea)))
+	handleData("/rpc", ethrpc.NewServer(res.Chain))
+	handle("/healthz", newHealthHandler(time.Now(), cfg.Seed, res.Summarize(), st))
+	obs.RegisterDebug(st.Mux, cfg.Registry)
+	if cfg.Tracer != nil {
+		th := trace.Handler(cfg.Tracer.Store())
+		st.Mux.Handle("/debug/traces", th)
+		st.Mux.Handle("/debug/traces/", th)
+	}
+	st.Handler = trace.Middleware(cfg.Tracer, st.Mux)
+	return st
+}

@@ -110,6 +110,15 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 	return data, nil
 }
 
+// wireEnvelope is the client-side decode target for the response
+// envelope: rows come back as generic maps, the shape a real subgraph
+// client sees (the server's gqlResponse is the typed serialization
+// form).
+type wireEnvelope struct {
+	Data   map[string][]Entity `json:"data"`
+	Errors []gqlError          `json:"errors"`
+}
+
 // doOnce performs one HTTP round trip. Errors it returns are transient
 // (retryable) unless wrapped with crawler.Permanent.
 func (c *Client) doOnce(ctx context.Context, body []byte) (map[string][]Entity, error) {
@@ -146,7 +155,7 @@ func (c *Client) doOnce(ctx context.Context, body []byte) (map[string][]Entity, 
 		}
 		return nil, statusErr
 	}
-	var envelope gqlResponse
+	var envelope wireEnvelope
 	if err := json.Unmarshal(raw, &envelope); err != nil {
 		m().errors.Inc()
 		return nil, fmt.Errorf("subgraph client: decode: %w", err)

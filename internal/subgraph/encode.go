@@ -1,0 +1,104 @@
+package subgraph
+
+// Hand-rolled serialization for the GraphQL response envelope. The
+// serve path used to reflect over map[string][]map[string]any per page;
+// at production RPS the encoder's per-key sorting and interface walks
+// were most of the request's allocations. Rows now carry their fields
+// pre-sorted (see Row), so the envelope can be appended straight into a
+// pooled byte slice. Output is byte-identical to what
+// json.NewEncoder(w).Encode(gqlResponse{...}) produced in the map era —
+// the workers=1-vs-8 page-determinism test and the legacy-encoding
+// equivalence test both pin that.
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+
+	"ensdropcatch/internal/httpjson"
+)
+
+// appendResponse appends the envelope: {"errors":[...]} when errors are
+// present, else {"data":{...}} with selection names sorted, else {}.
+// A trailing newline matches json.Encoder.Encode.
+func appendResponse(dst []byte, resp *gqlResponse) []byte {
+	switch {
+	case len(resp.Errors) > 0:
+		dst = append(dst, `{"errors":[`...)
+		for i, e := range resp.Errors {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"message":`...)
+			dst = httpjson.AppendString(dst, e.Message)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, `]}`...)
+	case len(resp.Data) > 0:
+		names := make([]string, 0, len(resp.Data))
+		for name := range resp.Data {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		dst = append(dst, `{"data":{`...)
+		for i, name := range names {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = httpjson.AppendString(dst, name)
+			dst = append(dst, ':', '[')
+			for j := range resp.Data[name] {
+				if j > 0 {
+					dst = append(dst, ',')
+				}
+				dst = appendRow(dst, resp.Data[name][j])
+			}
+			dst = append(dst, ']')
+		}
+		dst = append(dst, '}', '}')
+	default:
+		dst = append(dst, '{', '}')
+	}
+	return append(dst, '\n')
+}
+
+// appendRow appends one projected row as a JSON object, fields in Row
+// order (sorted by name).
+func appendRow(dst []byte, r Row) []byte {
+	dst = append(dst, '{')
+	for i, f := range r {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = httpjson.AppendString(dst, f.Name)
+		dst = append(dst, ':')
+		dst = appendValue(dst, f.Value)
+	}
+	return append(dst, '}')
+}
+
+// appendValue appends one field value. Entities only hold strings,
+// int64s, and nils today; anything else falls back to encoding/json so
+// a new field type degrades to slow-but-correct instead of wrong.
+func appendValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, `null`...)
+	case string:
+		return httpjson.AppendString(dst, x)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case bool:
+		return strconv.AppendBool(dst, x)
+	default:
+		raw, err := json.Marshal(x)
+		if err != nil {
+			// Mirror encoding/json's lossy stance nowhere: an unencodable
+			// value in the store is a programming error surfaced loudly.
+			panic("subgraph: unencodable field value: " + err.Error())
+		}
+		return append(dst, raw...)
+	}
+}

@@ -80,7 +80,18 @@ func TestIncrementalSyncEqualsFullBuild(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	reg, _ := svc.Registration("first")
-	if got := rows[0]["expiryDate"].(int64); got != reg.Expiry {
+	if got := mustField(t, rows[0], "expiryDate").(int64); got != reg.Expiry {
 		t.Errorf("incremental entity expiry %d, want %d (renewal lost)", got, reg.Expiry)
 	}
+}
+
+// mustField returns the named projected field, failing the test when it
+// was not selected.
+func mustField(t *testing.T, r Row, name string) any {
+	t.Helper()
+	v, ok := r.Get(name)
+	if !ok {
+		t.Fatalf("field %q not selected", name)
+	}
+	return v
 }

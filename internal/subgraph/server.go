@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"log/slog"
 	"net/http"
+
+	"ensdropcatch/internal/httpjson"
 )
 
 // Server exposes a Store over HTTP with a GraphQL-style POST endpoint.
 // Request body: {"query": "..."}; response: {"data": {...}} or
 // {"errors": [{"message": "..."}]}, matching The Graph's envelope.
+// Responses are serialized through the pooled append path in encode.go;
+// the per-request JSON work is the body decode and one buffered write.
 type Server struct {
 	store *Store
 	log   *slog.Logger
@@ -30,9 +34,11 @@ type gqlError struct {
 	Message string `json:"message"`
 }
 
+// gqlResponse is the response envelope. It is serialized by
+// appendResponse, not reflection; keep the two in sync.
 type gqlResponse struct {
-	Data   map[string][]Entity `json:"data,omitempty"`
-	Errors []gqlError          `json:"errors,omitempty"`
+	Data   map[string][]Row
+	Errors []gqlError
 }
 
 // ServeHTTP implements http.Handler.
@@ -43,26 +49,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	var req gqlRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, gqlResponse{Errors: []gqlError{{Message: "invalid request body: " + err.Error()}}})
+		s.writeJSON(w, http.StatusBadRequest, &gqlResponse{Errors: []gqlError{{Message: "invalid request body: " + err.Error()}}})
 		return
 	}
 	q, err := Parse(req.Query)
 	if err != nil {
-		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
+		s.writeJSON(w, http.StatusOK, &gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
 		return
 	}
 	data, err := s.store.ExecuteContext(r.Context(), q)
 	if err != nil {
-		s.writeJSON(w, http.StatusOK, gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
+		s.writeJSON(w, http.StatusOK, &gqlResponse{Errors: []gqlError{{Message: err.Error()}}})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, gqlResponse{Data: data})
+	s.writeJSON(w, http.StatusOK, &gqlResponse{Data: data})
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, body gqlResponse) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(body); err != nil {
-		s.log.Error("subgraph: encode response", "err", err)
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body *gqlResponse) {
+	bp := httpjson.GetSlice()
+	*bp = appendResponse(*bp, body)
+	err := httpjson.WriteBody(w, status, *bp)
+	httpjson.PutSlice(bp)
+	if err != nil {
+		s.log.Error("subgraph: write response", "err", err)
 	}
 }

@@ -1,0 +1,94 @@
+package subgraph
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// legacyResponse is the envelope exactly as the server marshaled it
+// before the append-path encoder: reflection over maps, omitempty tags.
+type legacyResponse struct {
+	Data   map[string][]map[string]any `json:"data,omitempty"`
+	Errors []gqlError                  `json:"errors,omitempty"`
+}
+
+// legacyBytes renders resp the way json.NewEncoder(w).Encode did in the
+// map era: projected rows as maps, keys sorted by the encoder.
+func legacyBytes(t *testing.T, resp *gqlResponse) []byte {
+	t.Helper()
+	legacy := legacyResponse{Errors: resp.Errors}
+	if len(resp.Data) > 0 {
+		legacy.Data = make(map[string][]map[string]any, len(resp.Data))
+		for name, rows := range resp.Data {
+			out := make([]map[string]any, len(rows))
+			for i, r := range rows {
+				m := make(map[string]any, len(r))
+				for _, f := range r {
+					m[f.Name] = f.Value
+				}
+				out[i] = m
+			}
+			legacy.Data[name] = out
+		}
+	}
+	var sb strings.Builder
+	if err := json.NewEncoder(&sb).Encode(legacy); err != nil {
+		t.Fatalf("legacy encode: %v", err)
+	}
+	return []byte(sb.String())
+}
+
+// TestServerMatchesLegacyEncoding pins the append-path serializer to
+// the byte-exact output of the encoding/json path it replaced, across
+// data pages (including null fields), server-side errors, and bad
+// bodies.
+func TestServerMatchesLegacyEncoding(t *testing.T) {
+	store, _ := smallStore(t)
+	srv := NewServer(store, nil)
+
+	queries := []string{
+		`{ registrationEvents(first: 25) { id type label labelName registrant expiryDate costWei premiumWei timestamp blockNumber txHash } }`,
+		`{ registrations(first: 10, where: {id_gt: ""}) { id labelName expiryDate nosuchfield } }`,
+		`{ domains(first: 5) { id name owner resolvedAddress } }`,
+		`{ subdomains(first: 5) { id parent owner } }`,
+		`{ registrations(first: 3) { id } registrationEvents(first: 3) { id } }`,
+		`{ nosuchcollection(first: 1) { id } }`,
+		`this is not graphql`,
+	}
+	for _, query := range queries {
+		body, err := json.Marshal(map[string]string{"query": query})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/subgraph", strings.NewReader(string(body))))
+
+		// Rebuild the response envelope the handler serialized.
+		var want []byte
+		q, perr := Parse(query)
+		if perr != nil {
+			want = legacyBytes(t, &gqlResponse{Errors: []gqlError{{Message: perr.Error()}}})
+		} else if data, xerr := store.Execute(q); xerr != nil {
+			want = legacyBytes(t, &gqlResponse{Errors: []gqlError{{Message: xerr.Error()}}})
+		} else {
+			want = legacyBytes(t, &gqlResponse{Data: data})
+		}
+		if got := rec.Body.String(); got != string(want) {
+			t.Errorf("query %q:\n got %q\nwant %q", query, truncateStr(got, 300), truncateStr(string(want), 300))
+		}
+		if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+			t.Errorf("query %q: Content-Length %q, body %d bytes", query, cl, rec.Body.Len())
+		}
+	}
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

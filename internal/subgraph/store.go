@@ -25,6 +25,56 @@ func (e Entity) ID() string {
 	return id
 }
 
+// Field is one projected column of a result Row.
+type Field struct {
+	Name  string
+	Value any
+}
+
+// Row is a projected query result: the requested fields sorted by name,
+// exactly the key order encoding/json produced back when rows were
+// maps, so serialized pages are byte-identical to the map era — without
+// allocating a map per row on the serve path. Absent fields are present
+// with a nil Value (GraphQL null).
+type Row []Field
+
+// ID returns the row's id field ("" when not selected).
+func (r Row) ID() string {
+	id, _ := r.Get("id")
+	s, _ := id.(string)
+	return s
+}
+
+// Get returns the named field's value and whether it was selected.
+// Rows are small (a handful of fields), so a linear scan wins over any
+// index structure.
+func (r Row) Get(name string) (any, bool) {
+	for _, f := range r {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// AsEntity converts the row back to the map form batch consumers (the
+// dataset builder's in-process source) work with. Serve-path callers
+// should stay on Row; this allocates the map Row exists to avoid.
+func (r Row) AsEntity() Entity {
+	e := make(Entity, len(r))
+	for _, f := range r {
+		e[f.Name] = f.Value
+	}
+	return e
+}
+
+// MarshalJSON renders the row as the JSON object its field order
+// dictates; used by tests and any caller that round-trips rows through
+// encoding/json (the server writes rows through the faster append path).
+func (r Row) MarshalJSON() ([]byte, error) {
+	return appendRow(nil, r), nil
+}
+
 // Store holds the indexed entity collections, each sorted by id.
 type Store struct {
 	mu          sync.RWMutex
@@ -264,7 +314,7 @@ func (s *Store) Len(col string) int {
 
 // Execute runs a parsed query against the store and returns one result
 // list per top-level selection, keyed by selection name.
-func (s *Store) Execute(q *Query) (map[string][]Entity, error) {
+func (s *Store) Execute(q *Query) (map[string][]Row, error) {
 	return s.ExecuteContext(context.Background(), q)
 }
 
@@ -272,10 +322,10 @@ func (s *Store) Execute(q *Query) (map[string][]Entity, error) {
 // soon as the request's deadline (propagated by the server's overload
 // middleware) expires, instead of filtering rows for a caller that has
 // already given up.
-func (s *Store) ExecuteContext(ctx context.Context, q *Query) (map[string][]Entity, error) {
+func (s *Store) ExecuteContext(ctx context.Context, q *Query) (map[string][]Row, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make(map[string][]Entity, len(q.Selections))
+	out := make(map[string][]Row, len(q.Selections))
 	for _, sel := range q.Selections {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -293,10 +343,19 @@ func (s *Store) ExecuteContext(ctx context.Context, q *Query) (map[string][]Enti
 	return out, nil
 }
 
-func applySelection(ctx context.Context, list []Entity, sel *Selection) ([]Entity, error) {
+func applySelection(ctx context.Context, list []Entity, sel *Selection) ([]Row, error) {
 	if len(sel.Fields) == 0 {
 		return nil, fmt.Errorf("subgraph: selection %q needs a field set", sel.Name)
 	}
+	// Resolve the projected field order once per selection, not per row:
+	// sorted and deduplicated, matching the map-key order the JSON
+	// encoder used to impose.
+	names := make([]string, len(sel.Fields))
+	for i, f := range sel.Fields {
+		names[i] = f.Name
+	}
+	sort.Strings(names)
+	names = dedupSorted(names)
 	first := int64(100) // The Graph's default page size
 	skip := int64(0)
 	var where map[string]Value
@@ -342,7 +401,7 @@ func applySelection(ctx context.Context, list []Entity, sel *Selection) ([]Entit
 		}
 	}
 
-	var rows []Entity
+	var rows []Row
 	for i, e := range list[start:] {
 		if i%4096 == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -354,12 +413,24 @@ func applySelection(ctx context.Context, list []Entity, sel *Selection) ([]Entit
 			skip--
 			continue
 		}
-		rows = append(rows, project(e, sel.Fields))
+		rows = append(rows, project(e, names))
 		if int64(len(rows)) >= first {
 			break
 		}
 	}
 	return rows, nil
+}
+
+// dedupSorted removes adjacent duplicates in place (a field selected
+// twice projects once, as it did when rows were maps).
+func dedupSorted(names []string) []string {
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func matchWhere(e Entity, where map[string]Value) bool {
@@ -418,17 +489,15 @@ func compare(got any, want Value, op string) bool {
 	return false
 }
 
-// project copies only the requested fields. Requesting an absent field
-// yields an explicit null (JSON null), like GraphQL.
-func project(e Entity, fields []*Selection) Entity {
-	out := make(Entity, len(fields))
-	for _, f := range fields {
-		v, ok := e[f.Name]
-		if !ok {
-			out[f.Name] = nil
-			continue
-		}
-		out[f.Name] = v
+// project copies only the requested fields, in the given (sorted)
+// order. Requesting an absent field yields an explicit null (JSON
+// null), like GraphQL. One slice allocation per row — the maps this
+// replaced were the dominant serve-path allocator.
+func project(e Entity, names []string) Row {
+	out := make(Row, len(names))
+	for i, n := range names {
+		v := e[n] // absent -> nil, the explicit null
+		out[i] = Field{Name: n, Value: v}
 	}
 	return out
 }

@@ -113,8 +113,8 @@ func TestExecuteFiltersAndPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range out[ColEvents] {
-		if r["type"] != "NameRenewed" {
-			t.Fatalf("filter leaked %v", r["type"])
+		if typ, _ := r.Get("type"); typ != "NameRenewed" {
+			t.Fatalf("filter leaked %v", typ)
 		}
 	}
 }
@@ -167,7 +167,7 @@ func TestUnindexedNamesHaveNullLabel(t *testing.T) {
 			break
 		}
 		for _, r := range rows {
-			if r["labelName"] == nil {
+			if name, _ := r.Get("labelName"); name == nil {
 				nulls++
 			}
 		}
