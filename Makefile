@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-all soak-smoke trace-smoke persist-smoke bench bench-persist bench-serve bench-smoke bench-compare bench-load load-smoke fuzz fuzz-smoke clean tools report
+.PHONY: all build vet lint lint-diff lint-sarif test race race-all soak-smoke trace-smoke persist-smoke bench bench-persist bench-serve bench-smoke bench-compare bench-load load-smoke fuzz fuzz-smoke clean tools report
 
 all: build vet lint test race
 
@@ -11,13 +11,29 @@ vet:
 	$(GO) vet ./...
 
 # Runs the project's custom go/analysis suite (internal/lint) on top of
-# go vet: detrand, maporder, iodiscipline, floatfold, droppederr. The
-# binary re-executes `go vet -vettool=<self>`, so it needs no build-graph
-# machinery of its own and works offline against the vendored
-# golang.org/x/tools (see go.mod).
+# go vet: the PR 4 syntactic set (detrand, maporder, iodiscipline,
+# floatfold, droppederr), the control-flow set (ctxflow, mutexguard,
+# hotpathalloc, boundedres), and the upstream lostcancel + copylocks
+# pair. The binary re-executes `go vet -vettool=<self>`, so it needs no
+# build-graph machinery of its own and works offline against the
+# vendored golang.org/x/tools (see go.mod).
 lint:
 	$(GO) build -o bin/enslint ./cmd/enslint
 	./bin/enslint ./...
+
+# Incremental lint for PR branches: analyzes only the packages changed
+# since LINT_BASE (default origin/main) plus their reverse-dependency
+# cone — everything a change can possibly break, and nothing else.
+LINT_BASE ?= origin/main
+lint-diff:
+	$(GO) build -o bin/enslint ./cmd/enslint
+	./bin/enslint -diff $(LINT_BASE) ./...
+
+# Full-suite run that also archives the findings as SARIF for code
+# scanning UIs.
+lint-sarif:
+	$(GO) build -o bin/enslint ./cmd/enslint
+	./bin/enslint -sarif lint.sarif ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// affectedPackages resolves the dependency cone of a git diff: the
+// packages (among patterns) whose directory contains a file changed
+// since ref, plus every package whose transitive imports include one of
+// those. Only that cone can have a new lint finding — a package whose
+// full dependency closure is untouched type-checks (and therefore
+// analyzes) identically — so -diff runs skip everything else.
+func affectedPackages(ref string, patterns []string) ([]string, error) {
+	gitOut, err := exec.Command("git", "diff", "--name-only", ref, "--", "*.go", "go.mod", "go.sum").Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %w", ref, stderrOf(err))
+	}
+	gitRoot, err := exec.Command("git", "rev-parse", "--show-toplevel").Output()
+	if err != nil {
+		return nil, fmt.Errorf("git rev-parse --show-toplevel: %w", stderrOf(err))
+	}
+	root := strings.TrimSpace(string(gitRoot))
+
+	changedDirs := map[string]bool{}
+	var modTouched bool
+	for _, line := range strings.Split(strings.TrimSpace(string(gitOut)), "\n") {
+		if line == "" {
+			continue
+		}
+		if base := filepath.Base(line); base == "go.mod" || base == "go.sum" {
+			modTouched = true
+			continue
+		}
+		changedDirs[filepath.Join(root, filepath.Dir(line))] = true
+	}
+	if modTouched {
+		// A module-graph change can affect every package; analyze the
+		// full pattern set rather than guessing.
+		return patterns, nil
+	}
+	if len(changedDirs) == 0 {
+		return nil, nil
+	}
+
+	// One `go list` round-trip: import path, directory, and the full
+	// transitive dependency list per package under the patterns.
+	// Tab-separated — argv cannot carry NUL, and neither import paths
+	// nor build dirs contain tabs.
+	listArgs := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{join .Deps \" \"}}"}, patterns...)
+	listOut, err := exec.Command("go", listArgs...).Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", stderrOf(err))
+	}
+
+	type pkg struct {
+		path string
+		dir  string
+		deps []string
+	}
+	var pkgs []pkg
+	changedPaths := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(listOut)), "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		p := pkg{path: parts[0], dir: parts[1], deps: strings.Fields(parts[2])}
+		pkgs = append(pkgs, p)
+		if changedDirs[p.dir] {
+			changedPaths[p.path] = true
+		}
+	}
+
+	// .Deps is already transitive, so one pass finds the whole cone:
+	// a package is affected iff it changed or imports (at any depth)
+	// a changed package.
+	var affected []string
+	for _, p := range pkgs {
+		if changedPaths[p.path] {
+			affected = append(affected, p.path)
+			continue
+		}
+		for _, d := range p.deps {
+			if changedPaths[d] {
+				affected = append(affected, p.path)
+				break
+			}
+		}
+	}
+	sort.Strings(affected)
+	return affected, nil
+}
+
+// stderrOf surfaces an ExitError's captured stderr, which is where git
+// and the go tool explain themselves.
+func stderrOf(err error) error {
+	if ee, ok := err.(*exec.ExitError); ok && len(bytes.TrimSpace(ee.Stderr)) > 0 {
+		return fmt.Errorf("%w: %s", err, bytes.TrimSpace(ee.Stderr))
+	}
+	return err
+}

@@ -1,21 +1,36 @@
-// Command enslint runs the project's custom go/analysis suite
-// (internal/lint): detrand, maporder, iodiscipline, floatfold, and
-// droppederr — the mechanical form of the determinism and
-// fault-tolerance rules PR 2 and PR 3 established.
+// Command enslint runs the project's go/analysis suite (internal/lint):
+// the nine custom analyzers — detrand, maporder, iodiscipline,
+// floatfold, droppederr, ctxflow, mutexguard, hotpathalloc, boundedres
+// — plus the upstream lostcancel and copylocks passes.
 //
 // It works in two modes:
 //
-//	enslint ./...           # multichecker mode: analyzes packages
-//	go vet -vettool=enslint # unitchecker mode (what mode 1 uses inside)
+//	enslint [flags] <packages>   # driver mode: analyzes packages
+//	go vet -vettool=enslint      # unitchecker mode (what mode 1 uses inside)
 //
-// Multichecker mode re-executes `go vet -vettool=<self>` so the go
-// command does the package loading; that keeps the binary free of any
+// Driver mode re-executes `go vet -vettool=<self>` so the go command
+// does the package loading; that keeps the binary free of any
 // build-graph machinery and works offline. Exit status is non-zero iff
 // a diagnostic was reported.
+//
+// Driver flags:
+//
+//	-diff <ref>          analyze only packages changed since the git ref,
+//	                     plus every package that (transitively) depends on
+//	                     one — the dependency cone a change can break
+//	-enable a,b          run only the named analyzers
+//	-disable a,b         run all but the named analyzers
+//	-json                emit go vet's JSON diagnostic stream
+//	-sarif <file>        also convert diagnostics to SARIF 2.1.0 at <file>
+//	-list-suppressions   print every //lint:allow site under the current
+//	                     module and exit
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -30,26 +45,108 @@ func main() {
 	if vetProtocol(args) {
 		unitchecker.Main(lint.Analyzers()...) // does not return
 	}
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: enslint <packages>  (e.g. enslint ./...)")
-		os.Exit(2)
+	os.Exit(run(args, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("enslint", flag.ExitOnError)
+	diffRef := fs.String("diff", "", "analyze only packages changed since this git ref, plus their reverse-dependency cone")
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	jsonOut := fs.Bool("json", false, "emit the go vet JSON diagnostic stream")
+	sarifPath := fs.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
+	listSup := fs.Bool("list-suppressions", false, "print every //lint:allow site under the current module and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: enslint [flags] <packages>  (e.g. enslint ./...)")
+		fs.PrintDefaults()
 	}
+	_ = fs.Parse(args)
+
+	if *listSup {
+		sups, err := findSuppressions(".")
+		if err != nil {
+			fmt.Fprintln(stderr, "enslint:", err)
+			return 2
+		}
+		for _, s := range sups {
+			fmt.Fprintf(stdout, "%s:%d: %s — %s\n", s.File, s.Line, s.Analyzer, s.Reason)
+		}
+		fmt.Fprintf(stdout, "%d suppressions\n", len(sups))
+		return 0
+	}
+
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if *diffRef != "" {
+		affected, err := affectedPackages(*diffRef, pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, "enslint:", err)
+			return 2
+		}
+		if len(affected) == 0 {
+			fmt.Fprintf(stderr, "enslint: no Go packages affected since %s\n", *diffRef)
+			return 0
+		}
+		fmt.Fprintf(stderr, "enslint: %d package(s) in the change cone of %s\n", len(affected), *diffRef)
+		pkgs = affected
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "enslint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "enslint:", err)
+		return 2
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	wantJSON := *jsonOut || *sarifPath != ""
+	if wantJSON {
+		vetArgs = append(vetArgs, "-json")
+	}
+	for _, name := range splitList(*enable) {
+		vetArgs = append(vetArgs, "-"+name)
+	}
+	for _, name := range splitList(*disable) {
+		vetArgs = append(vetArgs, "-"+name+"=false")
+	}
+	vetArgs = append(vetArgs, pkgs...)
+
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = stdout
 	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
-		}
-		fmt.Fprintln(os.Stderr, "enslint:", err)
-		os.Exit(2)
+	var captured bytes.Buffer
+	if wantJSON {
+		// `go vet -json` writes the diagnostic stream to stderr (and
+		// exits 0 regardless); tee it so it is both shown and parsable.
+		cmd.Stderr = io.MultiWriter(&captured, stderr)
+	} else {
+		cmd.Stderr = stderr
 	}
+	runErr := cmd.Run()
+
+	if wantJSON {
+		diags := parseVetJSON(captured.Bytes())
+		if *sarifPath != "" {
+			if err := writeSARIF(*sarifPath, diags); err != nil {
+				fmt.Fprintln(stderr, "enslint:", err)
+				return 2
+			}
+		}
+		// Recover the conventional exit status from the parsed stream.
+		if runErr == nil && len(diags) > 0 {
+			return 1
+		}
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(stderr, "enslint:", runErr)
+		return 2
+	}
+	return 0
 }
 
 // vetProtocol reports whether the arguments look like the go vet
@@ -62,4 +159,14 @@ func vetProtocol(args []string) bool {
 		}
 	}
 	return false
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

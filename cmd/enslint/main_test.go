@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ensdropcatch/internal/lint"
@@ -28,7 +30,11 @@ func TestVetProtocol(t *testing.T) {
 }
 
 func TestAnalyzerRoster(t *testing.T) {
-	want := []string{"detrand", "maporder", "iodiscipline", "floatfold", "droppederr"}
+	want := []string{
+		"detrand", "maporder", "iodiscipline", "floatfold", "droppederr",
+		"ctxflow", "mutexguard", "hotpathalloc", "boundedres",
+		"lostcancel", "copylocks",
+	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -38,12 +44,144 @@ func TestAnalyzerRoster(t *testing.T) {
 			t.Errorf("analyzer %d: got %s, want %s", i, a.Name, want[i])
 		}
 	}
+	if n := len(lint.Custom()); n != 9 {
+		t.Errorf("Custom() returned %d analyzers, want 9", n)
+	}
 }
 
-// TestEndToEnd builds enslint and runs it over a deterministic package
-// of the real tree (must pass) and over a scratch module seeded with a
-// violation (must fail). Skipped in -short mode: it shells out to the
-// go tool twice.
+func TestParseVetJSON(t *testing.T) {
+	raw := `# scratch/internal/world
+{
+	"scratch/internal/world": {
+		"detrand": [
+			{"posn": "/tmp/x/bad.go:5:31", "message": "time.Now in a deterministic package"}
+		]
+	}
+}
+`
+	diags := parseVetJSON([]byte(raw))
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != "detrand" || d.File != "/tmp/x/bad.go" || d.Line != 5 || d.Col != 31 {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+// TestSuppressionBaseline pins the set of //lint:allow sites in
+// production source to the committed lint_suppressions.txt. A new
+// suppression (or a removed one) must come with a baseline edit, so it
+// is always a visible, reviewable diff.
+func TestSuppressionBaseline(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups, err := findSuppressions(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range sups {
+		got = append(got, s.File+" "+s.Analyzer)
+		if s.Reason == "" {
+			t.Errorf("%s:%d: //lint:allow %s has no reason", s.File, s.Line, s.Analyzer)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(repoRoot, "lint_suppressions.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want = append(want, line)
+	}
+
+	if len(got) != len(want) {
+		t.Errorf("suppression count drifted: %d in tree, %d in baseline — regenerate with `enslint -list-suppressions` and update lint_suppressions.txt", len(got), len(want))
+	}
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			t.Errorf("baseline mismatch at entry %d: tree has %q, baseline has %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiffCone verifies -diff's package selection: a change to one
+// package selects that package and its reverse dependencies, and
+// nothing else.
+func TestDiffCone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping git/go-tool round-trips in -short mode")
+	}
+	scratch := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(scratch, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.23\n")
+	write("a/a.go", "package a\n\nfunc A() int { return 1 }\n")
+	write("b/b.go", "package b\n\nfunc B() int { return 2 }\n")
+	write("c/c.go", "package c\n\nimport \"scratch/a\"\n\nfunc C() int { return a.A() }\n")
+
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-c", "user.email=t@t", "-c", "user.name=t"}, args...)...)
+		cmd.Dir = scratch
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+
+	// Touch package a only.
+	write("a/a.go", "package a\n\nfunc A() int { return 3 }\n")
+
+	t.Chdir(scratch)
+	affected, err := affectedPackages("HEAD", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"scratch/a", "scratch/c"}
+	if len(affected) != len(want) {
+		t.Fatalf("affected = %v, want %v", affected, want)
+	}
+	for i := range want {
+		if affected[i] != want[i] {
+			t.Fatalf("affected = %v, want %v", affected, want)
+		}
+	}
+
+	// Nothing changed relative to the working tree state once committed.
+	git("add", ".")
+	git("commit", "-q", "-m", "change a")
+	affected, err = affectedPackages("HEAD", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 0 {
+		t.Fatalf("affected after commit = %v, want none", affected)
+	}
+}
+
+// TestEndToEnd builds enslint and exercises the driver end to end: the
+// real tree's deterministic packages pass, a scratch module seeded with
+// a violation fails, analyzer selection flags change the outcome, and
+// -sarif produces a well-formed SARIF log with the finding.
 func TestEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping go-tool round-trips in -short mode")
@@ -78,17 +216,74 @@ func TestEndToEnd(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(pkgDir, "bad.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	dirty := exec.Command(bin, "./...")
-	dirty.Dir = scratch
-	out, err := dirty.CombinedOutput()
-	if err == nil {
+
+	runIn := func(dir string, args ...string) ([]byte, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return out, 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("enslint did not run: %v\n%s", err, out)
+		}
+		return out, ee.ExitCode()
+	}
+
+	out, code := runIn(scratch, "./...")
+	if code == 0 {
 		t.Fatalf("enslint passed a seeded time.Now violation:\n%s", out)
 	}
-	ee, ok := err.(*exec.ExitError)
-	if !ok {
-		t.Fatalf("enslint did not run: %v\n%s", err, out)
+
+	// Disabling the one analyzer that fires must make the tree pass…
+	if out, code := runIn(scratch, "-disable", "detrand", "./..."); code != 0 {
+		t.Fatalf("-disable detrand still failed (%d):\n%s", code, out)
 	}
-	if ee.ExitCode() == 0 {
-		t.Fatalf("expected non-zero exit, got 0:\n%s", out)
+	// …and enabling only an analyzer that does not fire must too.
+	if out, code := runIn(scratch, "-enable", "maporder", "./..."); code != 0 {
+		t.Fatalf("-enable maporder failed (%d):\n%s", code, out)
+	}
+
+	// SARIF: the finding lands in the log with the right rule id.
+	sarifPath := filepath.Join(t.TempDir(), "lint.sarif")
+	if out, code := runIn(scratch, "-sarif", sarifPath, "./..."); code == 0 {
+		t.Fatalf("-sarif run passed a seeded violation:\n%s", out)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "enslint" {
+		t.Fatalf("unexpected SARIF envelope: %s", data)
+	}
+	found := false
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID == "detrand" && strings.Contains(r.Message.Text, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SARIF log missing the detrand finding: %s", data)
 	}
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// vetDiag is one diagnostic in the `go vet -json` stream, tagged with
+// the analyzer that produced it.
+type vetDiag struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// parseVetJSON decodes the `go vet -json` stream: interleaved `# pkg`
+// comment lines and JSON objects of the shape
+// {"pkgpath": {"analyzer": [{"posn": "file:line:col", "message": …}]}}.
+func parseVetJSON(raw []byte) []vetDiag {
+	var jsonOnly bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if strings.HasPrefix(strings.TrimSpace(sc.Text()), "#") {
+			continue
+		}
+		jsonOnly.Write(sc.Bytes())
+		jsonOnly.WriteByte('\n')
+	}
+
+	type rawDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var out []vetDiag
+	dec := json.NewDecoder(&jsonOnly)
+	for dec.More() {
+		var block map[string]map[string][]rawDiag
+		if err := dec.Decode(&block); err != nil {
+			break
+		}
+		for _, byAnalyzer := range block {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					file, line, col := splitPosn(d.Posn)
+					out = append(out, vetDiag{Analyzer: analyzer, File: file, Line: line, Col: col, Message: d.Message})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// splitPosn parses "path:line:col" (path may contain colons only on
+// windows, which this toolchain does not target).
+func splitPosn(p string) (file string, line, col int) {
+	parts := strings.Split(p, ":")
+	if len(parts) < 3 {
+		return p, 0, 0
+	}
+	file = strings.Join(parts[:len(parts)-2], ":")
+	line, _ = strconv.Atoi(parts[len(parts)-2])
+	col, _ = strconv.Atoi(parts[len(parts)-1])
+	return file, line, col
+}
+
+// writeSARIF renders diagnostics as a single-run SARIF 2.1.0 log, the
+// interchange format CI annotation tooling consumes.
+func writeSARIF(path string, diags []vetDiag) error {
+	type region struct {
+		StartLine   int `json:"startLine,omitempty"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type message struct {
+		Text string `json:"text"`
+	}
+	type result struct {
+		RuleID    string     `json:"ruleId"`
+		Level     string     `json:"level"`
+		Message   message    `json:"message"`
+		Locations []location `json:"locations"`
+	}
+	type rule struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	type driver struct {
+		Name  string `json:"name"`
+		Rules []rule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type sarifRun struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type sarifLog struct {
+		Schema  string     `json:"$schema"`
+		Version string     `json:"version"`
+		Runs    []sarifRun `json:"runs"`
+	}
+
+	seen := map[string]bool{}
+	var rules []rule
+	results := make([]result, 0, len(diags))
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			rules = append(rules, rule{ID: d.Analyzer, Name: d.Analyzer})
+		}
+		results = append(results, result{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: message{Text: d.Message},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: d.File},
+				Region:           region{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    tool{Driver: driver{Name: "enslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// suppression is one //lint:allow directive in production source.
+type suppression struct {
+	File     string // slash-separated, relative to the scan root
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// findSuppressions walks the tree under root for //lint:allow sites in
+// production Go source. Tests, fixtures (testdata), vendored code, and
+// build output are excluded: a suppression only "counts" when it
+// weakens a check on code that ships. Files are parsed, not grepped, so
+// prose that merely *mentions* the directive (analyzer docs, string
+// literals) does not count — only a comment that begins with it does,
+// matching lintutil's own matching rule.
+func findSuppressions(root string) ([]suppression, error) {
+	var out []suppression
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", "bin", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		sups, err := scanFile(root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, sups...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+func scanFile(root, path string) ([]suppression, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	rel = filepath.ToSlash(rel)
+
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			if !strings.HasPrefix(text, "lint:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+			analyzer, reason, _ := strings.Cut(rest, " ")
+			out = append(out, suppression{
+				File:     rel,
+				Line:     fset.Position(c.Pos()).Line,
+				Analyzer: analyzer,
+				Reason:   strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out, nil
+}

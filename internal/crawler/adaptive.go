@@ -69,12 +69,12 @@ type Adaptive struct {
 	successes atomic.Uint64
 
 	mu         sync.Mutex
-	rate       float64
-	workers    int
-	inflight   int
-	streak     int
-	pauseUntil time.Time
-	wake       chan struct{} // closed and replaced on release / worker ramp
+	rate       float64       // guarded by mu
+	workers    int           // guarded by mu
+	inflight   int           // guarded by mu
+	streak     int           // guarded by mu
+	pauseUntil time.Time     // guarded by mu
+	wake       chan struct{} // closed and replaced on release / worker ramp; guarded by mu
 }
 
 // NewAdaptive returns a controller for cfg.

@@ -51,10 +51,10 @@ type Breaker struct {
 	cooldown  time.Duration
 
 	mu       sync.Mutex
-	state    BreakerState
-	failures int
-	openedAt time.Time
-	probing  bool
+	state    BreakerState     // guarded by mu
+	failures int              // guarded by mu
+	openedAt time.Time        // guarded by mu
+	probing  bool             // guarded by mu
 	now      func() time.Time // injectable clock for tests
 }
 
@@ -140,17 +140,17 @@ func (b *Breaker) Record(err error) {
 	}
 	switch state {
 	case BreakerHalfOpen:
-		b.open()
+		b.openLocked()
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
-			b.open()
+			b.openLocked()
 		}
 	}
 }
 
-// open transitions to BreakerOpen; callers hold b.mu.
-func (b *Breaker) open() {
+// openLocked transitions to BreakerOpen; callers hold b.mu.
+func (b *Breaker) openLocked() {
 	b.state = BreakerOpen
 	b.openedAt = b.now()
 	b.failures = 0

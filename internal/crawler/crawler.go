@@ -24,10 +24,10 @@ import (
 // NewLimiter. It is safe for concurrent use.
 type Limiter struct {
 	mu     sync.Mutex
-	rate   float64 // tokens per second
-	burst  float64
-	tokens float64
-	last   time.Time
+	rate   float64          // tokens per second; guarded by mu
+	burst  float64          // guarded by mu
+	tokens float64          // guarded by mu
+	last   time.Time        // guarded by mu
 	now    func() time.Time // injectable clock for tests
 	sleep  func(context.Context, time.Duration) error
 }
@@ -41,15 +41,14 @@ func NewLimiter(rate float64, burst int) *Limiter {
 	if burst < 1 {
 		burst = 1
 	}
-	l := &Limiter{
+	return &Limiter{
 		rate:   rate,
 		burst:  float64(burst),
 		tokens: float64(burst),
 		now:    time.Now,
+		last:   time.Now(),
+		sleep:  defaultSleep,
 	}
-	l.last = l.now()
-	l.sleep = defaultSleep
-	return l
 }
 
 func defaultSleep(ctx context.Context, d time.Duration) error {

@@ -40,7 +40,7 @@ func (s *StoreSource) PageAll(ctx context.Context, collection string, fields []s
 		if err != nil {
 			return nil, err
 		}
-		data, err := s.Store.Execute(q)
+		data, err := s.Store.ExecuteContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}

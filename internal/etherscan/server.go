@@ -9,7 +9,6 @@ package etherscan
 
 import (
 	"encoding/json"
-	"fmt"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -31,6 +30,12 @@ const (
 	MaxWindow = 10000
 	// DefaultRatePerSecond is the per-key request budget.
 	DefaultRatePerSecond = 5
+	// maxBuckets caps the rate-limiter table. API keys are
+	// client-chosen strings, so without a cap a key-churning client
+	// grows the table without limit; at the cap the stalest bucket is
+	// recycled, which only ever hands tokens back to a key idle longer
+	// than every active one.
+	maxBuckets = 4096
 )
 
 // TxRecord is one row of a txlist response, JSON-shaped like Etherscan's.
@@ -80,13 +85,17 @@ type Server struct {
 	log    *slog.Logger
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
+	buckets map[string]*bucket // guarded by mu
 }
 
 type bucket struct {
 	tokens float64
 	last   time.Time
 }
+
+// errWindowTooLarge is formatted once: the message is constant per
+// build, and the paging-validation path is hit by every deep crawl.
+var errWindowTooLarge = "Result window is too large, PageNo x Offset size must be less than or equal to " + strconv.Itoa(MaxWindow)
 
 // NewServer wraps a chain. rate is requests/second/key; <= 0 uses the
 // default. The labels are served verbatim on /labels.
@@ -107,6 +116,9 @@ func (s *Server) allow(key string) bool {
 	b, ok := s.buckets[key]
 	now := time.Now()
 	if !ok {
+		if len(s.buckets) >= maxBuckets {
+			s.evictStalestLocked()
+		}
 		b = &bucket{tokens: float64(s.rate), last: now}
 		s.buckets[key] = b
 	}
@@ -121,6 +133,23 @@ func (s *Server) allow(key string) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// evictStalestLocked drops the bucket with the oldest refill time.
+// Called with s.mu held, only on the new-key path at capacity, so the
+// linear scan prices the attack (key churn), not the steady state.
+func (s *Server) evictStalestLocked() {
+	var stalest string
+	var stalestAt time.Time
+	first := true
+	for key, b := range s.buckets {
+		if first || b.last.Before(stalestAt) {
+			stalest, stalestAt, first = key, b.last, false
+		}
+	}
+	if !first {
+		delete(s.buckets, stalest)
+	}
 }
 
 // ServeHTTP implements http.Handler for /api and /labels.
@@ -188,7 +217,7 @@ func (s *Server) serveTxList(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if page <= 0 || page*offset > MaxWindow {
-		writeEnvelope(w, "0", "NOTOK", fmt.Sprintf("Result window is too large, PageNo x Offset size must be less than or equal to %d", MaxWindow))
+		writeEnvelope(w, "0", "NOTOK", errWindowTooLarge)
 		return
 	}
 

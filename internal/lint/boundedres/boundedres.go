@@ -1,0 +1,512 @@
+// Package boundedres defines an analyzer that proves every long-lived
+// map or slice grown on a request path has a bound.
+//
+// The serving stack accumulates state per request by design — the page
+// cache stores rendered responses, the quota table tracks client
+// buckets, the trace store retains sampled traces, the metrics
+// registry materializes label children. Each of those is bounded
+// (LRU eviction, least-recently-seen eviction, capacity-with-eviction,
+// label-cardinality caps) because PR 5–8 made them so after real
+// incidents: an unbounded container written by client-controlled
+// input is a memory-exhaustion denial of service waiting for traffic.
+// The invariant lived in each container's own tests; this analyzer
+// makes it structural.
+//
+// Mechanics, per scoped package:
+//
+//   - request-path functions are HTTP handlers (func(w, r) shapes,
+//     ServeHTTP methods, functions building http.HandlerFunc literals)
+//     plus everything they reach through intra-package static calls,
+//     computed to a fixed point;
+//   - a *growth write* is a map store (x.f[k] = v) or self-append
+//     (x.f = append(x.f, …)) whose target is a struct field or
+//     package-level variable of map/slice type;
+//   - a growth write on a request path is legal only if the package
+//     contains *bound evidence* for the same container: a delete or
+//     clear of it, a reslice assignment (x.f = x.f[…]), or a len(x.f)
+//     comparison (the `if len(m) < max` guard idiom). Otherwise the
+//     write is flagged; truly unbounded-by-design containers document
+//     themselves with //lint:allow boundedres <reason>.
+//
+// Two refinements keep the rule about *long-lived* state:
+//
+//   - fields of locals the function freshly allocates (x := T{…},
+//     x := &T{…}, new(T)) are exempt — a response struct or parse tree
+//     built per request dies with the request, so its growth is bounded
+//     by the request's own input;
+//   - a function that is a root only because it *builds* an
+//     http.HandlerFunc contributes just the literal's body (and its
+//     callees) to the request path: the enclosing function runs once at
+//     wiring time, and its own writes are setup, not traffic.
+//
+// Channels are exempt: their capacity is fixed at make time.
+package boundedres
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+// Analyzer proves request-path container growth is bounded.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedres",
+	Doc:  "long-lived maps/slices grown on request paths must show bound evidence (eviction, reslice, or len guard) in their package",
+	Run:  run,
+}
+
+// scopedPkgs are the package-path suffixes with request-path state.
+var scopedPkgs = []string{
+	"internal/serve",
+	"internal/overload",
+	"internal/pagecache",
+	"internal/trace",
+	"internal/obs",
+	"internal/httpjson",
+	"internal/crawler",
+	"internal/subgraph",
+	"internal/etherscan",
+	"internal/opensea",
+	"internal/ethrpc",
+}
+
+func inScope(path string) bool {
+	for _, p := range scopedPkgs {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// growthWrite is one container-growing statement.
+type growthWrite struct {
+	pos    token.Pos
+	target types.Object // the container field or package-level var
+	desc   string
+	fn     *types.Func // enclosing function declaration (nil at pkg scope)
+	inLit  bool        // lexically inside a func literal of fn
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	var writes []growthWrite
+	evidence := map[types.Object]bool{}
+	rootAll := map[*types.Func]bool{}           // whole body is request-path
+	rootLit := map[*types.Func]bool{}           // only handler literals are
+	edgesAll := map[*types.Func][]*types.Func{} // caller -> callees (same package)
+	edgesLit := map[*types.Func][]*types.Func{} // …from inside func literals only
+
+	for _, f := range lintutil.NonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if isHandlerShaped(pass, fd) || fd.Name.Name == "ServeHTTP" {
+				rootAll[fn] = true
+			}
+			fresh := freshLocals(pass, fd.Body)
+			var walk func(n ast.Node, inLit bool)
+			walk = func(root ast.Node, inLit bool) {
+				ast.Inspect(root, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncLit:
+						if n == root {
+							return true
+						}
+						walk(n.Body, true)
+						return false
+					case *ast.AssignStmt:
+						collectWrites(pass, n, fn, inLit, fresh, &writes)
+						collectResliceEvidence(pass, n, evidence)
+					case *ast.CallExpr:
+						collectCallEvidence(pass, n, evidence)
+						if callee := staticCallee(pass, n); callee != nil && callee.Pkg() == pass.Pkg {
+							edgesAll[fn] = append(edgesAll[fn], callee)
+							if inLit {
+								edgesLit[fn] = append(edgesLit[fn], callee)
+							}
+						}
+						// Building an http.HandlerFunc marks the enclosing
+						// function as a literal root: the literal's body runs
+						// per request; the rest of the function is wiring.
+						if isHandlerFuncConv(pass, n) {
+							rootLit[fn] = true
+						}
+					case *ast.BinaryExpr:
+						collectLenEvidence(pass, n, evidence)
+					}
+					return true
+				})
+			}
+			walk(fd.Body, false)
+		}
+	}
+
+	// Fixed point: everything reachable from a root is request-path.
+	// Full roots contribute all their call edges; literal-only roots
+	// contribute just the edges made from inside their literals.
+	reachable := map[*types.Func]bool{}
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if fn == nil || reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, callee := range edgesAll[fn] {
+			mark(callee)
+		}
+	}
+	for fn := range rootAll {
+		mark(fn)
+	}
+	for fn := range rootLit {
+		if rootAll[fn] || reachable[fn] {
+			continue
+		}
+		for _, callee := range edgesLit[fn] {
+			mark(callee)
+		}
+	}
+
+	for _, w := range writes {
+		onPath := reachable[w.fn] || (rootLit[w.fn] && w.inLit)
+		if !onPath {
+			continue
+		}
+		if evidence[w.target] {
+			continue
+		}
+		pass.Reportf(w.pos, "%s grows on a request path with no bound evidence in the package (no delete/clear, reslice, or len guard): client traffic can grow it without limit — evict, cap, or annotate why it is bounded elsewhere", w.desc)
+	}
+	return nil, nil
+}
+
+// freshLocals collects local variables every one of whose ident-LHS
+// assignments is a fresh allocation (T{…}, &T{…}, new(T), make(…)).
+// Growth through fields of such locals is bounded by the life of the
+// value the function just built, so it is exempt.
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	tainted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			// Multi-value assignment: the RHS is a call, not a literal.
+			for _, lhs := range as.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := identObj(pass, id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := identObj(pass, id)
+			if obj == nil {
+				continue
+			}
+			if isFreshAlloc(pass, as.Rhs[i]) {
+				fresh[obj] = true
+			} else {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isFreshAlloc reports T{…}, &T{…}, new(T), and make(…) expressions.
+func isFreshAlloc(pass *analysis.Pass, e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, ok := unparen(v.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return id.Name == "new" || id.Name == "make"
+	}
+	return false
+}
+
+// collectWrites records map stores and self-appends whose target is a
+// struct field or package-level variable. Fields reached through a
+// freshly-allocated local are skipped — the container dies with the
+// value this function just built.
+func collectWrites(pass *analysis.Pass, as *ast.AssignStmt, fn *types.Func, inLit bool, fresh map[types.Object]bool, out *[]growthWrite) {
+	for i, lhs := range as.Lhs {
+		// x.f[k] = v — map store.
+		if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+			if obj := containerObj(pass, ix.X); obj != nil && isMap(obj.Type()) && !viaFreshLocal(pass, ix.X, obj, fresh) {
+				*out = append(*out, growthWrite{pos: lhs.Pos(), target: obj, desc: "map " + render(ix.X), fn: fn, inLit: inLit})
+			}
+			continue
+		}
+		// x.f = append(x.f, …) — self-append.
+		obj := containerObj(pass, lhs)
+		if obj == nil || !isSlice(obj.Type()) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if len(call.Args) == 0 || containerObj(pass, call.Args[0]) != obj {
+			continue
+		}
+		if viaFreshLocal(pass, lhs, obj, fresh) {
+			continue
+		}
+		*out = append(*out, growthWrite{pos: lhs.Pos(), target: obj, desc: "slice " + render(lhs), fn: fn, inLit: inLit})
+	}
+}
+
+// viaFreshLocal reports whether a field container is reached through a
+// base identifier the enclosing function freshly allocated.
+func viaFreshLocal(pass *analysis.Pass, e ast.Expr, obj types.Object, fresh map[types.Object]bool) bool {
+	vr, ok := obj.(*types.Var)
+	if !ok || !vr.IsField() {
+		return false
+	}
+	id := baseIdent(e)
+	if id == nil {
+		return false
+	}
+	base := identObj(pass, id)
+	return base != nil && fresh[base]
+}
+
+// baseIdent walks selector/index chains to the leftmost identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectCallEvidence records delete(x.f, …) and clear(x.f).
+func collectCallEvidence(pass *analysis.Pass, call *ast.CallExpr, evidence map[types.Object]bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || (id.Name != "delete" && id.Name != "clear") || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if obj := containerObj(pass, call.Args[0]); obj != nil {
+		evidence[obj] = true
+	}
+}
+
+// collectResliceEvidence records x.f = x.f[…] truncations.
+func collectResliceEvidence(pass *analysis.Pass, as *ast.AssignStmt, evidence map[types.Object]bool) {
+	for i, lhs := range as.Lhs {
+		obj := containerObj(pass, lhs)
+		if obj == nil || i >= len(as.Rhs) {
+			continue
+		}
+		if hasSliceOf(pass, as.Rhs[i], obj) {
+			evidence[obj] = true
+		}
+	}
+}
+
+// hasSliceOf reports whether expr contains a slice expression over the
+// container (x.f[:n], append(x.f[:0], …), …).
+func hasSliceOf(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sl, ok := n.(*ast.SliceExpr); ok && containerObj(pass, sl.X) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectLenEvidence records len(x.f) used in a comparison — the
+// `if len(m) < max` growth guard and the `for len(m) > max { evict }`
+// eviction loop both count.
+func collectLenEvidence(pass *analysis.Pass, be *ast.BinaryExpr, evidence map[types.Object]bool) {
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		call, ok := unparen(side).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "len" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if obj := containerObj(pass, call.Args[0]); obj != nil {
+			evidence[obj] = true
+		}
+	}
+}
+
+// containerObj resolves an expression to the object of a struct field
+// or package-level variable of map/slice type; nil otherwise.
+func containerObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	switch v := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[v.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[v]
+	}
+	vr, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	// Fields and package-level vars are long-lived; function locals are
+	// not (their growth is bounded by the request that owns them).
+	if !vr.IsField() && (vr.Parent() == nil || vr.Parent() != vr.Pkg().Scope()) {
+		return nil
+	}
+	if !isMap(vr.Type()) && !isSlice(vr.Type()) {
+		return nil
+	}
+	return vr
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isHandlerFuncConv reports http.HandlerFunc(…) conversions.
+func isHandlerFuncConv(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return false
+	}
+	return tn.Pkg().Path() == "net/http" && tn.Name() == "HandlerFunc"
+}
+
+// isHandlerShaped reports func(w http.ResponseWriter, r *http.Request).
+func isHandlerShaped(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() != 2 {
+		return false
+	}
+	return isNetHTTPNamed(params.At(0).Type(), "ResponseWriter") &&
+		isPtrToRequest(params.At(1).Type())
+}
+
+func isNetHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == name
+}
+
+func isPtrToRequest(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNetHTTPNamed(ptr.Elem(), "Request")
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func render(e ast.Expr) string {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return render(v.X) + "." + v.Sel.Name
+	}
+	return "container"
+}
+
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package boundedres_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/boundedres"
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+func TestBoundedres(t *testing.T) {
+	linttest.Run(t, boundedres.Analyzer,
+		"ensdropcatch/internal/pagecache", // positive: request-path state
+		"ensdropcatch/internal/stats",     // negative: out of scope
+	)
+}
+
+// TestBoundedresSuppression proves the //lint:allow hatch works for
+// this analyzer.
+func TestBoundedresSuppression(t *testing.T) {
+	raw := linttest.Diagnostics(t, boundedres.Analyzer, "ensdropcatch/internal/trace")
+	if len(raw) != 1 {
+		t.Fatalf("raw analyzer found %d diagnostics, want 1", len(raw))
+	}
+	wrapped := linttest.Diagnostics(t, lintutil.Wrap(boundedres.Analyzer), "ensdropcatch/internal/trace")
+	for _, d := range wrapped {
+		t.Errorf("suppressed fixture still reports: %s", d.Message)
+	}
+}

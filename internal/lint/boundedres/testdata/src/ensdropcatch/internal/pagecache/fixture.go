@@ -1,0 +1,88 @@
+// Positive fixture: internal/pagecache holds request-path state, so
+// every long-lived container grown from a handler needs bound evidence.
+package pagecache
+
+import "net/http"
+
+type server struct {
+	seen    map[string]int
+	history []string
+	quota   map[string]int
+	ring    []string
+	evicted map[string]int
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.seen[r.URL.Path] = 1                    // want "map s.seen grows on a request path"
+	s.history = append(s.history, r.URL.Path) // want "slice s.history grows on a request path"
+	s.admit(r.URL.Path)
+	s.remember(r.URL.Path)
+	s.trim(r.URL.Path)
+}
+
+// A len comparison is bound evidence: the `if len(m) < max` guard.
+func (s *server) admit(k string) {
+	if len(s.quota) < 1024 {
+		s.quota[k] = 1
+	}
+}
+
+// delete is bound evidence: grow-then-evict.
+func (s *server) remember(k string) {
+	s.evicted[k] = 1
+	for len(s.evicted) > 8 {
+		for old := range s.evicted {
+			delete(s.evicted, old)
+			break
+		}
+	}
+}
+
+// A reslice assignment is bound evidence: a ring that truncates itself.
+func (s *server) trim(k string) {
+	s.ring = append(s.ring, k)
+	if len(s.ring) > 64 {
+		s.ring = s.ring[1:]
+	}
+}
+
+var hits = map[string]int{}
+
+// Package-level containers are long-lived too.
+func count(w http.ResponseWriter, r *http.Request) {
+	hits[r.URL.Path] = 1 // want "map hits grows on a request path"
+}
+
+type mux struct {
+	routes   map[string]http.Handler
+	inFlight map[string]int
+}
+
+// install runs once at wiring time: its own writes are setup, but the
+// handler literal it builds runs per request.
+func (m *mux) install() http.Handler {
+	m.routes["/status"] = nil
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight[r.URL.Path] = 1 // want "map m.inFlight grows on a request path"
+	})
+}
+
+type page struct {
+	rows map[string]int
+}
+
+// A freshly-allocated local dies with the request: growth through it is
+// bounded by the request's own input.
+func render(w http.ResponseWriter, r *http.Request) {
+	p := &page{rows: map[string]int{}}
+	p.rows[r.URL.Path] = 1
+}
+
+var cold = map[string]int{}
+
+// seed is not reachable from any handler: startup work, not traffic.
+func seed(keys []string) {
+	for _, k := range keys {
+		cold[k] = 1
+	}
+}

@@ -1,0 +1,11 @@
+// Negative fixture: internal/stats is outside the boundedres scope —
+// even a handler-shaped function growing a package map is not flagged.
+package stats
+
+import "net/http"
+
+var tally = map[string]int{}
+
+func Handle(w http.ResponseWriter, r *http.Request) {
+	tally[r.URL.Path] = 1
+}

@@ -1,0 +1,309 @@
+// Package ctxflow defines an analyzer that keeps request contexts
+// flowing through the serving and crawling layers.
+//
+// PR 5 built deadline propagation end to end: the overload middleware
+// bounds every handler context, the backend scan loops abandon work on
+// ctx.Err(), and the crawl clients thread the crawl context into every
+// request so breaker cooldowns and shutdown cancel in-flight I/O. All
+// of that is invisible plumbing — one `context.Background()` dropped
+// into a handler chain silently detaches a subtree from its deadline,
+// and no runtime test fails until a soak run happens to hit the
+// now-unbounded path under load.
+//
+// In the scoped packages (the serve stack, the overload middleware,
+// the crawl machinery, and the four backend servers) ctxflow flags:
+//
+//   - context.Background() and context.TODO() anywhere outside main and
+//     init — request-path code always has a caller context to use
+//     (a function parameter, or r.Context() on an *http.Request);
+//   - calls that discard an in-scope context when the callee has a
+//     context-accepting sibling (Execute vs ExecuteContext, NewRequest
+//     vs NewRequestWithContext, …): the variant that takes a context
+//     must be used whenever one is in scope;
+//   - scan/retry loops that never consult the context: a for/range
+//     loop doing intra-module work inside a function that receives a
+//     ctx must reference it — pass it to a callee, check ctx.Err(), or
+//     select on ctx.Done() — so long scans stay cancellable.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+// Analyzer keeps request contexts threaded through serve/crawl paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid fresh contexts and context-dropping calls on request paths; scan loops must stay cancellable",
+	Run:  run,
+}
+
+// scopedPkgs are the package-path suffixes the rules apply to: the
+// serving stack, the overload middleware, the crawl machinery, and the
+// four backend server packages.
+var scopedPkgs = []string{
+	"internal/serve",
+	"internal/overload",
+	"internal/crawler",
+	"internal/subgraph",
+	"internal/etherscan",
+	"internal/opensea",
+	"internal/ethrpc",
+}
+
+func inScope(path string) bool {
+	for _, p := range scopedPkgs {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range lintutil.NonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init") {
+				continue
+			}
+			checkFunc(pass, fd.Type, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies the three rules to one function body. Nested
+// function literals are checked in place: a literal's own context
+// parameter (if any) shadows the enclosing one for the loop rule.
+func checkFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctxVars := contextParams(pass, ft)
+	reqVars := requestParams(pass, ft)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Type, n.Body)
+			return false
+		case *ast.CallExpr:
+			checkFreshContext(pass, n, ctxVars, reqVars)
+			checkContextSibling(pass, n, ctxVars, reqVars)
+		case *ast.ForStmt:
+			checkLoop(pass, n.Body, ctxVars)
+		case *ast.RangeStmt:
+			checkLoop(pass, n.Body, ctxVars)
+		}
+		return true
+	})
+}
+
+// checkFreshContext flags context.Background()/context.TODO(). The
+// rule is unconditional in scoped packages: request-path code always
+// has a caller context, and the rare legitimate detachment (a
+// background janitor goroutine) documents itself with //lint:allow.
+func checkFreshContext(pass *analysis.Pass, call *ast.CallExpr, ctxVars, reqVars map[types.Object]bool) {
+	fn := staticCallee(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	hint := "thread the caller's context through"
+	if len(ctxVars) > 0 {
+		hint = "use the in-scope context parameter"
+	} else if len(reqVars) > 0 {
+		hint = "use r.Context()"
+	}
+	pass.Reportf(call.Pos(), "context.%s on a request path in %s detaches this subtree from the caller's deadline and cancellation: %s", fn.Name(), pass.Pkg.Path(), hint)
+}
+
+// checkContextSibling flags calls that ignore an in-scope context when
+// the callee has a sibling that accepts one: method M alongside
+// MContext/MWithContext, or function F alongside FWithContext. The
+// caller is holding a context and choosing the variant that drops it.
+func checkContextSibling(pass *analysis.Pass, call *ast.CallExpr, ctxVars, reqVars map[types.Object]bool) {
+	if len(ctxVars) == 0 && len(reqVars) == 0 {
+		return
+	}
+	fn := staticCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || takesContext(sig) {
+		return
+	}
+	name := fn.Name()
+	var sibling string
+	if recv := sig.Recv(); recv != nil {
+		for _, cand := range []string{name + "Context", name + "WithContext"} {
+			if m := lookupMethod(recv.Type(), cand); m != nil && takesContext(m.Type().(*types.Signature)) {
+				sibling = cand
+				break
+			}
+		}
+	} else if fn.Pkg() != nil {
+		for _, cand := range []string{name + "Context", name + "WithContext"} {
+			if o, ok := fn.Pkg().Scope().Lookup(cand).(*types.Func); ok && takesContext(o.Type().(*types.Signature)) {
+				sibling = cand
+				break
+			}
+		}
+	}
+	if sibling == "" {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s called with a context in scope: use %s so the request's deadline and cancellation reach the callee", name, sibling)
+}
+
+// checkLoop flags a loop body that performs intra-module work but never
+// references any in-scope context: a scan that cannot be cancelled. A
+// loop is exempt when it has no module-local calls (pure in-memory
+// iteration finishes fast) or when any context variable is mentioned
+// anywhere in the body (passed down, Err()-checked, or Done()-selected)
+// — and when no context parameter is in scope at all.
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt, ctxVars map[types.Object]bool) {
+	if len(ctxVars) == 0 {
+		return
+	}
+	work := false
+	usesCtx := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if ctxVars[obj] {
+					usesCtx = true
+				}
+				// Any context-typed value in the body counts: a derived
+				// context carries the parent's deadline.
+				if isContextType(obj.Type()) {
+					usesCtx = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(pass, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() != "context" {
+				if sameModule(fn.Pkg().Path(), pass.Pkg.Path()) {
+					work = true
+				}
+			}
+		}
+		return true
+	})
+	if work && !usesCtx {
+		pass.Reportf(body.Pos(), "scan loop never consults the in-scope context: check ctx.Err() (or pass ctx to the work call) so a shed or timed-out request stops burning this loop's cycles")
+	}
+}
+
+// sameModule reports whether two import paths share their first
+// segment — a cheap "is this module-local work" test that holds for the
+// real module and for scratch fixture modules alike.
+func sameModule(a, b string) bool {
+	fa, _, _ := strings.Cut(a, "/")
+	fb, _, _ := strings.Cut(b, "/")
+	return fa == fb
+}
+
+// contextParams collects the function's context.Context parameters.
+func contextParams(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// requestParams collects *http.Request parameters (r.Context() is in
+// scope through them).
+func requestParams(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			ptr, ok := obj.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			if named, ok := ptr.Elem().(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request" {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// takesContext reports whether any parameter of sig is context.Context.
+func takesContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupMethod finds a method by name on t or *t.
+func lookupMethod(t types.Type, name string) *types.Func {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

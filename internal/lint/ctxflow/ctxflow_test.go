@@ -1,0 +1,29 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/ctxflow"
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer,
+		"ensdropcatch/internal/serve", // positive: request-path package
+		"ensdropcatch/internal/stats", // negative: out of scope
+	)
+}
+
+// TestCtxflowSuppression proves the //lint:allow hatch works for this
+// analyzer: the fixture violates once, the wrapped analyzer stays quiet.
+func TestCtxflowSuppression(t *testing.T) {
+	raw := linttest.Diagnostics(t, ctxflow.Analyzer, "ensdropcatch/internal/overload")
+	if len(raw) != 1 {
+		t.Fatalf("raw analyzer found %d diagnostics, want 1", len(raw))
+	}
+	wrapped := linttest.Diagnostics(t, lintutil.Wrap(ctxflow.Analyzer), "ensdropcatch/internal/overload")
+	for _, d := range wrapped {
+		t.Errorf("suppressed fixture still reports: %s", d.Message)
+	}
+}

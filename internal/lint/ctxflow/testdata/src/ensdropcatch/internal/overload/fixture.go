@@ -1,0 +1,11 @@
+// Suppression fixture: one real ctxflow violation, documented with the
+// //lint:allow escape hatch. The raw analyzer reports it; the wrapped
+// analyzer (the one the driver runs) suppresses it.
+package overload
+
+import "context"
+
+func janitorRoot(ctx context.Context) context.Context {
+	//lint:allow ctxflow the janitor outlives any one request and detaches deliberately
+	return context.Background()
+}

@@ -1,0 +1,96 @@
+// Positive fixture: the package path ends in internal/serve, the heart
+// of the request path, where every context must flow from the caller.
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+type store struct{}
+
+func (s *store) Execute(q string) error                             { return nil }
+func (s *store) ExecuteContext(ctx context.Context, q string) error { return nil }
+
+func fetch(url string) error                                 { return nil }
+func fetchWithContext(ctx context.Context, url string) error { return nil }
+
+func process(k string) {}
+
+// A fresh context in a handler detaches the subtree from the request
+// deadline; the hint points at r.Context().
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background on a request path"
+	_ = ctx
+}
+
+// context.TODO is the same violation wearing a different name.
+func todoStage() {
+	sub := context.TODO() // want "context.TODO on a request path"
+	_ = sub
+}
+
+// Calling the context-free variant while holding a context drops the
+// deadline on the floor: the Context sibling must be used.
+func detach(ctx context.Context, s *store) error {
+	if err := s.Execute("q"); err != nil { // want "Execute called with a context in scope: use ExecuteContext"
+		return err
+	}
+	return s.ExecuteContext(ctx, "q")
+}
+
+// An *http.Request in scope counts as a context in scope (r.Context()).
+func viaRequest(w http.ResponseWriter, r *http.Request) {
+	_ = fetch("u") // want "fetch called with a context in scope: use fetchWithContext"
+}
+
+// A scan loop doing module-local work that never consults ctx cannot be
+// cancelled.
+func scanAll(ctx context.Context, keys []string) {
+	for _, k := range keys { // want "scan loop never consults the in-scope context"
+		process(k)
+	}
+}
+
+// Checking ctx.Err() in the body makes the loop legal.
+func scanCancellable(ctx context.Context, keys []string) {
+	for _, k := range keys {
+		if ctx.Err() != nil {
+			return
+		}
+		process(k)
+	}
+}
+
+// Pure in-memory iteration (no module-local calls) finishes fast and is
+// exempt from the loop rule.
+func sumOnly(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// With no context in scope the context-free variant is the only option.
+func noCtxInScope(s *store) error {
+	return s.Execute("q")
+}
+
+var warm context.Context
+
+// init is exempt: process-lifetime setup legitimately starts from a
+// fresh root context.
+func init() {
+	warm = context.Background()
+}
+
+// A nested literal is checked against its own parameter list: this one
+// receives no context, so its loop has nothing to consult.
+func makeWorker() func() {
+	return func() {
+		for i := 0; i < 3; i++ {
+			process("warm")
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Negative fixture: internal/stats is pure computation, outside the
+// ctxflow scope — fresh contexts and ctx-free loops are not flagged.
+package stats
+
+import "context"
+
+func process(k string) {}
+
+func Background() context.Context {
+	return context.Background()
+}
+
+func ScanAll(ctx context.Context, keys []string) {
+	for _, k := range keys {
+		process(k)
+	}
+}

@@ -55,6 +55,12 @@ var errPathPkgs = []string{
 	"internal/opensea",
 	"internal/overload",
 	"internal/trace",
+	// PR 9: the serving stack added since PR 4 — a swallowed Write or
+	// Close on these paths loses a response or leaks a descriptor.
+	"internal/httpjson",
+	"internal/pagecache",
+	"internal/serve",
+	"internal/keccak",
 }
 
 // mustCheckCallees are method/function names whose error results must

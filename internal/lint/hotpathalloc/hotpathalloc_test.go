@@ -1,0 +1,30 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/hotpathalloc"
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/lintutil"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	linttest.Run(t, hotpathalloc.Analyzer,
+		"ensdropcatch/internal/httpjson",  // positive: whole package hot
+		"ensdropcatch/internal/etherscan", // positive in server_*.go, negative elsewhere
+		"ensdropcatch/internal/stats",     // negative: out of scope
+	)
+}
+
+// TestHotpathallocSuppression proves the //lint:allow hatch works for
+// this analyzer.
+func TestHotpathallocSuppression(t *testing.T) {
+	raw := linttest.Diagnostics(t, hotpathalloc.Analyzer, "ensdropcatch/internal/keccak")
+	if len(raw) != 1 {
+		t.Fatalf("raw analyzer found %d diagnostics, want 1", len(raw))
+	}
+	wrapped := linttest.Diagnostics(t, lintutil.Wrap(hotpathalloc.Analyzer), "ensdropcatch/internal/keccak")
+	for _, d := range wrapped {
+		t.Errorf("suppressed fixture still reports: %s", d.Message)
+	}
+}

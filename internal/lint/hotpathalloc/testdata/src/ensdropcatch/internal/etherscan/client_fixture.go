@@ -1,0 +1,7 @@
+// The client half of a backend package runs on the crawl path, where
+// the retry/breaker stack dominates cost — not hot, not flagged.
+package etherscan
+
+func clientPayload() map[string]any {
+	return map[string]any{"status": "1"}
+}

@@ -1,0 +1,90 @@
+// Positive fixture: internal/httpjson is hot package-wide — every
+// construct the analyzer forbids appears here once.
+package httpjson
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func adhoc() map[string]any {
+	return map[string]any{"ok": true} // want "map\[string\]any literal on a serve hot path"
+}
+
+func boxed() []any {
+	return []any{1, 2} // want "\[\]any literal on a serve hot path"
+}
+
+func mk() map[string]any {
+	return make(map[string]any, 4) // want "make\(map\[string\]any\) on a serve hot path"
+}
+
+func format(id uint64) string {
+	return fmt.Sprintf("0x%x", id) // want "fmt.Sprintf on a serve hot path"
+}
+
+func boxAppend(vals []int, out []any) []any {
+	for _, v := range vals {
+		out = append(out, v) // want "append of a concrete value into \[\]any"
+	}
+	return out
+}
+
+func join(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s += k // want "string \+= inside a loop"
+	}
+	return s
+}
+
+func pairs(keys []string) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, "k="+k) // want "string concatenation inside a loop"
+	}
+	return out
+}
+
+// A handler over the allocation-site budget must restructure.
+func heavy(w http.ResponseWriter, r *http.Request) { // want "handler heavy has 13 allocation sites \(budget 12\)"
+	_ = make([]byte, 1)
+	_ = make([]byte, 2)
+	_ = make([]byte, 3)
+	_ = make([]byte, 4)
+	_ = make([]byte, 5)
+	_ = make([]byte, 6)
+	_ = make([]byte, 7)
+	_ = make([]byte, 8)
+	_ = make([]byte, 9)
+	_ = make([]byte, 10)
+	_ = make([]byte, 11)
+	_ = make([]byte, 12)
+	_ = make([]byte, 13)
+}
+
+// Under budget: no finding.
+func light(w http.ResponseWriter, r *http.Request) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, '1')
+	_, _ = w.Write(buf)
+}
+
+// fmt.Errorf stays legal — error paths are cold.
+func coldError(err error) error {
+	return fmt.Errorf("decode: %w", err)
+}
+
+// Constant-folded concatenation does not allocate per iteration.
+func constConcat(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, "a"+"b")
+	}
+	return out
+}
+
+// Typed maps are the whole point: never flagged.
+func typed() map[string]int {
+	return map[string]int{"ok": 1}
+}

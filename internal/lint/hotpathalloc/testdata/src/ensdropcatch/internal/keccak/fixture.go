@@ -1,0 +1,10 @@
+// Suppression fixture: a hot-package violation documented with
+// //lint:allow because the function never runs on the serve path.
+package keccak
+
+import "fmt"
+
+func DebugString(sum [32]byte) string {
+	//lint:allow hotpathalloc debug-only formatter for tests and the CLI, never on the serve path
+	return fmt.Sprintf("%x", sum)
+}

@@ -1,0 +1,13 @@
+// Negative fixture: internal/stats is offline analysis, out of scope —
+// allocation style there is the profiler's business, not the linter's.
+package stats
+
+import "fmt"
+
+func Describe(vals []float64) map[string]any {
+	out := map[string]any{}
+	for i, v := range vals {
+		out[fmt.Sprintf("p%d", i)] = v
+	}
+	return out
+}

@@ -1,29 +1,56 @@
 // Package lint assembles the enslint analyzer suite: project-specific
 // go/analysis checkers that mechanically enforce the pipeline's
-// determinism, I/O-discipline, and dropped-error invariants. The rules
+// determinism, I/O-discipline, dropped-error, context-flow,
+// lock-discipline, allocation, and boundedness invariants. The rules
 // were won empirically — PR 2 (fault tolerance) and PR 3 (parallel
 // determinism) each shipped regressions that golden tests caught only
-// after the fact; these analyzers reject the same bug classes at
-// compile review time.
+// after the fact; PR 5 (deadline propagation), PR 6 (bounded trace
+// store), and PR 8 (hot-path allocation wins) relied on runtime tests
+// alone until this generation of analyzers promoted them to
+// compile-review checks.
 //
-// Every analyzer is wrapped with lintutil.Wrap, which implements the
-// //lint:allow <analyzer> <reason> escape hatch (see lintutil).
+// Two vintages coexist:
+//
+//   - the PR 4 syntactic set: detrand, maporder, iodiscipline,
+//     floatfold, droppederr;
+//   - the control-flow set, built on go/cfg (the ctrlflow pass — the
+//     same dataflow substrate the upstream lostcancel analyzer uses):
+//     ctxflow, mutexguard, hotpathalloc, boundedres.
+//
+// Two upstream x/tools analyzers ride along: lostcancel (contexts
+// whose cancel function can be lost on a return path) and copylocks
+// (locks copied by value — the other half of mutexguard's contract).
+// nilness, the third candidate, needs go/ssa, which the Go
+// distribution's vendored x/tools does not ship and offline builds
+// cannot fetch; copylocks stands in as the second upstream check.
+//
+// Every custom analyzer is wrapped with lintutil.Wrap, which implements
+// the //lint:allow <analyzer> <reason> escape hatch (see lintutil).
+// The upstream pair is deliberately left unwrapped: their diagnostics
+// are always true positives, so there is nothing to suppress.
 package lint
 
 import (
 	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
 
+	"ensdropcatch/internal/lint/boundedres"
+	"ensdropcatch/internal/lint/ctxflow"
 	"ensdropcatch/internal/lint/detrand"
 	"ensdropcatch/internal/lint/droppederr"
 	"ensdropcatch/internal/lint/floatfold"
+	"ensdropcatch/internal/lint/hotpathalloc"
 	"ensdropcatch/internal/lint/iodiscipline"
 	"ensdropcatch/internal/lint/lintutil"
 	"ensdropcatch/internal/lint/maporder"
+	"ensdropcatch/internal/lint/mutexguard"
 )
 
-// Analyzers returns the full suite, escape hatch included, in a stable
-// order. cmd/enslint and the driver tests share this list so the CI
-// binary and the tests can never disagree about what is enforced.
+// Analyzers returns the full suite — nine custom analyzers (escape
+// hatch included) plus the two upstream ones — in a stable order.
+// cmd/enslint and the driver tests share this list so the CI binary
+// and the tests can never disagree about what is enforced.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lintutil.Wrap(detrand.Analyzer),
@@ -31,5 +58,18 @@ func Analyzers() []*analysis.Analyzer {
 		lintutil.Wrap(iodiscipline.Analyzer),
 		lintutil.Wrap(floatfold.Analyzer),
 		lintutil.Wrap(droppederr.Analyzer),
+		lintutil.Wrap(ctxflow.Analyzer),
+		lintutil.Wrap(mutexguard.Analyzer),
+		lintutil.Wrap(hotpathalloc.Analyzer),
+		lintutil.Wrap(boundedres.Analyzer),
+		lostcancel.Analyzer,
+		copylock.Analyzer,
 	}
+}
+
+// Custom returns just the project-specific analyzers, wrapped — the
+// set every //lint:allow directive must name.
+func Custom() []*analysis.Analyzer {
+	all := Analyzers()
+	return all[:9]
 }

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+
+	"ensdropcatch/internal/lint/linttest"
+)
+
+// The upstream pair rides along in the suite (see Analyzers). These
+// fixtures prove the vendored analyzers actually run and report under
+// our harness — not just that they are present in the roster.
+
+func TestUpstreamLostcancel(t *testing.T) {
+	linttest.Run(t, lostcancel.Analyzer, "upstream/fix")
+}
+
+func TestUpstreamCopylocks(t *testing.T) {
+	linttest.Run(t, copylock.Analyzer, "upstream/locks")
+}

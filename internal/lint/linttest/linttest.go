@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -80,25 +81,67 @@ func analyze(t *testing.T, a *analysis.Analyzer, pkgPath string) ([]analysis.Dia
 		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
 	}
 
+	// Run the analyzer's requirements first (transitively, in
+	// dependency order) so CFG-based analyzers — ours and the upstream
+	// ctrlflow/lostcancel/copylock set — get their ResultOf inputs.
+	// Facts are kept in an in-memory store shared across the chain;
+	// dependency diagnostics are dropped (only the target analyzer is
+	// under test).
+	facts := map[factKey]analysis.Fact{}
+	results := map[*analysis.Analyzer]interface{}{}
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:     a,
-		Fset:         fset,
-		Files:        files,
-		Pkg:          pkg,
-		TypesInfo:    info,
-		TypesSizes:   types.SizesFor("gc", "amd64"),
-		ResultOf:     map[*analysis.Analyzer]interface{}{},
-		Report:       func(d analysis.Diagnostic) { diags = append(diags, d) },
-		ReadFile:     os.ReadFile,
-		TypeErrors:   nil,
-		OtherFiles:   nil,
-		IgnoredFiles: nil,
+	var runOne func(cur *analysis.Analyzer, record bool)
+	runOne = func(cur *analysis.Analyzer, record bool) {
+		if _, done := results[cur]; done {
+			return
+		}
+		for _, req := range cur.Requires {
+			runOne(req, false)
+		}
+		report := func(analysis.Diagnostic) {}
+		if record {
+			report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		}
+		pass := &analysis.Pass{
+			Analyzer:   cur,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report:     report,
+			ReadFile:   os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				stored, ok := facts[factKey{obj, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				}
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				facts[factKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := cur.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", cur.Name, err)
+		}
+		results[cur] = res
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
-	}
+	runOne(a, true)
 	return diags, fset, files
+}
+
+// factKey identifies one exported fact: the object it attaches to and
+// the concrete fact type.
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
 }
 
 func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {

@@ -36,6 +36,13 @@ var DeterministicPkgs = []string{
 	"internal/stats",
 	"internal/ens",
 	"internal/auction",
+	// PR 9: pure transform and serving-support packages added since —
+	// hashing, JSON encoding, response caching, and the bench-compare
+	// tool must all be reproducible byte for byte.
+	"internal/keccak",
+	"internal/httpjson",
+	"internal/pagecache",
+	"cmd/benchjson",
 }
 
 // IsDeterministicPkg reports whether the import path denotes one of the

@@ -1,0 +1,29 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"ensdropcatch/internal/lint/linttest"
+	"ensdropcatch/internal/lint/lintutil"
+	"ensdropcatch/internal/lint/mutexguard"
+)
+
+func TestMutexguard(t *testing.T) {
+	linttest.Run(t, mutexguard.Analyzer,
+		"guards/fix",   // positive: annotated structs, good and bad access
+		"guards/clean", // negative: no annotations, nothing to enforce
+	)
+}
+
+// TestMutexguardSuppression proves the //lint:allow hatch works for
+// this analyzer.
+func TestMutexguardSuppression(t *testing.T) {
+	raw := linttest.Diagnostics(t, mutexguard.Analyzer, "guards/allow")
+	if len(raw) != 1 {
+		t.Fatalf("raw analyzer found %d diagnostics, want 1", len(raw))
+	}
+	wrapped := linttest.Diagnostics(t, lintutil.Wrap(mutexguard.Analyzer), "guards/allow")
+	for _, d := range wrapped {
+		t.Errorf("suppressed fixture still reports: %s", d.Message)
+	}
+}

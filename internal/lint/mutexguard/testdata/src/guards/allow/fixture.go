@@ -1,0 +1,21 @@
+// Suppression fixture: a deliberate lock-free read of a guarded field,
+// documented with //lint:allow.
+package allow
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (g *gauge) Inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *gauge) Peek() int {
+	//lint:allow mutexguard advisory lock-free peek; staleness is acceptable and measured
+	return g.n
+}

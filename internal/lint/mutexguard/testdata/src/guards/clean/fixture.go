@@ -1,0 +1,20 @@
+// Negative fixture: no `// guarded by` annotations means no contract to
+// enforce — the analyzer stays silent even for lock-free access.
+package clean
+
+import "sync"
+
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *plain) Touch() {
+	p.n++
+}
+
+func (p *plain) Locked() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}

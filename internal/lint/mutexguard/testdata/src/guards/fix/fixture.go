@@ -1,0 +1,113 @@
+// Positive and negative cases for the `// guarded by <mu>` contract:
+// annotated fields must be accessed with the named mutex held on every
+// path, and an unlock on a provably-unlocked path is a double unlock.
+package fix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) DeferInc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// The *Locked naming convention: entered with the lock already held.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+func (c *counter) BadInc() {
+	c.n++ // want "write to c.n without c.mu exclusively held"
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want "read of c.n without c.mu held"
+}
+
+// The lock is held on only one of the two incoming paths: the merge
+// point is not provably locked.
+func (c *counter) MaybeLock(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to c.n without c.mu exclusively held"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) DoubleUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.mu.Unlock() // want "double unlock"
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// RLock suffices for reads.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Writes need the exclusive lock.
+func (t *table) Put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+// Writing under the read lock is still a race.
+func (t *table) BadPut(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want "write to t.m without t.mu exclusively held"
+}
+
+// The RLocked suffix marks functions entered with the read lock held:
+// good enough for reads, not for writes.
+func (t *table) sizeRLocked() int {
+	return len(t.m)
+}
+
+type box struct {
+	sync.Mutex
+	v int // guarded by Mutex
+}
+
+func (b *box) Set(x int) {
+	b.Lock()
+	b.v = x
+	b.Unlock()
+}
+
+func (b *box) BadSet(x int) {
+	b.v = x // want "write to b.v without b exclusively held"
+}
+
+type phantom struct {
+	mu sync.Mutex
+	n  int // guarded by lock // want "guarded-by annotation names \"lock\""
+}
+
+func (p *phantom) Use() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}

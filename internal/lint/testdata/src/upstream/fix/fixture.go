@@ -1,0 +1,27 @@
+// Fixture proving the vendored upstream lostcancel analyzer really runs
+// in this suite: a context whose cancel function is lost on a return
+// path leaks the context's resources.
+package fix
+
+import "context"
+
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "the cancel function returned by context.WithCancel should be called, not discarded, to avoid a context leak"
+	return ctx
+}
+
+func leakyPath(parent context.Context, bad bool) context.Context {
+	ctx, cancel := context.WithCancel(parent) // want "the cancel function is not used on all paths \(possible context leak\)"
+	if bad {
+		return ctx // want "this return statement may be reached without using the cancel var defined on line 14"
+	}
+	cancel()
+	return ctx
+}
+
+func clean(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}

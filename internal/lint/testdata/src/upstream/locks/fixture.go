@@ -1,0 +1,26 @@
+// Fixture proving the vendored upstream copylocks analyzer really runs
+// in this suite: a mutex copied by value splits the lock from its data.
+package locks
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(t T) int { // want "byValue passes lock by value: upstream/locks.T contains sync.Mutex"
+	return t.n
+}
+
+var sink T
+
+func assign(a *T) {
+	sink = *a // want "assignment copies lock value to sink: upstream/locks.T contains sync.Mutex"
+}
+
+func byPointer(t *T) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

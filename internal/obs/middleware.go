@@ -18,7 +18,7 @@ type HTTPMetrics struct {
 	inflight *Gauge
 
 	mu     sync.Mutex
-	routes []string
+	routes []string // guarded by mu
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg (nil uses

@@ -213,8 +213,15 @@ type family struct {
 	buckets []float64
 
 	mu    sync.RWMutex
-	cells map[string]*cell
+	cells map[string]*cell // guarded by mu
 }
+
+// maxSeriesPerFamily caps each family's label cardinality. Label
+// values on request paths can carry client-derived strings, and an
+// unbounded exposition is both a memory leak and a scrape-size attack;
+// past the cap new tuples get a working but unregistered series, so
+// callers never observe the cap — only the exposition does.
+const maxSeriesPerFamily = 1024
 
 func (f *family) series(values []string, fresh func() any) any {
 	if len(values) != len(f.labels) {
@@ -231,6 +238,9 @@ func (f *family) series(values []string, fresh func() any) any {
 	defer f.mu.Unlock()
 	if c, ok := f.cells[key]; ok {
 		return c.m
+	}
+	if len(f.cells) >= maxSeriesPerFamily {
+		return fresh()
 	}
 	vals := make([]string, len(values))
 	copy(vals, values)
@@ -255,8 +265,8 @@ func joinKey(values []string) string {
 // packages can share a registry without coordination.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	families []*family          // guarded by mu
+	byName   map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

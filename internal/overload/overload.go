@@ -107,10 +107,10 @@ type Gate struct {
 	sheds atomic.Uint64
 
 	mu       sync.Mutex
-	inflight int
-	queued   int
-	ewmaSec  float64       // EWMA of observed service time, seconds; 0 = no samples
-	wake     chan struct{} // closed and replaced on every release
+	inflight int           // guarded by mu
+	queued   int           // guarded by mu
+	ewmaSec  float64       // EWMA of observed service time, seconds; 0 = no samples; guarded by mu
+	wake     chan struct{} // closed and replaced on every release; guarded by mu
 }
 
 // NewGate returns a gate for cfg.

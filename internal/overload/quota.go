@@ -50,7 +50,7 @@ type Quotas struct {
 	denied atomic.Uint64
 
 	mu      sync.Mutex
-	buckets map[string]*qbucket
+	buckets map[string]*qbucket // guarded by mu
 }
 
 type qbucket struct {

@@ -63,8 +63,8 @@ type Cache struct {
 	maxBody    int
 
 	mu  sync.Mutex
-	lru *list.List // front = most recently used; element values are *entry
-	m   map[string]*list.Element
+	lru *list.List               // front = most recently used; element values are *entry; guarded by mu
+	m   map[string]*list.Element // guarded by mu
 }
 
 type entry struct {

@@ -1,0 +1,11 @@
+package subgraph
+
+import "context"
+
+// Execute is a test-only convenience shim over ExecuteContext. The
+// production API deliberately has no context-free entry point (enslint
+// ctxflow forbids the context.Background() it would need), but tests
+// exercising query semantics have no deadline to propagate.
+func (s *Store) Execute(q *Query) (map[string][]Row, error) {
+	return s.ExecuteContext(context.Background(), q)
+}

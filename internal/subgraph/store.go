@@ -312,16 +312,14 @@ func (s *Store) Len(col string) int {
 	return len(s.collections[col])
 }
 
-// Execute runs a parsed query against the store and returns one result
-// list per top-level selection, keyed by selection name.
-func (s *Store) Execute(q *Query) (map[string][]Row, error) {
-	return s.ExecuteContext(context.Background(), q)
-}
-
-// ExecuteContext is Execute with cancellation: scans abandon work as
-// soon as the request's deadline (propagated by the server's overload
-// middleware) expires, instead of filtering rows for a caller that has
-// already given up.
+// ExecuteContext runs a parsed query against the store and returns one
+// result list per top-level selection, keyed by selection name. Scans
+// abandon work as soon as the caller's deadline (propagated by the
+// server's overload middleware) expires, instead of filtering rows for
+// a caller that has already given up. There is deliberately no
+// context-free variant: every production caller holds a request or
+// crawl context, and a fresh context.Background() here would detach
+// the scan from it.
 func (s *Store) ExecuteContext(ctx context.Context, q *Query) (map[string][]Row, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

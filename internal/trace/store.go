@@ -70,11 +70,11 @@ type Store struct {
 	cfg StoreConfig
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	traces  map[string]*Trace
-	arrival []string // trace ids, insertion order
-	dropped uint64
-	evicted uint64
+	rng     *rand.Rand        // guarded by mu
+	traces  map[string]*Trace // guarded by mu
+	arrival []string          // trace ids, insertion order; guarded by mu
+	dropped uint64            // guarded by mu
+	evicted uint64            // guarded by mu
 }
 
 // NewStore returns a store for cfg.

@@ -77,14 +77,27 @@ type Span struct {
 	remote   bool // parentID lives in another process
 
 	mu       sync.Mutex
-	name     string
-	start    time.Time
-	end      time.Time
-	err      bool
-	attrs    []Attr
-	events   []Event
-	children []*Span
+	name     string    // guarded by mu
+	start    time.Time // guarded by mu
+	end      time.Time // guarded by mu
+	err      bool      // guarded by mu
+	attrs    []Attr    // guarded by mu
+	events   []Event   // guarded by mu
+	children []*Span   // guarded by mu
 }
+
+// Per-span growth caps. A span's attrs, events, and children all grow
+// with request activity — a retry storm multiplies child spans, an
+// error loop multiplies events — and the store's byte accounting only
+// bounds *finished* traces. These caps bound a live span: past the
+// limit, new children stay unlinked (they work but drop from the
+// snapshot) and attrs/events are discarded. Generous enough that any
+// trace hitting one was already unreadable.
+const (
+	maxSpanAttrs    = 64
+	maxSpanEvents   = 256
+	maxSpanChildren = 512
+)
 
 // spanKey is the context key for the active span; a zero-size type
 // keeps ctx.Value lookups allocation-free.
@@ -133,7 +146,9 @@ func (s *Span) newChild(name string) *Span {
 		start:    time.Now(),
 	}
 	s.mu.Lock()
-	s.children = append(s.children, child)
+	if len(s.children) < maxSpanChildren {
+		s.children = append(s.children, child)
+	}
 	s.mu.Unlock()
 	return child
 }
@@ -161,7 +176,9 @@ func (s *Span) Annotate(key, value string) {
 		return
 	}
 	s.mu.Lock()
-	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	if len(s.attrs) < maxSpanAttrs {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
 	s.mu.Unlock()
 }
 
@@ -183,13 +200,17 @@ func (s *Span) Error(name string, attrs ...Attr) {
 	}
 	s.mu.Lock()
 	s.err = true
-	s.events = append(s.events, Event{Name: name, Time: time.Now(), Error: true, Attrs: attrs})
+	if len(s.events) < maxSpanEvents {
+		s.events = append(s.events, Event{Name: name, Time: time.Now(), Error: true, Attrs: attrs})
+	}
 	s.mu.Unlock()
 }
 
 func (s *Span) addEvent(ev Event) {
 	s.mu.Lock()
-	s.events = append(s.events, ev)
+	if len(s.events) < maxSpanEvents {
+		s.events = append(s.events, ev)
+	}
 	s.mu.Unlock()
 }
 
