@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-diff lint-sarif test race race-all soak-smoke trace-smoke persist-smoke bench bench-persist bench-serve bench-smoke bench-compare bench-load load-smoke fuzz fuzz-smoke clean tools report
+.PHONY: all build vet lint lint-diff lint-sarif test race race-all soak-smoke trace-smoke persist-smoke chaos-smoke bench bench-persist bench-serve bench-smoke bench-compare bench-load load-smoke fuzz fuzz-smoke clean tools report
 
 all: build vet lint test race
 
@@ -71,6 +71,16 @@ trace-smoke:
 persist-smoke:
 	$(GO) test -race -count=1 -run 'TestBinary|TestSave|TestTruncated|TestTornSnapshot|TestSnapshot|TestSpoolSnapshot|TestMixedGeneration|TestLoad|TestWriteAtomic' -v ./internal/dataset/
 	$(GO) test -race -count=1 ./internal/dataset/codec/
+
+# Chaos-campaign drill under the race detector: the built-in
+# blackout-recovery campaign run twice through the full pipeline
+# (enschaos), asserting per-phase SLOs, identical phase reports across
+# runs, byte-identical convergence with a fault-free crawl, and no
+# goroutine leaks; plus the fault×route matrix through the assembled
+# serve stack and the retry-budget outage-damping property.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestRetryBudgetDampsOutageE2E' -v ./cmd/enschaos/
+	$(GO) test -race -count=1 -run 'TestChaosFaultRouteMatrix' -v ./internal/serve/
 
 # Regenerates every table and figure of the paper's evaluation and archives
 # the machine-readable results (name -> ns/op, allocs, custom metrics).

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"ensdropcatch/internal/chaos/plan"
+)
+
+// Built-in campaign scenarios, committed next to the runner so a drill
+// is one command with no files to stage. Each document is a plan.Plan
+// in JSON; a test validates every one of them against plan.Validate.
+//
+//go:embed scenarios/*.json
+var scenarioFS embed.FS
+
+// scenarioNames lists the built-in campaigns, sorted.
+func scenarioNames() []string {
+	entries, err := fs.ReadDir(scenarioFS, "scenarios")
+	if err != nil {
+		return nil // embed cannot fail at runtime; keep the caller simple
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// loadScenario resolves a built-in campaign by name.
+func loadScenario(name string) (*plan.Plan, error) {
+	data, err := fs.ReadFile(scenarioFS, "scenarios/"+name+".json")
+	if err != nil {
+		return nil, fmt.Errorf("enschaos: unknown campaign %q (built-ins: %s)",
+			name, strings.Join(scenarioNames(), ", "))
+	}
+	p, err := plan.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("enschaos: campaign %q: %w", name, err)
+	}
+	return p, nil
+}

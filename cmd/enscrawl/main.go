@@ -50,6 +50,10 @@ func main() {
 		progress    = flag.Duration("progress", 10*time.Second, "interval between crawl-progress summaries (done/total, ETA)")
 		adaptive    = flag.Bool("adaptive", false, "tune request rate and concurrency with AIMD from server 429/503 + Retry-After feedback instead of fixed -rps pacing")
 		clientID    = flag.String("client-id", "", "identity sent as X-Client-ID for server-side per-client quotas (defaults to -apikey)")
+		budgetBurst = flag.Float64("retry-budget", 10, "per-source retry-budget burst: retries beyond this bucket fail fast instead of storming an outage (0 = unbounded retries)")
+		budgetRatio = flag.Float64("retry-ratio", 0.1, "fraction of a retry token deposited per successful first attempt")
+		hedge       = flag.Bool("hedge", false, "hedge tail-slow idempotent reads with one speculative duplicate (gated by breaker state and retry budget)")
+		hedgeSigma  = flag.Float64("hedge-sigma", 3, "with -hedge, deviation multiplier in the hedge-delay estimate (mean + sigma·dev)")
 	)
 	traceFlags := registerTraceFlags(flag.CommandLine, false)
 	flag.Parse()
@@ -104,6 +108,21 @@ func main() {
 		esClient.Breaker = crawler.NewBreaker("etherscan", *breaker, *cooldown)
 		sgClient.Breaker = crawler.NewBreaker("subgraph", *breaker, *cooldown)
 		osClient.Breaker = crawler.NewBreaker("opensea", *breaker, *cooldown)
+	}
+	if *budgetBurst > 0 {
+		esClient.Budget = crawler.NewRetryBudget("etherscan", *budgetRatio, *budgetBurst)
+		sgClient.Budget = crawler.NewRetryBudget("subgraph", *budgetRatio, *budgetBurst)
+		osClient.Budget = crawler.NewRetryBudget("opensea", *budgetRatio, *budgetBurst)
+	}
+	if *hedge {
+		// Only the idempotent read paths hedge; the hedger shares the
+		// source's breaker and budget so speculation respects both gates.
+		sgClient.Hedger = crawler.NewHedger(crawler.HedgeConfig{
+			Source: "subgraph", Breaker: sgClient.Breaker, Budget: sgClient.Budget, TailSigma: *hedgeSigma})
+		esClient.Hedger = crawler.NewHedger(crawler.HedgeConfig{
+			Source: "etherscan", Breaker: esClient.Breaker, Budget: esClient.Budget, TailSigma: *hedgeSigma})
+		osClient.Hedger = crawler.NewHedger(crawler.HedgeConfig{
+			Source: "opensea", Breaker: osClient.Breaker, Budget: osClient.Budget, TailSigma: *hedgeSigma})
 	}
 	id := *clientID
 	if id == "" {

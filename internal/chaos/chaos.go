@@ -65,6 +65,10 @@ type Config struct {
 	RetryAfter time.Duration
 	// Delay is the slow-body and stall duration; <= 0 uses 50ms.
 	Delay time.Duration
+	// StormDelay is the latency-storm delay used by campaigns
+	// (plan.ModeLatencyStorm); <= 0 uses 5× Delay. The stateless
+	// Injector never uses it.
+	StormDelay time.Duration
 }
 
 // Injector deterministically injects faults into HTTP traffic. Safe for
@@ -110,8 +114,8 @@ func (in *Injector) pick() Fault {
 
 // retryAfterSeconds renders the Retry-After hint; fractional values keep
 // chaos tests fast while integer values match real servers.
-func (in *Injector) retryAfterSeconds() string {
-	return strconv.FormatFloat(in.cfg.RetryAfter.Seconds(), 'g', -1, 64)
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
 }
 
 // Wrap returns a handler that injects faults around inner. Clean
@@ -131,46 +135,57 @@ func (in *Injector) Wrap(inner http.Handler) http.Handler {
 		} else {
 			m().passed.Inc()
 		}
-		switch fault {
-		case "":
+		if fault == "" {
 			inner.ServeHTTP(w, r)
-		case FaultRateLimit:
-			w.Header().Set("Retry-After", in.retryAfterSeconds())
-			http.Error(w, "chaos: rate limited", http.StatusTooManyRequests)
-		case FaultServerError:
-			http.Error(w, "chaos: internal error", http.StatusInternalServerError)
-		case FaultReset:
-			// ErrAbortHandler makes the server drop the connection with
-			// no response and no panic log.
-			panic(http.ErrAbortHandler)
-		case FaultSlowBody:
-			sleep(r, in.cfg.Delay)
-			inner.ServeHTTP(w, r)
-		case FaultStall:
-			sleep(r, in.cfg.Delay)
-			panic(http.ErrAbortHandler)
-		case FaultTruncate:
-			rec := &recorder{header: make(http.Header)}
-			inner.ServeHTTP(rec, r)
-			for k, vs := range rec.header {
-				for _, v := range vs {
-					w.Header().Add(k, v)
-				}
-			}
-			// Promise the full body, deliver half, then kill the
-			// connection so clients see an unexpected EOF rather than a
-			// plausible short document.
-			w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
-			if rec.status != 0 {
-				w.WriteHeader(rec.status)
-			}
-			w.Write(rec.body.Bytes()[:rec.body.Len()/2])
-			if f, ok := w.(http.Flusher); ok {
-				f.Flush()
-			}
-			panic(http.ErrAbortHandler)
+			return
 		}
+		serveFault(w, r, inner, fault, retryAfterSeconds(in.cfg.RetryAfter), in.cfg.Delay)
 	})
+}
+
+// serveFault executes one server-side fault around inner. It is shared
+// between the stateless Injector and campaign phases, so both injure
+// traffic in exactly the same way.
+func serveFault(w http.ResponseWriter, r *http.Request, inner http.Handler, fault Fault, retryAfter string, delay time.Duration) {
+	switch fault {
+	case FaultRateLimit:
+		w.Header().Set("Retry-After", retryAfter)
+		http.Error(w, "chaos: rate limited", http.StatusTooManyRequests)
+	case FaultServerError:
+		http.Error(w, "chaos: internal error", http.StatusInternalServerError)
+	case FaultReset:
+		// ErrAbortHandler makes the server drop the connection with
+		// no response and no panic log.
+		panic(http.ErrAbortHandler)
+	case FaultSlowBody:
+		sleep(r, delay)
+		inner.ServeHTTP(w, r)
+	case FaultStall:
+		sleep(r, delay)
+		panic(http.ErrAbortHandler)
+	case FaultTruncate:
+		rec := &recorder{header: make(http.Header)}
+		inner.ServeHTTP(rec, r)
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		// Promise the full body, deliver half, then kill the
+		// connection so clients see an unexpected EOF rather than a
+		// plausible short document.
+		w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
+		if rec.status != 0 {
+			w.WriteHeader(rec.status)
+		}
+		w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		inner.ServeHTTP(w, r)
+	}
 }
 
 // sleep waits for d or until the request is cancelled.
@@ -222,36 +237,45 @@ func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
 		} else {
 			m().passed.Inc()
 		}
-		switch fault {
-		case FaultRateLimit:
-			resp := synthesize(req, http.StatusTooManyRequests, "chaos: rate limited\n")
-			resp.Header.Set("Retry-After", in.retryAfterSeconds())
-			return resp, nil
-		case FaultServerError:
-			return synthesize(req, http.StatusInternalServerError, "chaos: internal error\n"), nil
-		case FaultReset:
-			return nil, ErrInjected
-		case FaultSlowBody:
-			sleep(req, in.cfg.Delay)
-		case FaultStall:
-			sleep(req, in.cfg.Delay)
-			return nil, ErrInjected
+		if fault == "" {
+			return next.RoundTrip(req)
 		}
-		resp, err := next.RoundTrip(req)
-		if err != nil || fault != FaultTruncate {
-			return resp, err
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
-		resp.Body = io.NopCloser(io.MultiReader(
-			bytes.NewReader(body[:len(body)/2]),
-			errReader{io.ErrUnexpectedEOF},
-		))
-		return resp, nil
+		return tripFault(req, next, fault, retryAfterSeconds(in.cfg.RetryAfter), in.cfg.Delay)
 	})
+}
+
+// tripFault executes one client-side fault, shared between the
+// stateless Injector and campaign phases.
+func tripFault(req *http.Request, next http.RoundTripper, fault Fault, retryAfter string, delay time.Duration) (*http.Response, error) {
+	switch fault {
+	case FaultRateLimit:
+		resp := synthesize(req, http.StatusTooManyRequests, "chaos: rate limited\n")
+		resp.Header.Set("Retry-After", retryAfter)
+		return resp, nil
+	case FaultServerError:
+		return synthesize(req, http.StatusInternalServerError, "chaos: internal error\n"), nil
+	case FaultReset:
+		return nil, ErrInjected
+	case FaultSlowBody:
+		sleep(req, delay)
+	case FaultStall:
+		sleep(req, delay)
+		return nil, ErrInjected
+	}
+	resp, err := next.RoundTrip(req)
+	if err != nil || fault != FaultTruncate {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(io.MultiReader(
+		bytes.NewReader(body[:len(body)/2]),
+		errReader{io.ErrUnexpectedEOF},
+	))
+	return resp, nil
 }
 
 // synthesize builds a minimal fault response without touching the network.

@@ -8,8 +8,10 @@ import (
 
 // metricSet holds the package's instrumentation handles.
 type metricSet struct {
-	injected *obs.CounterVec
-	passed   *obs.Counter
+	injected         *obs.CounterVec
+	passed           *obs.Counter
+	campaignRequests *obs.CounterVec
+	campaignFaults   *obs.CounterVec
 }
 
 var metrics atomic.Pointer[metricSet]
@@ -27,6 +29,10 @@ func InitMetrics(reg *obs.Registry) {
 			"Faults injected into requests, by fault mode.", "fault"),
 		passed: reg.Counter("chaos_requests_passed_total",
 			"Requests the injector let through cleanly."),
+		campaignRequests: reg.CounterVec("chaos_campaign_requests_total",
+			"Requests observed by a campaign, by phase.", "phase"),
+		campaignFaults: reg.CounterVec("chaos_campaign_faults_total",
+			"Faults a campaign injected, by phase and kind.", "phase", "kind"),
 	})
 }
 

@@ -3,6 +3,8 @@ package crawler
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -123,5 +125,56 @@ func TestBreakerDo(t *testing.T) {
 	}
 	if b.State() != BreakerClosed {
 		t.Fatalf("state = %v", b.State())
+	}
+}
+
+// Half-open audit (run with -race): however many goroutines race for
+// the probe slot, exactly one is admitted, and the slot is handed on
+// when the probe's outcome is neutral.
+func TestBreakerHalfOpenAdmitsExactlyOneConcurrentProbe(t *testing.T) {
+	b, now := testBreaker(t, 1, time.Minute)
+	b.Record(errors.New("boom")) // threshold 1: straight to open
+	*now = now.Add(time.Minute)  // cooldown elapses -> half-open
+
+	const racers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// A neutral outcome (context cancellation says nothing about source
+	// health) frees the slot for the next caller; a second probe is then
+	// admitted, again exactly once.
+	b.Record(context.Canceled)
+	admitted.Store(0)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("after neutral probe outcome, %d probes admitted, want exactly 1", got)
+	}
+
+	// The successful probe closes the circuit for everyone.
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe", b.State())
 	}
 }

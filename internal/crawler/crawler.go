@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ensdropcatch/internal/trace"
+	"ensdropcatch/internal/vfs"
 )
 
 // Limiter is a token-bucket rate limiter. The zero value is invalid; use
@@ -143,6 +144,10 @@ type RetryConfig struct {
 	Sleep func(context.Context, time.Duration) error
 	// Rand is the jitter source; nil uses a shared seeded source.
 	Rand *rand.Rand
+	// Budget, when set, bounds retry amplification: each retry withdraws
+	// a token and a dry budget fails fast with ErrRetryBudgetExhausted
+	// instead of backing off. Successful first attempts refill it.
+	Budget *RetryBudget
 }
 
 // DefaultRetry is a sensible config for HTTP crawling.
@@ -285,6 +290,9 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func(context.Context) error)
 			asp.End()
 		}
 		if err == nil {
+			if cfg.Budget != nil && attempt == 1 {
+				cfg.Budget.Deposit()
+			}
 			return nil
 		}
 		if errors.Is(err, ErrPermanent) {
@@ -299,6 +307,15 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func(context.Context) error)
 				sp.Event("retry.exhausted", trace.A("attempts", strconv.Itoa(attempt)))
 			}
 			return fmt.Errorf("crawler: %d attempts exhausted: %w", attempt, err)
+		}
+		// A retry is about to be funded. A dry budget means the source is
+		// failing broadly — retrying would multiply the pressure, so fail
+		// fast instead (the breaker and AIMD handle the waiting).
+		if cfg.Budget != nil && !cfg.Budget.Withdraw() {
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.Event("retry.budget_exhausted", trace.A("source", cfg.Budget.Source()))
+			}
+			return cfg.Budget.exhausted(err)
 		}
 		d := delay
 		if cfg.Jitter > 0 {
@@ -463,32 +480,48 @@ feed:
 type Checkpoint struct {
 	mu   sync.Mutex
 	done map[string]bool
-	f    *os.File
+	f    vfs.File
 	w    *bufio.Writer
 	sync bool
 }
 
+// checkpointConfig collects OpenCheckpoint options; the fs must be
+// known before the file is opened, so options apply to this rather
+// than to the Checkpoint itself.
+type checkpointConfig struct {
+	sync bool
+	fs   vfs.FS
+}
+
 // CheckpointOption tunes OpenCheckpoint.
-type CheckpointOption func(*Checkpoint)
+type CheckpointOption func(*checkpointConfig)
 
 // WithSync makes every Mark fsync the checkpoint file, so a completed id
 // survives power loss — not just process death — at the cost of one disk
 // sync per item. Opt-in: crawls that can afford to re-crawl a tail of
 // addresses keep the cheap default.
 func WithSync() CheckpointOption {
-	return func(c *Checkpoint) { c.sync = true }
+	return func(c *checkpointConfig) { c.sync = true }
+}
+
+// WithFS opens and writes the checkpoint through fsys (default
+// vfs.OS), so chaos tests can inject disk faults into Mark's
+// durability path.
+func WithFS(fsys vfs.FS) CheckpointOption {
+	return func(c *checkpointConfig) { c.fs = fsys }
 }
 
 // OpenCheckpoint loads (or creates) the checkpoint at path.
 func OpenCheckpoint(path string, opts ...CheckpointOption) (*Checkpoint, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	var cfg checkpointConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	f, err := vfs.OrOS(cfg.fs).OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: open checkpoint: %w", err)
 	}
-	cp := &Checkpoint{done: make(map[string]bool), f: f}
-	for _, opt := range opts {
-		opt(cp)
-	}
+	cp := &Checkpoint{done: make(map[string]bool), f: f, sync: cfg.sync}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {

@@ -1,0 +1,208 @@
+package crawler
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"ensdropcatch/internal/trace"
+)
+
+// Hedger issues a duplicate request for an idempotent read whose first
+// attempt has been in flight longer than the source's tail latency
+// estimate, and takes whichever answer lands first. Tail latency is
+// tracked as an EWMA of observed durations plus an EWMA of their
+// absolute deviation; the hedge fires at mean + TailSigma·deviation, a
+// cheap p99 proxy that needs no histogram.
+//
+// Hedges are speculative load, so they are gated twice: never when the
+// source's breaker is not closed (a struggling source must see less
+// traffic, not double), and never when the retry budget is low (hedges
+// spend from the same token bucket as retries). See DESIGN.md for how
+// this composes with the breaker, AIMD, and the retry budget.
+type Hedger struct {
+	cfg HedgeConfig
+
+	mu   sync.Mutex
+	mean float64 // EWMA of success latency, seconds; guarded by mu
+	dev  float64 // EWMA of |latency - mean|, seconds; guarded by mu
+	obs  int64   // successes observed; guarded by mu
+}
+
+// HedgeConfig tunes a Hedger.
+type HedgeConfig struct {
+	// Source names the upstream for metrics and trace events.
+	Source string
+	// Breaker, when set, vetoes hedging unless it is closed.
+	Breaker *Breaker
+	// Budget, when set, funds hedges: each hedge withdraws one token,
+	// and a low budget vetoes hedging entirely.
+	Budget *RetryBudget
+	// TailSigma is the deviation multiplier in the hedge-delay estimate
+	// (<= 0 uses 3, roughly p99 for well-behaved latency).
+	TailSigma float64
+	// MinDelay floors the hedge delay so a cold estimator cannot hedge
+	// instantly (<= 0 uses 20ms).
+	MinDelay time.Duration
+	// MaxDelay caps the hedge delay (<= 0 uses 2s).
+	MaxDelay time.Duration
+	// Warmup is how many latency observations the estimator needs
+	// before hedging activates (<= 0 uses 10).
+	Warmup int
+	// Alpha is the EWMA smoothing factor in (0, 1] (<= 0 uses 0.2).
+	Alpha float64
+}
+
+// NewHedger returns a hedger for cfg with an empty latency estimate;
+// hedging stays dormant until Warmup observations arrive.
+func NewHedger(cfg HedgeConfig) *Hedger {
+	if cfg.TailSigma <= 0 {
+		cfg.TailSigma = 3
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = 20 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 10
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.2
+	}
+	return &Hedger{cfg: cfg}
+}
+
+// Observe feeds one successful request latency into the tail estimate.
+// Failures are not observed: fault latencies (timeouts, instant
+// refusals) would poison the estimate in both directions.
+func (h *Hedger) Observe(d time.Duration) {
+	s := d.Seconds()
+	h.mu.Lock()
+	if h.obs == 0 {
+		h.mean = s
+	} else {
+		h.mean += h.cfg.Alpha * (s - h.mean)
+		h.dev += h.cfg.Alpha * (math.Abs(s-h.mean) - h.dev)
+	}
+	h.obs++
+	h.mu.Unlock()
+}
+
+// Delay returns the current hedge trigger: the tail latency estimate
+// clamped to [MinDelay, MaxDelay].
+func (h *Hedger) Delay() time.Duration {
+	h.mu.Lock()
+	est := h.mean + h.cfg.TailSigma*h.dev
+	h.mu.Unlock()
+	d := time.Duration(est * float64(time.Second))
+	if d < h.cfg.MinDelay {
+		d = h.cfg.MinDelay
+	}
+	if d > h.cfg.MaxDelay {
+		d = h.cfg.MaxDelay
+	}
+	return d
+}
+
+// armed reports whether a hedge may be issued right now.
+func (h *Hedger) armed() bool {
+	h.mu.Lock()
+	warm := h.obs >= int64(h.cfg.Warmup)
+	h.mu.Unlock()
+	if !warm {
+		return false
+	}
+	if h.cfg.Breaker != nil && h.cfg.Breaker.State() != BreakerClosed {
+		return false
+	}
+	if h.cfg.Budget != nil && h.cfg.Budget.Low() {
+		return false
+	}
+	return true
+}
+
+// hedgeResult carries one attempt's outcome.
+type hedgeResult[T any] struct {
+	v      T
+	err    error
+	t      time.Duration
+	hedged bool
+}
+
+// Hedge runs fn, duplicating it once if the first call outlives the
+// hedger's tail-latency estimate and the gates allow. The first
+// successful answer wins and the loser's context is cancelled; if both
+// fail, the primary's error is returned. fn MUST be idempotent — it is
+// the caller's contract that running it twice is safe.
+func Hedge[T any](ctx context.Context, h *Hedger, fn func(context.Context) (T, error)) (T, error) {
+	if h == nil {
+		return fn(ctx)
+	}
+	run := func(rctx context.Context, hedged bool, ch chan<- hedgeResult[T]) {
+		start := time.Now()
+		v, err := fn(rctx)
+		ch <- hedgeResult[T]{v: v, err: err, t: time.Since(start), hedged: hedged}
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered for both attempts, so a loser finishing after the win
+	// never blocks and its goroutine always exits.
+	ch := make(chan hedgeResult[T], 2)
+	go run(pctx, false, ch)
+
+	launched := 1
+	var firstErr error
+	var timer *time.Timer
+	var fire <-chan time.Time
+	if h.armed() {
+		timer = time.NewTimer(h.Delay())
+		fire = timer.C
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case <-fire:
+			fire = nil
+			// Re-check the gates at fire time: the breaker may have
+			// opened or the budget drained while the primary was slow.
+			if !h.armed() || (h.cfg.Budget != nil && !h.cfg.Budget.Withdraw()) {
+				continue
+			}
+			m().hedgesIssued.With(h.cfg.Source).Inc()
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.Event("hedge.issued", trace.A("source", h.cfg.Source))
+			}
+			launched++
+			go run(pctx, true, ch)
+		case r := <-ch:
+			launched--
+			if r.err == nil {
+				cancel() // the loser's work is now pointless
+				h.Observe(r.t)
+				if r.hedged {
+					m().hedgeWins.With(h.cfg.Source).Inc()
+					if sp := trace.FromContext(ctx); sp != nil {
+						sp.Event("hedge.won", trace.A("source", h.cfg.Source))
+					}
+				}
+				return r.v, nil
+			}
+			// Prefer the primary's error; a hedge's cancellation noise
+			// must never mask it.
+			if !r.hedged || firstErr == nil {
+				firstErr = r.err
+			}
+			if launched == 0 {
+				var zero T
+				return zero, firstErr
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ensdropcatch/internal/leakcheck"
+)
+
+// warmHedger returns a hedger whose estimator has seen enough fast
+// successes that a slow primary will trigger a hedge quickly.
+func warmHedger(cfg HedgeConfig) *Hedger {
+	if cfg.Source == "" {
+		cfg.Source = "test"
+	}
+	if cfg.MinDelay == 0 {
+		cfg.MinDelay = 5 * time.Millisecond
+	}
+	h := NewHedger(cfg)
+	for i := 0; i < 20; i++ {
+		h.Observe(time.Millisecond)
+	}
+	return h
+}
+
+func TestHedgeWinsOnSlowPrimary(t *testing.T) {
+	leakcheck.Check(t)
+	h := warmHedger(HedgeConfig{})
+	var calls atomic.Int64
+	got, err := Hedge(context.Background(), h, func(ctx context.Context) (string, error) {
+		if calls.Add(1) == 1 {
+			// Slow primary: parks until the winner cancels it.
+			<-ctx.Done()
+			return "", ctx.Err()
+		}
+		return "hedged", nil
+	})
+	if err != nil || got != "hedged" {
+		t.Fatalf("Hedge = (%q, %v), want hedged answer", got, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestHedgeFastPrimaryNeverHedges(t *testing.T) {
+	leakcheck.Check(t)
+	h := warmHedger(HedgeConfig{MinDelay: 50 * time.Millisecond})
+	var calls atomic.Int64
+	got, err := Hedge(context.Background(), h, func(ctx context.Context) (int, error) {
+		calls.Add(1)
+		return 7, nil
+	})
+	if err != nil || got != 7 {
+		t.Fatalf("Hedge = (%d, %v)", got, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fast primary still hedged: %d calls", calls.Load())
+	}
+}
+
+func TestHedgeGates(t *testing.T) {
+	leakcheck.Check(t)
+	slowThenFast := func(calls *atomic.Int64) func(context.Context) (int, error) {
+		return func(ctx context.Context) (int, error) {
+			if calls.Add(1) == 1 {
+				select {
+				case <-time.After(100 * time.Millisecond):
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+				return 1, nil
+			}
+			return 2, nil
+		}
+	}
+
+	t.Run("cold estimator", func(t *testing.T) {
+		h := NewHedger(HedgeConfig{Source: "test", MinDelay: 5 * time.Millisecond})
+		var calls atomic.Int64
+		if v, err := Hedge(context.Background(), h, slowThenFast(&calls)); err != nil || v != 1 {
+			t.Fatalf("Hedge = (%d, %v)", v, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("cold hedger hedged anyway: %d calls", calls.Load())
+		}
+	})
+
+	t.Run("breaker not closed", func(t *testing.T) {
+		br := NewBreaker("test", 1, time.Hour)
+		br.Record(errors.New("boom")) // trips open
+		h := warmHedger(HedgeConfig{Breaker: br})
+		var calls atomic.Int64
+		if v, err := Hedge(context.Background(), h, slowThenFast(&calls)); err != nil || v != 1 {
+			t.Fatalf("Hedge = (%d, %v)", v, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("hedged against an open breaker: %d calls", calls.Load())
+		}
+	})
+
+	t.Run("budget low", func(t *testing.T) {
+		budget := NewRetryBudget("test", 0.1, 1)
+		budget.Withdraw() // drain
+		h := warmHedger(HedgeConfig{Budget: budget})
+		var calls atomic.Int64
+		if v, err := Hedge(context.Background(), h, slowThenFast(&calls)); err != nil || v != 1 {
+			t.Fatalf("Hedge = (%d, %v)", v, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("hedged on a dry budget: %d calls", calls.Load())
+		}
+	})
+}
+
+// A hedge spends a retry-budget token, so speculative load and retry
+// load share one cap.
+func TestHedgeSpendsBudget(t *testing.T) {
+	leakcheck.Check(t)
+	budget := NewRetryBudget("test", 0.1, 5)
+	h := warmHedger(HedgeConfig{Budget: budget})
+	var calls atomic.Int64
+	_, err := Hedge(context.Background(), h, func(ctx context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Low() {
+		t.Fatal("budget unexpectedly dry")
+	}
+	// 5 tokens minus one hedge = 4: three more withdrawals must succeed,
+	// the fifth must fail.
+	for i := 0; i < 4; i++ {
+		if !budget.Withdraw() {
+			t.Fatalf("withdrawal %d failed; hedge spent more than one token", i)
+		}
+	}
+	if budget.Withdraw() {
+		t.Fatal("hedge did not spend a token")
+	}
+}
+
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	leakcheck.Check(t)
+	h := warmHedger(HedgeConfig{})
+	primary := errors.New("primary failure")
+	hedged := errors.New("hedge failure")
+	var calls atomic.Int64
+	_, err := Hedge(context.Background(), h, func(ctx context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			return 0, primary
+		}
+		return 0, hedged
+	})
+	if !errors.Is(err, primary) {
+		t.Fatalf("err = %v, want the primary's error", err)
+	}
+}
+
+func TestHedgeNilHedgerPassthrough(t *testing.T) {
+	v, err := Hedge(context.Background(), nil, func(context.Context) (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("Hedge(nil) = (%d, %v)", v, err)
+	}
+}
+
+func TestHedgeContextCancellation(t *testing.T) {
+	leakcheck.Check(t)
+	h := warmHedger(HedgeConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Hedge(ctx, h, func(ctx context.Context) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -22,6 +22,12 @@ type metricSet struct {
 	adaptiveRate    *obs.GaugeVec
 	adaptiveWorkers *obs.GaugeVec
 	adaptiveSheds   *obs.CounterVec
+
+	retryBudgetTokens *obs.GaugeVec
+	retryBudgetSpent  *obs.CounterVec
+	retryBudgetDenied *obs.CounterVec
+	hedgesIssued      *obs.CounterVec
+	hedgeWins         *obs.CounterVec
 }
 
 var metrics atomic.Pointer[metricSet]
@@ -65,6 +71,16 @@ func InitMetrics(reg *obs.Registry) {
 			"Current AIMD in-flight request cap per source.", "source"),
 		adaptiveSheds: reg.CounterVec("crawler_adaptive_sheds_total",
 			"Server shed signals (429/503 + Retry-After) absorbed per source.", "source"),
+		retryBudgetTokens: reg.GaugeVec("crawler_retry_budget_tokens",
+			"Retry-budget tokens currently available per source.", "source"),
+		retryBudgetSpent: reg.CounterVec("crawler_retry_budget_spent_total",
+			"Retries and hedges funded by the retry budget per source.", "source"),
+		retryBudgetDenied: reg.CounterVec("crawler_retry_budget_denied_total",
+			"Retries suppressed by a dry retry budget per source.", "source"),
+		hedgesIssued: reg.CounterVec("crawler_hedges_issued_total",
+			"Speculative duplicate requests issued per source.", "source"),
+		hedgeWins: reg.CounterVec("crawler_hedge_wins_total",
+			"Hedged requests whose duplicate answered first per source.", "source"),
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"ensdropcatch/internal/dataset/codec"
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/vfs"
 )
 
 // Binary columnar snapshot (dataset.bin), the format behind
@@ -45,13 +46,13 @@ const (
 	numSections = 5
 )
 
-func (ds *Dataset) saveBinary(path string, sync bool) error {
+func (ds *Dataset) saveBinary(fsys vfs.FS, path string, sync bool) error {
 	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("dataset: mkdir: %w", err)
 		}
 	}
-	return writeAtomic(path, sync, func(f *os.File) error {
+	return writeAtomic(fsys, path, sync, func(f vfs.File) error {
 		return encodeDataset(f, ds)
 	})
 }
@@ -61,7 +62,7 @@ func (ds *Dataset) saveBinary(path string, sync bool) error {
 // emitted, the payload flushed, and the true length patched in place
 // with WriteAt — the codec writer's byte count doubles as the file
 // offset because every byte goes through it.
-func encodeDataset(f *os.File, ds *Dataset) error {
+func encodeDataset(f vfs.File, ds *Dataset) error {
 	w := codec.NewWriter(f)
 	w.Raw(binMagic)
 	w.U16(binVersion)

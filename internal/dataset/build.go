@@ -17,6 +17,7 @@ import (
 	"ensdropcatch/internal/opensea"
 	"ensdropcatch/internal/subgraph"
 	"ensdropcatch/internal/trace"
+	"ensdropcatch/internal/vfs"
 )
 
 // RegistrationSource pages registration entities (the subgraph client, or
@@ -59,6 +60,10 @@ type BuildOptions struct {
 	// of re-parsing the whole JSONL spool. 0 defaults to 256; negative
 	// disables snapshots.
 	SpoolSnapshotEvery int
+	// FS routes the resumable crawl's spool, snapshot, and checkpoint
+	// writes through an injectable filesystem (nil uses vfs.OS). Chaos
+	// tests pass a vfs.Faulty to exercise crash recovery.
+	FS vfs.FS
 	// Logger receives progress; nil disables logging.
 	Logger *slog.Logger
 	// Obs receives stage timers, item counters, and crawl-progress
@@ -223,7 +228,7 @@ func Build(ctx context.Context, regs RegistrationSource, txs TxSource, market Ma
 
 	var mu sync.Mutex
 	if opts.ResumeDir != "" {
-		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone, opts.FsyncCheckpoint, opts.SpoolSnapshotEvery)
+		err = crawlTxsResumable(ctx, opts.ResumeDir, txs, addrs, opts.TxWorkers, ds, onAddressDone, opts.FsyncCheckpoint, opts.SpoolSnapshotEvery, opts.FS)
 	} else {
 		seen := map[ethtypes.Hash]bool{}
 		err = crawler.ForEach(ctx, opts.TxWorkers, addrs, func(ctx context.Context, addr ethtypes.Address) error {

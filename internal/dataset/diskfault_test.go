@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/vfs"
+	"ensdropcatch/internal/world"
+)
+
+// Disk-fault acceptance suite: every injected filesystem fault either
+// surfaces as a typed error or is healed by resume — never silent
+// corruption.
+
+// grow returns a copy-ish second generation with one more transaction,
+// so the two generations have different section counts and a
+// mixed-generation directory is detectable by Load's cross-checks.
+func grow(t *testing.T, ds *Dataset) *Dataset {
+	t.Helper()
+	extra := *ds.Txs[0]
+	for i := range extra.Hash {
+		extra.Hash[i] ^= 0xff
+	}
+	ds.Txs = append(ds.Txs, &extra)
+	ds.Reindex()
+	return ds
+}
+
+// A rename fault during Save surfaces typed and leaves the previous
+// generation loadable and intact.
+func TestSaveRenameFaultPreservesPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	gen1 := tinyDataset(t)
+	if err := gen1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := mustLoad(t, dir).Fingerprint()
+
+	gen2 := grow(t, tinyDataset(t))
+	fsys := vfs.NewFaulty(nil, vfs.FaultConfig{Seed: 5, RenameErrRate: 1})
+	err := gen2.Save(dir, WithFS(fsys))
+	if !errors.Is(err, vfs.ErrRenameFailed) {
+		t.Fatalf("save error = %v, want ErrRenameFailed", err)
+	}
+	if got := mustLoad(t, dir).Fingerprint(); got != want {
+		t.Fatal("previous generation damaged by failed save")
+	}
+}
+
+// An ENOSPC write fault during Save surfaces typed (down to the real
+// errno) and never commits the half-written temp file.
+func TestSaveWriteFaultSurfacesTyped(t *testing.T) {
+	dir := t.TempDir()
+	gen1 := tinyDataset(t)
+	if err := gen1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := mustLoad(t, dir).Fingerprint()
+
+	for _, cfg := range []vfs.FaultConfig{
+		{Seed: 9, WriteErrRate: 1},
+		{Seed: 9, ShortWriteRate: 1},
+	} {
+		gen2 := grow(t, tinyDataset(t))
+		err := gen2.Save(dir, WithFS(vfs.NewFaulty(nil, cfg)))
+		if !errors.Is(err, vfs.ErrDiskFull) {
+			t.Fatalf("save error = %v, want ErrDiskFull", err)
+		}
+		if got := mustLoad(t, dir).Fingerprint(); got != want {
+			t.Fatal("previous generation damaged by failed save")
+		}
+	}
+}
+
+// A crash between the section renames and the meta.json commit leaves a
+// mixed-generation directory that Load *detects* (count cross-check)
+// rather than silently serving shortened data.
+func TestSaveCrashBeforeMetaCommitIsDetectable(t *testing.T) {
+	dir := t.TempDir()
+	if err := tinyDataset(t).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := grow(t, tinyDataset(t))
+	fsys := vfs.NewFaulty(nil, vfs.FaultConfig{CrashAfter: map[string]int{"dataset.save.pre-meta": 1}})
+	if err := gen2.Save(dir, WithFS(fsys)); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("save error = %v, want ErrCrashed", err)
+	}
+	// New sections, old meta: the counts disagree, so Load must refuse.
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mixed-generation load error = %v, want ErrCorrupt", err)
+	}
+	// The repair path is a clean re-save.
+	if err := gen2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("re-save did not repair: %v", err)
+	}
+}
+
+// A crash before the very first section's commit rename leaves the
+// previous generation fully intact.
+func TestSaveCrashBeforeFirstRenameLeavesOldDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := tinyDataset(t).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := mustLoad(t, dir).Fingerprint()
+	gen2 := grow(t, tinyDataset(t))
+	fsys := vfs.NewFaulty(nil, vfs.FaultConfig{CrashAfter: map[string]int{"dataset.writeAtomic.pre-rename": 1}})
+	if err := gen2.Save(dir, WithFS(fsys)); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("save error = %v, want ErrCrashed", err)
+	}
+	if got := mustLoad(t, dir).Fingerprint(); got != want {
+		t.Fatal("previous generation damaged by crashed save")
+	}
+}
+
+func mustLoad(t *testing.T, dir string) *Dataset {
+	t.Helper()
+	ds, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// buildWorld generates a small deterministic world plus the sources a
+// resumable build needs.
+func buildWorld(t *testing.T, domains int) (*StoreSource, *ChainSource, *MarketEventsSource, BuildOptions) {
+	t.Helper()
+	res, err := world.Generate(world.DefaultConfig(domains))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := subgraph.BuildIndex(res.Chain)
+	chainSrc := &ChainSource{Chain: res.Chain, Labels: LabelsFromWorld(res)}
+	market := NewMarketEventsSource(res.OpenSea)
+	opts := BuildOptions{Start: res.Config.Start, End: res.Config.End, TxWorkers: 1}
+	return &StoreSource{Store: store}, chainSrc, market, opts
+}
+
+// A short write tears the spool's final line mid-crawl; the next resume
+// truncates the torn tail and re-crawls the lost address — the
+// "healed by resume" half of the disk-fault contract.
+func TestResumableCrawlHealsTornSpoolWrite(t *testing.T) {
+	store, chainSrc, market, opts := buildWorld(t, 120)
+	dir := t.TempDir()
+	opts.ResumeDir = dir
+	opts.SpoolSnapshotEvery = -1
+
+	opts.FS = vfs.NewFaulty(nil, vfs.FaultConfig{Seed: 2, ShortWriteRate: 1})
+	_, err := Build(context.Background(), store, chainSrc, market, opts)
+	if !errors.Is(err, vfs.ErrDiskFull) {
+		t.Fatalf("faulted build error = %v, want ErrDiskFull", err)
+	}
+
+	// "Reboot": same directory, healthy disk.
+	opts.FS = nil
+	ds, err := Build(context.Background(), store, chainSrc, market, opts)
+	if err != nil {
+		t.Fatalf("resume after torn write: %v", err)
+	}
+
+	fresh := opts
+	fresh.ResumeDir = ""
+	want, err := Build(context.Background(), store, chainSrc, market, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Txs) != len(want.Txs) {
+		t.Fatalf("healed crawl has %d txs, fresh crawl %d", len(ds.Txs), len(want.Txs))
+	}
+}
+
+// A crash in the spooled-but-not-checkpointed window loses nothing: the
+// address is simply re-crawled on resume.
+func TestResumableCrawlHealsCrashBeforeCheckpointMark(t *testing.T) {
+	store, chainSrc, market, opts := buildWorld(t, 120)
+	dir := t.TempDir()
+	opts.ResumeDir = dir
+
+	opts.FS = vfs.NewFaulty(nil, vfs.FaultConfig{CrashAfter: map[string]int{"dataset.spool.pre-mark": 30}})
+	_, err := Build(context.Background(), store, chainSrc, market, opts)
+	if !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("crashed build error = %v, want ErrCrashed", err)
+	}
+
+	opts.FS = nil
+	ds, err := Build(context.Background(), store, chainSrc, market, opts)
+	if err != nil {
+		t.Fatalf("resume after crash: %v", err)
+	}
+	fresh := opts
+	fresh.ResumeDir = ""
+	want, err := Build(context.Background(), store, chainSrc, market, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Txs) != len(want.Txs) {
+		t.Fatalf("healed crawl has %d txs, fresh crawl %d", len(ds.Txs), len(want.Txs))
+	}
+}
+
+// Fsync faults under FsyncCheckpoint surface typed instead of silently
+// skipping durability.
+func TestResumableCrawlSyncFaultSurfacesTyped(t *testing.T) {
+	store, chainSrc, market, opts := buildWorld(t, 60)
+	opts.ResumeDir = t.TempDir()
+	opts.FsyncCheckpoint = true
+	opts.FS = vfs.NewFaulty(nil, vfs.FaultConfig{Seed: 4, SyncErrRate: 1})
+	_, err := Build(context.Background(), store, chainSrc, market, opts)
+	if !errors.Is(err, vfs.ErrSyncFailed) {
+		t.Fatalf("build error = %v, want ErrSyncFailed", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/vfs"
 )
 
 // On-disk layouts. FormatJSON is a directory with meta.json,
@@ -105,6 +106,7 @@ type meta struct {
 type saveConfig struct {
 	format Format
 	fsync  bool
+	fs     vfs.FS
 }
 
 // SaveOption tunes Save and SaveSnapshot.
@@ -123,6 +125,13 @@ func WithSync() SaveOption {
 	return func(c *saveConfig) { c.fsync = true }
 }
 
+// WithFS routes all disk writes through fsys (default vfs.OS). Chaos
+// tests pass a vfs.Faulty to exercise the crash-atomicity contract
+// under injected disk faults.
+func WithFS(fsys vfs.FS) SaveOption {
+	return func(c *saveConfig) { c.fs = fsys }
+}
+
 // Save writes the dataset to dir, creating it if needed. Every file is
 // written to a temp name in dir and renamed into place, and meta.json —
 // the commit point whose counts Load cross-checks — lands last, so a
@@ -133,13 +142,14 @@ func (ds *Dataset) Save(dir string, opts ...SaveOption) error {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.OrOS(cfg.fs)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: mkdir: %w", err)
 	}
 	if cfg.format == FormatBinary {
-		return ds.saveBinary(filepath.Join(dir, binFile), cfg.fsync)
+		return ds.saveBinary(fsys, filepath.Join(dir, binFile), cfg.fsync)
 	}
-	return ds.saveJSON(dir, cfg.fsync)
+	return ds.saveJSON(fsys, dir, cfg.fsync)
 }
 
 // SaveSnapshot writes the dataset as a single binary columnar snapshot
@@ -150,25 +160,25 @@ func (ds *Dataset) SaveSnapshot(path string, opts ...SaveOption) error {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return ds.saveBinary(path, cfg.fsync)
+	return ds.saveBinary(vfs.OrOS(cfg.fs), path, cfg.fsync)
 }
 
-func (ds *Dataset) saveJSON(dir string, sync bool) error {
+func (ds *Dataset) saveJSON(fsys vfs.FS, dir string, sync bool) error {
 	domains := ds.sortedDomains()
 	txs := ds.sortedTxs()
 	subs := ds.sortedSubdomains()
 	market := ds.sortedMarket()
 
-	if err := writeJSONL(filepath.Join(dir, domainsFile), domains, sync); err != nil {
+	if err := writeJSONL(fsys, filepath.Join(dir, domainsFile), domains, sync); err != nil {
 		return err
 	}
-	if err := writeJSONL(filepath.Join(dir, txsFile), txs, sync); err != nil {
+	if err := writeJSONL(fsys, filepath.Join(dir, txsFile), txs, sync); err != nil {
 		return err
 	}
-	if err := writeJSONL(filepath.Join(dir, subdomainFile), subs, sync); err != nil {
+	if err := writeJSONL(fsys, filepath.Join(dir, subdomainFile), subs, sync); err != nil {
 		return err
 	}
-	if err := writeJSONL(filepath.Join(dir, marketFile), market, sync); err != nil {
+	if err := writeJSONL(fsys, filepath.Join(dir, marketFile), market, sync); err != nil {
 		return err
 	}
 
@@ -189,7 +199,10 @@ func (ds *Dataset) saveJSON(dir string, sync bool) error {
 	}
 	// meta.json is the commit point: it declares the row count of every
 	// section, and it is written only after all sections are in place.
-	return writeJSON(filepath.Join(dir, metaFile), m, sync)
+	if err := vfs.Hit(fsys, "dataset.save.pre-meta"); err != nil {
+		return fmt.Errorf("dataset: commit %s: %w", metaFile, err)
+	}
+	return writeJSON(fsys, filepath.Join(dir, metaFile), m, sync)
 }
 
 // sortedDomains returns the domains in label-hash byte order — the total
@@ -401,10 +414,13 @@ func loadJSON(dir string) (*Dataset, error) {
 // renames it over path, so a crash mid-write leaves the previous file
 // intact — readers never observe a half-written one. With sync, the file
 // is fsynced before the rename and the directory after it, matching the
-// crawler.WithSync durability contract.
-func writeAtomic(path string, sync bool, write func(f *os.File) error) error {
+// crawler.WithSync durability contract. All disk traffic goes through
+// fsys so chaos tests can inject write, sync, and rename faults; the
+// named crash points bracket the commit rename, the seam the atomicity
+// claim depends on.
+func writeAtomic(fsys vfs.FS, path string, sync bool, write func(f vfs.File) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("dataset: create %s: %w", tmp, err)
 	}
@@ -416,40 +432,33 @@ func writeAtomic(path string, sync bool, write func(f *os.File) error) error {
 	if werr == nil {
 		werr = cerr
 	}
+	if werr == nil {
+		werr = vfs.Hit(fsys, "dataset.writeAtomic.pre-rename")
+	}
 	if werr != nil {
-		_ = os.Remove(tmp) // best-effort cleanup; werr is the failure being reported
+		_ = fsys.Remove(tmp) // best-effort cleanup; werr is the failure being reported
 		return fmt.Errorf("dataset: write %s: %w", path, werr)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp) // best-effort cleanup; the rename error is the failure being reported
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp) // best-effort cleanup; the rename error is the failure being reported
+		return fmt.Errorf("dataset: commit %s: %w", path, err)
+	}
+	if err := vfs.Hit(fsys, "dataset.writeAtomic.post-rename"); err != nil {
+		// The rename is already durable-in-order; the crash lands after
+		// the commit, so the caller sees the failure but the file is
+		// whole.
 		return fmt.Errorf("dataset: commit %s: %w", path, err)
 	}
 	if sync {
-		return syncDir(filepath.Dir(path))
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			return fmt.Errorf("dataset: sync dir %s: %w", filepath.Dir(path), err)
+		}
 	}
 	return nil
 }
 
-// syncDir fsyncs a directory so a just-committed rename survives power
-// loss, not only process death.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("dataset: open dir %s: %w", dir, err)
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil {
-		return fmt.Errorf("dataset: sync dir %s: %w", dir, serr)
-	}
-	if cerr != nil {
-		return fmt.Errorf("dataset: close dir %s: %w", dir, cerr)
-	}
-	return nil
-}
-
-func writeJSON(path string, v any, sync bool) error {
-	return writeAtomic(path, sync, func(w *os.File) error {
+func writeJSON(fsys vfs.FS, path string, v any, sync bool) error {
+	return writeAtomic(fsys, path, sync, func(w vfs.File) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(v)
@@ -468,8 +477,8 @@ func readJSON(path string, v any) error {
 	return nil
 }
 
-func writeJSONL[T any](path string, items []T, sync bool) error {
-	return writeAtomic(path, sync, func(w *os.File) error {
+func writeJSONL[T any](fsys vfs.FS, path string, items []T, sync bool) error {
+	return writeAtomic(fsys, path, sync, func(w vfs.File) error {
 		bw := bufio.NewWriterSize(w, 1<<20)
 		enc := json.NewEncoder(bw)
 		for i := range items {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ensdropcatch/internal/ethtypes"
+	"ensdropcatch/internal/vfs"
 	"ensdropcatch/internal/world"
 )
 
@@ -429,7 +430,7 @@ func TestWriteAtomicPreservesOldContentOnFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("encoder exploded")
-	if err := writeAtomic(path, false, func(*os.File) error { return boom }); !errors.Is(err, boom) {
+	if err := writeAtomic(vfs.OS, path, false, func(vfs.File) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the writer's failure", err)
 	}
 	b, err := os.ReadFile(path)

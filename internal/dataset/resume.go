@@ -18,6 +18,7 @@ import (
 	"ensdropcatch/internal/dataset/codec"
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/trace"
+	"ensdropcatch/internal/vfs"
 )
 
 // The transaction crawl is by far the longest stage of assembly (the
@@ -71,14 +72,15 @@ type spoolEntry struct {
 // disk at every completed address. snapEvery > 0 writes a spool
 // snapshot every that many completed addresses (and once at the end),
 // so the next resume replays only the spool tail.
-func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func(), fsync bool, snapEvery int) error {
+func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []ethtypes.Address, workers int, ds *Dataset, onAddressDone func(), fsync bool, snapEvery int, fsys vfs.FS) error {
 	if onAddressDone == nil {
 		onAddressDone = func() {}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys = vfs.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("dataset: resume dir: %w", err)
 	}
-	var cpOpts []crawler.CheckpointOption
+	cpOpts := []crawler.CheckpointOption{crawler.WithFS(fsys)}
 	if fsync {
 		cpOpts = append(cpOpts, crawler.WithSync())
 	}
@@ -128,11 +130,20 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		return err
 	}
 
-	spool, err := os.OpenFile(spoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	spool, err := fsys.OpenFile(spoolPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("dataset: append spool: %w", err)
 	}
 	defer spool.Close()
+	if fsync {
+		// The spool and checkpoint may have just been created: fsync the
+		// containing directory so the *names* survive power loss too —
+		// fsyncing file contents alone does not make a fresh directory
+		// entry durable.
+		if err := fsys.SyncDir(dir); err != nil {
+			return fmt.Errorf("dataset: sync resume dir: %w", err)
+		}
+	}
 	spoolEnc := json.NewEncoder(spool)
 
 	// writeSnap persists the current absorbed state (mu must be held).
@@ -143,7 +154,7 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 		if err != nil {
 			return
 		}
-		if writeSpoolSnapshot(snapPath, ds.Txs, fi.Size(), fsync) != nil {
+		if writeSpoolSnapshot(fsys, snapPath, ds.Txs, fi.Size(), fsync) != nil {
 			return
 		}
 		pm().snapshotWrites.Inc()
@@ -193,6 +204,13 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 				return fmt.Errorf("sync spool %s: %w", addr, err)
 			}
 		}
+		// The crash-consistency contract's critical window: the entry is
+		// spooled but not yet checkpointed. A crash here re-crawls the
+		// address — chaos tests park a crash point on this seam to prove
+		// it.
+		if err := vfs.Hit(fsys, "dataset.spool.pre-mark"); err != nil {
+			return fmt.Errorf("spool %s: %w", addr, err)
+		}
 		if err := cp.Mark(strings0x(addr)); err != nil {
 			return err
 		}
@@ -224,10 +242,10 @@ func crawlTxsResumable(ctx context.Context, dir string, txs TxSource, addrs []et
 // far plus the spool byte offset they cover. The offset is always a
 // line boundary: snapshots are written under the same lock as spool
 // appends, after complete entries only.
-func writeSpoolSnapshot(path string, txs []*Tx, covered int64, sync bool) error {
+func writeSpoolSnapshot(fsys vfs.FS, path string, txs []*Tx, covered int64, sync bool) error {
 	sorted := append([]*Tx(nil), txs...)
 	sortTxsForSave(sorted)
-	return writeAtomic(path, sync, func(f *os.File) error {
+	return writeAtomic(fsys, path, sync, func(f vfs.File) error {
 		w := codec.NewWriter(f)
 		w.Raw(snapMagic)
 		w.U16(binVersion)

@@ -11,6 +11,7 @@ import (
 	"ensdropcatch/internal/ethtypes"
 	"ensdropcatch/internal/obs"
 	"ensdropcatch/internal/subgraph"
+	"ensdropcatch/internal/vfs"
 	"ensdropcatch/internal/world"
 )
 
@@ -115,7 +116,7 @@ func TestSnapshotResumeSkipsCoveredSpoolPrefix(t *testing.T) {
 func TestTornSnapshotAtEveryByteIsRejected(t *testing.T) {
 	dir := t.TempDir()
 	tinyPath := filepath.Join(dir, "tiny.snap")
-	if err := writeSpoolSnapshot(tinyPath, tinyDataset(t).Txs, 999, false); err != nil {
+	if err := writeSpoolSnapshot(vfs.OS, tinyPath, tinyDataset(t).Txs, 999, false); err != nil {
 		t.Fatal(err)
 	}
 	tiny, err := os.ReadFile(tinyPath)
@@ -208,7 +209,7 @@ func TestSnapshotResumeConvergesAndCounts(t *testing.T) {
 func TestSpoolSnapshotRoundTrip(t *testing.T) {
 	ds := tinyDataset(t)
 	path := filepath.Join(t.TempDir(), "txspool.snap")
-	if err := writeSpoolSnapshot(path, ds.Txs, 12345, false); err != nil {
+	if err := writeSpoolSnapshot(vfs.OS, path, ds.Txs, 12345, false); err != nil {
 		t.Fatal(err)
 	}
 	txs, covered, err := loadSpoolSnapshot(path)
@@ -256,7 +257,7 @@ func TestSnapshotBeyondSpoolIsDiscarded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSpoolSnapshot(snapPath, txs, fi.Size()+1000, false); err != nil {
+	if err := writeSpoolSnapshot(vfs.OS, snapPath, txs, fi.Size()+1000, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -280,10 +281,10 @@ func TestSpoolSnapshotIsOrderInsensitive(t *testing.T) {
 	}
 	dir := t.TempDir()
 	p1, p2 := filepath.Join(dir, "a.snap"), filepath.Join(dir, "b.snap")
-	if err := writeSpoolSnapshot(p1, ds.Txs, 7, false); err != nil {
+	if err := writeSpoolSnapshot(vfs.OS, p1, ds.Txs, 7, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSpoolSnapshot(p2, shuffled, 7, false); err != nil {
+	if err := writeSpoolSnapshot(vfs.OS, p2, shuffled, 7, false); err != nil {
 		t.Fatal(err)
 	}
 	b1, err := os.ReadFile(p1)

@@ -48,6 +48,14 @@ type Client struct {
 	// it paces and bounds in-flight requests from server feedback
 	// (429/503 + Retry-After, latency).
 	Adaptive *crawler.Adaptive
+	// Budget, when set, caps retry amplification: retries draw tokens
+	// refilled by successful first attempts, and a dry budget fails fast
+	// instead of hammering a broadly failing source.
+	Budget *crawler.RetryBudget
+	// Hedger, when set, duplicates idempotent GETs whose first attempt
+	// outlives the tail-latency estimate, taking the first answer. It is
+	// gated off while the breaker is not closed or the budget is low.
+	Hedger *crawler.Hedger
 	// ClientID, when non-empty, is sent as X-Client-ID so server-side
 	// per-client quotas key on a stable identity.
 	ClientID string
@@ -128,6 +136,7 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 		BaseDelay: 200 * time.Millisecond,
 		MaxDelay:  10 * time.Second,
 		Sleep:     c.Sleep,
+		Budget:    c.Budget,
 	}
 	var result json.RawMessage
 	err := crawler.Retry(ctx, cfg, func(ctx context.Context) error {
@@ -150,7 +159,14 @@ func (c *Client) call(ctx context.Context, params url.Values) (json.RawMessage, 
 		}
 		m().clientRequests.Inc()
 		start := time.Now()
-		env, err := c.doOnce(ctx, endpoint)
+		// The GET is idempotent, so it may be hedged: a duplicate fires
+		// if this attempt outlives the tail-latency estimate, and the
+		// first answer wins. The pair runs under the single Adaptive
+		// slot already acquired — hedge volume is bounded by the retry
+		// budget, not the AIMD window.
+		env, err := crawler.Hedge(ctx, c.Hedger, func(ctx context.Context) (*envelope, error) {
+			return c.doOnce(ctx, endpoint)
+		})
 		// Classify NOTOK envelopes before Observe/Record: an HTTP-200
 		// "Max rate limit reached" is Etherscan's 429, and the adaptive
 		// controller and breaker must see it as a shed, not a success.
@@ -297,6 +313,7 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 		BaseDelay: 200 * time.Millisecond,
 		MaxDelay:  10 * time.Second,
 		Sleep:     c.Sleep,
+		Budget:    c.Budget,
 	}
 	ctx, sp := trace.Start(ctx, "etherscan.labels")
 	var labels Labels
@@ -316,7 +333,9 @@ func (c *Client) FetchLabels(ctx context.Context) (Labels, error) {
 		}
 		var err error
 		start := time.Now()
-		labels, err = c.fetchLabelsOnce(ctx)
+		labels, err = crawler.Hedge(ctx, c.Hedger, func(ctx context.Context) (Labels, error) {
+			return c.fetchLabelsOnce(ctx)
+		})
 		if a := c.Adaptive; a != nil {
 			a.Release()
 			a.Observe(err, time.Since(start))

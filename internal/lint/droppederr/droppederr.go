@@ -60,6 +60,10 @@ var errPathPkgs = []string{
 	"internal/httpjson",
 	"internal/pagecache",
 	"internal/serve",
+	// PR 10: the filesystem seam every durable write goes through — a
+	// dropped error here is exactly the torn-write bug the fault
+	// injector exists to provoke.
+	"internal/vfs",
 	"internal/keccak",
 }
 

@@ -51,6 +51,10 @@ var clientPkgs = []string{
 	// in scope precisely to force each one to carry a //lint:allow
 	// explaining that intent.
 	"cmd/ensload",
+	// PR 10: the chaos runner builds hostile *and* clean client stacks;
+	// any raw HTTP it issued itself would be traffic the campaign clock
+	// never ticks for, silently skewing the fault schedule.
+	"cmd/enschaos",
 }
 
 func isClientPkg(path string) bool {

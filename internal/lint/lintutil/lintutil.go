@@ -43,6 +43,10 @@ var DeterministicPkgs = []string{
 	"internal/httpjson",
 	"internal/pagecache",
 	"cmd/benchjson",
+	// PR 10: the campaign planner is the contract that a fault schedule
+	// is a pure function of (plan, seed, tick) — any clock or RNG read
+	// inside it would break cross-run drill determinism.
+	"internal/chaos/plan",
 }
 
 // IsDeterministicPkg reports whether the import path denotes one of the

@@ -150,6 +150,12 @@ type Client struct {
 	// ClientID, when non-empty, is sent as X-Client-ID so server-side
 	// per-client quotas key on a stable identity.
 	ClientID string
+	// Budget, when set, caps how many retries this client may fund
+	// during an outage; a dry budget fails fast instead of storming.
+	Budget *crawler.RetryBudget
+	// Hedger, when set, duplicates slow page fetches past the
+	// tail-latency estimate; page GETs are idempotent.
+	Hedger *crawler.Hedger
 }
 
 // NewClient returns a client with defaults.
@@ -211,6 +217,7 @@ func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsRespons
 		MaxDelay:  10 * time.Second,
 		Jitter:    0.2,
 		Sleep:     c.Sleep,
+		Budget:    c.Budget,
 	}
 	// One page fetch is one span; retry attempts nest under it and the
 	// traceparent each attempt sends links the server's records in.
@@ -232,7 +239,11 @@ func (c *Client) fetchPage(ctx context.Context, endpoint string) (*eventsRespons
 		}
 		var err error
 		start := time.Now()
-		page, err = c.doOnce(ctx, endpoint)
+		// The hedged pair runs under the single Adaptive slot acquired
+		// above; speculative volume is bounded by the retry budget.
+		page, err = crawler.Hedge(ctx, c.Hedger, func(ctx context.Context) (*eventsResponse, error) {
+			return c.doOnce(ctx, endpoint)
+		})
 		if a := c.Adaptive; a != nil {
 			a.Release()
 			a.Observe(err, time.Since(start))

@@ -60,6 +60,12 @@ type Config struct {
 	ChaosRate float64
 	// ChaosSeed seeds the fault schedule.
 	ChaosSeed int64
+	// Chaos, when set, wraps the data routes in a caller-supplied fault
+	// layer — typically (*chaos.Campaign).Wrap for phased campaigns. It
+	// takes precedence over ChaosRate. The wrap sits between the page
+	// cache and the overload gate, same as the rate-based injector, so
+	// injected faults consume gate slots but never poison the cache.
+	Chaos func(http.Handler) http.Handler
 	// MaxInflight bounds concurrently served data-route requests
 	// (0 = 64).
 	MaxInflight int
@@ -142,7 +148,11 @@ func New(res *world.Result, store *subgraph.Store, cfg Config) *Stack {
 	}
 
 	faulty := func(h http.Handler) http.Handler { return h }
-	if cfg.ChaosRate > 0 {
+	switch {
+	case cfg.Chaos != nil:
+		faulty = cfg.Chaos
+		logger.Info("chaos campaign enabled")
+	case cfg.ChaosRate > 0:
 		inj := chaos.New(chaos.Config{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate})
 		faulty = inj.Wrap
 		logger.Info("chaos enabled", "rate", cfg.ChaosRate, "seed", cfg.ChaosSeed)

@@ -40,6 +40,12 @@ type Client struct {
 	// ClientID, when non-empty, is sent as X-Client-ID so server-side
 	// per-client quotas key on a stable identity.
 	ClientID string
+	// Budget, when set, caps how many retries this client may fund
+	// during an outage; a dry budget fails fast instead of storming.
+	Budget *crawler.RetryBudget
+	// Hedger, when set, duplicates slow queries past the tail-latency
+	// estimate. GraphQL queries are read-only, so re-sending one is safe.
+	Hedger *crawler.Hedger
 }
 
 // NewClient returns a client for the given endpoint.
@@ -68,6 +74,7 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 		MaxDelay:  10 * time.Second,
 		Jitter:    0.2,
 		Sleep:     c.Sleep,
+		Budget:    c.Budget,
 	}
 	// One query, one span; retry attempts nest under it and propagate
 	// the trace id to the server via traceparent.
@@ -93,7 +100,11 @@ func (c *Client) Query(ctx context.Context, query string) (map[string][]Entity, 
 		m().requests.Inc()
 		var err error
 		start := time.Now()
-		data, err = c.doOnce(ctx, body)
+		// The hedged pair runs under the single Adaptive slot acquired
+		// above; speculative volume is bounded by the retry budget.
+		data, err = crawler.Hedge(ctx, c.Hedger, func(ctx context.Context) (map[string][]Entity, error) {
+			return c.doOnce(ctx, body)
+		})
 		if a := c.Adaptive; a != nil {
 			a.Release()
 			a.Observe(err, time.Since(start))

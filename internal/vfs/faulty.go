@@ -1,0 +1,279 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// Typed injected-fault errors. Each wraps a sentinel so tests and
+// callers can classify failures with errors.Is regardless of how many
+// "%w" layers the persistence code adds on the way up.
+var (
+	// ErrDiskFull is the injected out-of-space failure. It wraps
+	// syscall.ENOSPC so code that special-cases the real errno sees the
+	// injected fault the same way.
+	ErrDiskFull = fmt.Errorf("vfs: injected disk full: %w", syscall.ENOSPC)
+	// ErrSyncFailed is the injected fsync failure.
+	ErrSyncFailed = errors.New("vfs: injected fsync failure")
+	// ErrRenameFailed is the injected rename failure.
+	ErrRenameFailed = errors.New("vfs: injected rename failure")
+	// ErrCrashed marks operations attempted after a named crash point
+	// tripped: the simulated process is dead, nothing more reaches disk.
+	ErrCrashed = errors.New("vfs: simulated crash")
+)
+
+// FaultConfig tunes a Faulty filesystem. All rates are per-operation
+// probabilities in [0, 1], drawn from the seeded generator in operation
+// order, so a serial write sequence faults reproducibly.
+type FaultConfig struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+	// ShortWriteRate injects torn writes: the operation persists only
+	// half its bytes, then fails with ErrDiskFull.
+	ShortWriteRate float64
+	// WriteErrRate fails writes outright with ErrDiskFull (no bytes
+	// persisted).
+	WriteErrRate float64
+	// SyncErrRate fails File.Sync and SyncDir with ErrSyncFailed.
+	SyncErrRate float64
+	// RenameErrRate fails Rename with ErrRenameFailed.
+	RenameErrRate float64
+	// CrashAfter maps named crash points (see Hit) to the 1-based hit
+	// count at which the filesystem "crashes": the Hit returns
+	// ErrCrashed and every subsequent operation fails the same way,
+	// simulating process death at exactly that seam.
+	CrashAfter map[string]int
+}
+
+// Faulty wraps an FS with seeded fault injection. It operates on real
+// files: everything that succeeds is genuinely on disk, so a test can
+// crash the writer, reopen the directory with OS, and assert recovery.
+type Faulty struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	hits     map[string]int
+	dead     bool
+	deadAt   string
+	injected map[string]int64
+}
+
+// NewFaulty wraps inner (nil uses OS) with cfg's fault schedule.
+func NewFaulty(inner FS, cfg FaultConfig) *Faulty {
+	return &Faulty{
+		inner:    OrOS(inner),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		hits:     make(map[string]int),
+		injected: make(map[string]int64),
+	}
+}
+
+// Injected returns a copy of the per-kind injected fault counts, so
+// tests can assert a schedule actually fired.
+func (f *Faulty) Injected() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// CrashedAt returns the name of the crash point that killed the
+// filesystem, or "" while it is still alive.
+func (f *Faulty) CrashedAt() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.deadAt
+}
+
+// draw rolls one uniform against rate under the lock; kind tallies the
+// fault when it fires.
+func (f *Faulty) draw(rate float64, kind string) bool {
+	if rate <= 0 {
+		return false
+	}
+	if f.rng.Float64() >= rate {
+		return false
+	}
+	f.injected[kind]++
+	return true
+}
+
+// alive returns ErrCrashed when a crash point has already tripped.
+func (f *Faulty) alive() error {
+	if f.dead {
+		return fmt.Errorf("%w (at %s)", ErrCrashed, f.deadAt)
+	}
+	return nil
+}
+
+// hit implements the named crash-point protocol (see Hit).
+func (f *Faulty) hit(point string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.alive(); err != nil {
+		return err
+	}
+	n, ok := f.cfg.CrashAfter[point]
+	if !ok {
+		return nil
+	}
+	f.hits[point]++
+	if f.hits[point] < n {
+		return nil
+	}
+	f.dead = true
+	f.deadAt = point
+	f.injected["crash"]++
+	return fmt.Errorf("%w (at %s)", ErrCrashed, point)
+}
+
+// Create implements FS.
+func (f *Faulty) Create(name string) (File, error) {
+	f.mu.Lock()
+	err := f.alive()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: file, fs: f}, nil
+}
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	err := f.alive()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: file, fs: f}, nil
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.alive()
+	if err == nil && f.draw(f.cfg.RenameErrRate, "rename") {
+		err = fmt.Errorf("%w: %s", ErrRenameFailed, newpath)
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS. Removes are cleanup, not durability: they are
+// never faulted, only refused after a crash.
+func (f *Faulty) Remove(name string) error {
+	f.mu.Lock()
+	err := f.alive()
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	err := f.alive()
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.alive()
+	if err == nil && f.draw(f.cfg.SyncErrRate, "syncdir") {
+		err = fmt.Errorf("%w: dir %s", ErrSyncFailed, dir)
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile injects write-path faults into one open file.
+type faultyFile struct {
+	File
+	fs *Faulty
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	err := ff.fs.alive()
+	short := false
+	if err == nil {
+		switch {
+		case ff.fs.draw(ff.fs.cfg.ShortWriteRate, "shortwrite"):
+			short = true
+		case ff.fs.draw(ff.fs.cfg.WriteErrRate, "writeerr"):
+			err = fmt.Errorf("%w: %s", ErrDiskFull, ff.Name())
+		}
+	}
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if short {
+		// Persist a torn prefix — the on-disk footprint of running out
+		// of space (or dying) mid-write — then report the failure.
+		n, werr := ff.File.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, fmt.Errorf("%w: short write to %s", ErrDiskFull, ff.Name())
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	err := ff.fs.alive()
+	if err == nil && ff.fs.draw(ff.fs.cfg.WriteErrRate, "writeerr") {
+		err = fmt.Errorf("%w: %s", ErrDiskFull, ff.Name())
+	}
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return ff.File.WriteAt(p, off)
+}
+
+func (ff *faultyFile) Sync() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.alive()
+	if err == nil && ff.fs.draw(ff.fs.cfg.SyncErrRate, "sync") {
+		err = fmt.Errorf("%w: %s", ErrSyncFailed, ff.Name())
+	}
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}

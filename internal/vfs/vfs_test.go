@@ -1,0 +1,206 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "file.txt")
+	if err := OS.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "sub", "moved.txt")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(filepath.Dir(moved)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(moved)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitIsFreeOnOS(t *testing.T) {
+	if err := Hit(OS, "anything"); err != nil {
+		t.Fatalf("Hit on OS: %v", err)
+	}
+}
+
+func TestOrOS(t *testing.T) {
+	if OrOS(nil) != OS {
+		t.Fatal("OrOS(nil) != OS")
+	}
+	f := NewFaulty(nil, FaultConfig{})
+	if OrOS(f) != FS(f) {
+		t.Fatal("OrOS(f) != f")
+	}
+}
+
+// Injected write failures must be typed (ErrDiskFull, wrapping the real
+// ENOSPC errno) and deterministic under a seed.
+func TestFaultyWriteErrTypedAndSeeded(t *testing.T) {
+	run := func() []bool {
+		fsys := NewFaulty(nil, FaultConfig{Seed: 42, WriteErrRate: 0.5})
+		f, err := fsys.Create(filepath.Join(t.TempDir(), "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		outcomes := make([]bool, 0, 32)
+		for i := 0; i < 32; i++ {
+			_, err := f.Write([]byte("x"))
+			if err != nil {
+				if !errors.Is(err, ErrDiskFull) || !errors.Is(err, syscall.ENOSPC) {
+					t.Fatalf("write error not typed: %v", err)
+				}
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	saw := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed fault schedules diverged at op %d", i)
+		}
+		if !a[i] {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("rate 0.5 over 32 writes injected nothing")
+	}
+}
+
+// A short write persists a torn prefix — exactly the on-disk state
+// crash recovery must handle — and still reports ErrDiskFull.
+func TestFaultyShortWriteTearsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn")
+	fsys := NewFaulty(nil, FaultConfig{Seed: 1, ShortWriteRate: 1})
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("short write error: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "01234" {
+		t.Fatalf("on-disk bytes %q, %v", b, err)
+	}
+	if got := fsys.Injected()["shortwrite"]; got != 1 {
+		t.Fatalf("injected tally: %v", fsys.Injected())
+	}
+}
+
+func TestFaultySyncAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(nil, FaultConfig{Seed: 3, SyncErrRate: 1, RenameErrRate: 1})
+	f, err := fsys.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync error: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrRenameFailed) {
+		t.Fatalf("rename error: %v", err)
+	}
+	// The rename must not have happened.
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("source vanished despite failed rename: %v", err)
+	}
+	if err := fsys.SyncDir(dir); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("syncdir error: %v", err)
+	}
+}
+
+// A named crash point kills the filesystem: the Hit fails with
+// ErrCrashed and so does everything after it, like a process that died
+// at that seam.
+func TestFaultyCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(nil, FaultConfig{Seed: 1, CrashAfter: map[string]int{"save.pre-rename": 2}})
+
+	if err := Hit(fsys, "save.pre-rename"); err != nil {
+		t.Fatalf("first hit should survive: %v", err)
+	}
+	if err := Hit(fsys, "other.point"); err != nil {
+		t.Fatalf("unrelated point should never trip: %v", err)
+	}
+	if err := Hit(fsys, "save.pre-rename"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second hit: %v, want ErrCrashed", err)
+	}
+	if at := fsys.CrashedAt(); at != "save.pre-rename" {
+		t.Fatalf("CrashedAt = %q", at)
+	}
+	// Everything after the crash fails the same way.
+	if _, err := fsys.Create(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "d"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir: %v", err)
+	}
+	if err := Hit(fsys, "other.point"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash hit: %v", err)
+	}
+}
+
+// An open file keeps failing too once the filesystem is dead.
+func TestFaultyCrashKillsOpenFiles(t *testing.T) {
+	fsys := NewFaulty(nil, FaultConfig{CrashAfter: map[string]int{"p": 1}})
+	f, err := fsys.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(fsys, "p"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("crash point did not trip")
+	}
+	if _, err := f.Write([]byte("after")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write through open file: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync through open file: %v", err)
+	}
+}
